@@ -1,0 +1,290 @@
+(** lisim — command-line front end for the LIS toolchain.
+
+    - [lisim list] shows the built-in ISAs, their buildsets and kernels.
+    - [lisim check FILES...] parses and analyzes LIS description files.
+    - [lisim emit] prints the synthesized OCaml for one interface.
+    - [lisim run] executes a benchmark kernel through an interface.
+    - [lisim validate] runs the rotating-interface validation (§V-D). *)
+
+open Cmdliner
+
+let isa_arg =
+  let doc = "Instruction set: alpha, arm or ppc." in
+  Arg.(value & opt string "alpha" & info [ "isa" ] ~docv:"ISA" ~doc)
+
+let buildset_arg =
+  let doc =
+    "Interface buildset, e.g. one_all, block_min, step_all_spec. Canonical \
+     names are <block|one|step>_<min|decode|all>[_spec]."
+  in
+  Arg.(value & opt string "one_all" & info [ "buildset"; "b" ] ~docv:"NAME" ~doc)
+
+let kernel_arg =
+  let doc = "Benchmark kernel: vec_sum, list_chase, matmul, sort, hash_loop, str_ops." in
+  Arg.(value & opt string "sort" & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc)
+
+let find_kernel name =
+  match
+    List.find_opt
+      (fun (k : Vir.Kernels.sized) -> String.equal k.kname name)
+      Vir.Kernels.bench_suite
+  with
+  | Some k -> k
+  | None -> failwith ("unknown kernel " ^ name)
+
+(* ---------------- list ------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "ISAs:\n";
+    List.iter
+      (fun (t : Workload.target) ->
+        let spec = Lazy.force t.spec in
+        Printf.printf "  %-6s %3d instructions, %d register classes, %s-endian\n"
+          t.tname
+          (Array.length spec.instrs)
+          (Array.length spec.reg_classes)
+          (match spec.endian with Machine.Memory.Little -> "little" | Big -> "big");
+        Printf.printf "    buildsets: %s\n"
+          (String.concat ", " (Lis.Spec.buildset_names spec)))
+      Workload.targets;
+    Printf.printf "Kernels: %s\n"
+      (String.concat ", "
+         (List.map (fun (k : Vir.Kernels.sized) -> k.kname) Vir.Kernels.bench_suite));
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in ISAs, buildsets and kernels.")
+    Term.(const run $ const ())
+
+(* ---------------- check ------------------------------------------ *)
+
+let role_of_filename f =
+  let base = Filename.basename f in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length base && (String.sub base i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  if has "buildset" then Lis.Ast.Buildset_file
+  else if has "os" then Lis.Ast.Os_support
+  else Lis.Ast.Isa_description
+
+let check_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc:"LIS description files (roles inferred from names: *os* = OS support, *buildset* = buildsets).")
+  in
+  let run files =
+    try
+      let sources =
+        List.map
+          (fun f ->
+            let ic = open_in_bin f in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            { Lis.Ast.src_role = role_of_filename f; src_name = f; src_text = text })
+          files
+      in
+      let spec = Lis.Sema.load sources in
+      Printf.printf "ISA %s: %d instructions, %d cells, %d buildsets\n" spec.name
+        (Array.length spec.instrs)
+        (Lis.Spec.n_cells spec)
+        (Array.length spec.buildsets);
+      Array.iter
+        (fun (bs : Lis.Spec.buildset) ->
+          let violations = Specsim.Liveness.check spec bs in
+          let slots = Specsim.Slots.make spec bs in
+          Printf.printf "  buildset %-22s %2d entrypoints, %2d visible cells%s\n"
+            bs.bs_name
+            (Array.length bs.bs_entrypoints)
+            slots.di_size
+            (if violations = [] then ""
+             else
+               Printf.sprintf " — %d hidden-crossing cell(s): UNSAFE"
+                 (List.length (Specsim.Liveness.summarize violations))))
+        spec.buildsets;
+      (match Specsim.Decoder.overlaps spec with
+      | [] -> ()
+      | ov ->
+        Printf.printf "  note: %d overlapping encoding pair(s) (first match wins):\n"
+          (List.length ov);
+        List.iter (fun (a, b) -> Printf.printf "    %s / %s\n" a b) ov);
+      0
+    with
+    | Lis.Loc.Error (span, msg) ->
+      Format.eprintf "%a@." Lis.Loc.pp_error (span, msg);
+      1
+    | Sys_error e ->
+      prerr_endline e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and analyze LIS description files.")
+    Term.(const run $ files)
+
+(* ---------------- emit ------------------------------------------- *)
+
+let emit_cmd =
+  let run isa buildset =
+    let t = Workload.find_target isa in
+    let spec = Lazy.force t.spec in
+    print_string (Specsim.Emit.buildset_to_ocaml spec buildset);
+    0
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Print the synthesized OCaml source for one interface of a built-in ISA.")
+    Term.(const run $ isa_arg $ buildset_arg)
+
+(* ---------------- run -------------------------------------------- *)
+
+let run_cmd =
+  let run isa buildset kernel =
+    let t = Workload.find_target isa in
+    let k = find_kernel kernel in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Workload.run t ~buildset k.program in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%s on %s/%s: exit=%d output=%S\n" k.kname isa buildset
+      outcome.exit_status outcome.output;
+    Printf.printf "%Ld instructions in %.3f s (%.2f MIPS)\n" outcome.instructions
+      dt
+      (Int64.to_float outcome.instructions /. dt /. 1e6);
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a benchmark kernel through one interface.")
+    Term.(const run $ isa_arg $ buildset_arg $ kernel_arg)
+
+(* ---------------- export ------------------------------------------ *)
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "descriptions" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Output directory for the .lis files.")
+  in
+  let run isa dir =
+    let t = Workload.find_target isa in
+    let sources =
+      match isa with
+      | "alpha" -> Isa_alpha.Alpha.sources
+      | "arm" -> Isa_arm.Arm.sources
+      | "ppc" -> Isa_ppc.Ppc.sources
+      | _ -> failwith "unknown ISA"
+    in
+    ignore t;
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    List.iter
+      (fun (s : Lis.Ast.source) ->
+        let path = Filename.concat dir (Filename.basename s.src_name) in
+        let oc = open_out path in
+        output_string oc s.src_text;
+        close_out oc;
+        Printf.printf "wrote %s (%d lines of LIS)\n" path
+          (Lis.Count.code_lines s.src_text))
+      sources;
+    0
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write a built-in ISA's LIS description files to disk (so they \
+             can be edited and re-checked with 'lisim check').")
+    Term.(const run $ isa_arg $ dir)
+
+(* ---------------- trace ------------------------------------------- *)
+
+let trace_cmd =
+  let count =
+    Arg.(value & opt int 30 & info [ "n" ] ~docv:"N" ~doc:"Instructions to trace.")
+  in
+  let run isa buildset kernel n =
+    let t = Workload.find_target isa in
+    let k = find_kernel kernel in
+    let l = Workload.load t ~buildset k.program in
+    let iface = l.iface in
+    let spec = iface.spec in
+    (* visible cells, in slot order *)
+    let visible =
+      List.init (Lis.Spec.n_cells spec) (fun c -> c)
+      |> List.filter_map (fun c ->
+             let slot = iface.slots.di_slot_of_cell.(c) in
+             if slot >= 0 then Some (Lis.Spec.cell_name spec c, slot) else None)
+    in
+    Printf.printf "%-10s %-10s %-12s %s\n" "pc" "encoding" "instr"
+      (String.concat " " (List.map fst visible));
+    let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
+    let st = iface.st in
+    let i = ref 0 in
+    while (not st.halted) && !i < n do
+      iface.run_one di;
+      incr i;
+      let name =
+        if di.instr_index >= 0 then spec.instrs.(di.instr_index).i_name else "?"
+      in
+      Printf.printf "0x%-8Lx 0x%-8Lx %-12s %s\n" di.pc di.encoding name
+        (String.concat " "
+           (List.map
+              (fun (_, slot) -> Printf.sprintf "%Lx" (Specsim.Di.get di slot))
+              visible))
+    done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace the first N instructions of a kernel, printing the \
+             interface-visible information per instruction.")
+    Term.(const run $ isa_arg $ buildset_arg $ kernel_arg $ count)
+
+(* ---------------- mix --------------------------------------------- *)
+
+let mix_cmd =
+  let run isa kernel =
+    let t = Workload.find_target isa in
+    let k = find_kernel kernel in
+    let s = Instr_mix.collect t k.program in
+    Format.printf "%s on %s:@." k.kname isa;
+    Instr_mix.print Format.std_formatter s;
+    0
+  in
+  Cmd.v
+    (Cmd.info "mix"
+       ~doc:"Dynamic instruction-mix statistics for a kernel (a Decode-level \
+             functional-first consumer).")
+    Term.(const run $ isa_arg $ kernel_arg)
+
+(* ---------------- validate --------------------------------------- *)
+
+let validate_cmd =
+  let run isa kernel =
+    let t = Workload.find_target isa in
+    let k = find_kernel kernel in
+    let spec = Lazy.force t.spec in
+    let buildsets = Lis.Spec.buildset_names spec in
+    let expected = Workload.reference k.program in
+    let got = Workload.run_rotating t ~buildsets k.program in
+    if Workload.agrees expected got then begin
+      Printf.printf
+        "OK: %s on %s agrees with the reference under rotating interfaces \
+         (%d interfaces, %Ld instructions)\n"
+        k.kname isa (List.length buildsets) got.instructions;
+      0
+    end
+    else begin
+      Printf.printf "MISMATCH: exit %d vs %d, output %S vs %S\n"
+        expected.exit_status got.exit_status expected.output got.output;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Rotating-interface validation (paper §V-D): every dynamic \
+             instruction or basic block runs through a different interface.")
+    Term.(const run $ isa_arg $ kernel_arg)
+
+let () =
+  let info =
+    Cmd.info "lisim" ~version:"1.0.0"
+      ~doc:"Single-specification functional-to-timing simulator synthesis."
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; check_cmd; emit_cmd; run_cmd; export_cmd; trace_cmd; mix_cmd; validate_cmd ]))

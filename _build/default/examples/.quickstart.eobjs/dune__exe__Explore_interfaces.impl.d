@@ -1,0 +1,1 @@
+examples/explore_interfaces.ml: Array Char Int64 Lazy Lis List Machine Printf Specsim String Sys Unix Vir Workload

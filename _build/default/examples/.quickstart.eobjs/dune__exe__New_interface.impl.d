@@ -1,0 +1,1 @@
+examples/new_interface.ml: Array Int64 Isa_alpha Lis List Machine Printf Specsim Vir

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Demo_isa Lazy Machine Printf Specsim

@@ -1,0 +1,1 @@
+examples/sampling_sim.ml: Array Int64 Lazy Lis List Machine Printf Specsim Sys Timing Unix Vir Workload

@@ -1,0 +1,1 @@
+examples/timing_first_checker.ml: Int64 List Machine Printf Specsim String Timing Vir Workload

@@ -1,0 +1,1 @@
+lib/core/decoder.ml: Array Int64 Lis List

@@ -1,0 +1,1 @@
+lib/core/detail.ml: Buffer Lis List Printf String

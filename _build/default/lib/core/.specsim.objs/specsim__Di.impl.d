@@ -1,0 +1,1 @@
+lib/core/di.ml: Array Machine

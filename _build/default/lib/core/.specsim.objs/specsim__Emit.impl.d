@@ -1,0 +1,1 @@
+lib/core/emit.ml: Array Buffer Int Lis List Printf Semir Set Slots String Synth

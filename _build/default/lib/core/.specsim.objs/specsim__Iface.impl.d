@@ -1,0 +1,1 @@
+lib/core/iface.ml: Array Di Int64 Lis Machine Printf Slots Specul

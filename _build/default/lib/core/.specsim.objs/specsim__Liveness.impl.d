@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Array Format Int Lis List Semir Set

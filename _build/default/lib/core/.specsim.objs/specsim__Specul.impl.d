@@ -1,0 +1,1 @@
+lib/core/specul.ml: Array Machine Semir

@@ -1,0 +1,1 @@
+lib/core/synth.ml: Array Decoder Di Fault Format Hashtbl Iface Int Int64 Lis List Liveness Machine Memory Option Printf Semir Set Slots Specul State String

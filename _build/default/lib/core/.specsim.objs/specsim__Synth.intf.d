@@ -1,0 +1,1 @@
+lib/core/synth.mli: Iface Lis Machine Semir

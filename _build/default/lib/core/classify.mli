@@ -1,0 +1,18 @@
+(** Static instruction classification derived from the specification:
+    timing simulators learn which instructions load, store, branch or trap
+    from the IR itself — never hand-maintained per ISA. *)
+
+type kind = {
+  is_load : bool;
+  is_store : bool;
+  is_branch : bool;  (** may write next_pc *)
+  is_syscall : bool;
+  dest_regs : (int * Semir.Ir.cell) array;
+      (** write-operands: (register class, id cell) — for scoreboarding *)
+  src_regs : (int * Semir.Ir.cell) array;
+}
+
+val of_instr : Lis.Spec.instr -> kind
+
+(** [of_spec spec] classifies every instruction, indexed by instruction id. *)
+val of_spec : Lis.Spec.t -> kind array

@@ -1,0 +1,94 @@
+(** Interface detail levels, exactly as the paper's evaluation names them.
+
+    A buildset is free-form (any entrypoint grouping, any visibility); these
+    labels classify the twelve canonical interfaces of Table II and drive
+    the benchmark harness. *)
+
+type semantic = Block | One | Step
+
+type informational = Min | Decode | All
+
+type t = { semantic : semantic; informational : informational; speculation : bool }
+
+let semantic_to_string = function Block -> "Block" | One -> "One" | Step -> "Step"
+
+let informational_to_string = function
+  | Min -> "Min"
+  | Decode -> "Decode"
+  | All -> "All"
+
+let to_string d =
+  Printf.sprintf "%s/%s/%s"
+    (semantic_to_string d.semantic)
+    (informational_to_string d.informational)
+    (if d.speculation then "Yes" else "No")
+
+(** Canonical buildset name used in the shipped ISA descriptions, e.g.
+    [block_decode_spec] or [one_all]. *)
+let buildset_name d =
+  let s =
+    match d.semantic with Block -> "block" | One -> "one" | Step -> "step"
+  in
+  let i =
+    match d.informational with Min -> "min" | Decode -> "decode" | All -> "all"
+  in
+  Printf.sprintf "%s_%s%s" s i (if d.speculation then "_spec" else "")
+
+(** The twelve interfaces of Table II, in the paper's row order. *)
+let table2_interfaces =
+  [
+    { semantic = Block; informational = Min; speculation = false };
+    { semantic = Block; informational = Decode; speculation = false };
+    { semantic = Block; informational = Decode; speculation = true };
+    { semantic = Block; informational = All; speculation = false };
+    { semantic = Block; informational = All; speculation = true };
+    { semantic = One; informational = Min; speculation = false };
+    { semantic = One; informational = Decode; speculation = false };
+    { semantic = One; informational = Decode; speculation = true };
+    { semantic = One; informational = All; speculation = false };
+    { semantic = One; informational = All; speculation = true };
+    { semantic = Step; informational = All; speculation = false };
+    { semantic = Step; informational = All; speculation = true };
+  ]
+
+(** LIS source text for a canonical buildset (what a user would write: the
+    paper's "about a dozen lines of code" per interface). [sequence] is the
+    ISA's action sequence. *)
+let to_lis ?(sequence = Lis.Sema.default_sequence) d =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "buildset %s {\n" (buildset_name d);
+  Printf.bprintf b "  speculation %s;\n" (if d.speculation then "on" else "off");
+  if d.semantic = Block then Buffer.add_string b "  semantic block;\n";
+  Printf.bprintf b "  visibility %s;\n"
+    (match d.informational with Min -> "min" | Decode -> "decode" | All -> "all");
+  (match d.semantic with
+  | Block | One ->
+    Printf.bprintf b "  entrypoint do_in_one = %s;\n" (String.concat ", " sequence)
+  | Step ->
+    (* Seven calls: fetch, decode, operand fetch, evaluate, memory,
+       writeback, exception — the paper's step interface. User actions
+       between read_operands and writeback are split so that memory-access
+       actions form their own call. *)
+    let rec split acc current = function
+      | [] -> List.rev (List.rev current :: acc)
+      | a :: rest ->
+        if List.mem a [ "fetch"; "decode"; "read_operands"; "writeback" ] then
+          let acc = if current = [] then acc else List.rev current :: acc in
+          split ([ a ] :: acc) [] rest
+        else if String.equal a "memory" then
+          let acc = if current = [] then acc else List.rev current :: acc in
+          split ([ a ] :: acc) [] rest
+        else split acc (a :: current) rest
+    in
+    let groups = split [] [] sequence |> List.filter (fun g -> g <> []) in
+    List.iteri
+      (fun i g ->
+        Printf.bprintf b "  entrypoint step%d_%s = %s;\n" i (List.hd g)
+          (String.concat ", " g))
+      groups);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(** A complete buildset file covering all twelve canonical interfaces. *)
+let canonical_buildset_file ?sequence () =
+  String.concat "\n" (List.map (to_lis ?sequence) table2_interfaces)

@@ -1,0 +1,42 @@
+(** Dynamic instruction record — the data structure passed across the
+    functional-to-timing interface (paper Fig. 2).
+
+    The header (pc, encoding, next pc, fault, instruction index) is the
+    paper's "minimal information needed to control the simulator"; the
+    [info] array holds the interface-visible cells for the chosen buildset,
+    laid out by {!Slots}. *)
+
+type t = {
+  mutable pc : int64;
+  mutable encoding : int64;
+  mutable next_pc : int64;
+  mutable instr_index : int;  (** decoded instruction id; -1 before decode *)
+  mutable fault : Machine.Fault.t option;
+  mutable ckpt : int;  (** speculation checkpoint token; -1 if none *)
+  info : int64 array;
+}
+
+let create ~info_slots =
+  {
+    pc = 0L;
+    encoding = 0L;
+    next_pc = 0L;
+    instr_index = -1;
+    fault = None;
+    ckpt = -1;
+    info = Array.make (max info_slots 1) 0L;
+  }
+
+let clear t =
+  t.pc <- 0L;
+  t.encoding <- 0L;
+  t.next_pc <- 0L;
+  t.instr_index <- -1;
+  t.fault <- None;
+  t.ckpt <- -1;
+  Array.fill t.info 0 (Array.length t.info) 0L
+
+let copy t = { t with info = Array.copy t.info }
+
+(** [get t slot] reads a visible cell by its DI slot (from {!Slots}). *)
+let get t slot = t.info.(slot)

@@ -1,0 +1,10 @@
+(** OCaml source emission: the code-generation face of synthesis (the
+    analog of the paper's LIS-to-C++ synthesis). The emitted text shows
+    exactly what a buildset bought: hidden cells appear as scratch slots
+    or vanish under dead-code elimination, visible cells as DI-info
+    stores, and each entrypoint becomes one function per instruction. *)
+
+(** [buildset_to_ocaml spec bs_name] renders the specialized simulator for
+    one buildset as OCaml source text.
+    @raise Invalid_argument if the buildset does not exist. *)
+val buildset_to_ocaml : Lis.Spec.t -> string -> string

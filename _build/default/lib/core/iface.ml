@@ -1,0 +1,94 @@
+(** The synthesized functional-to-timing simulator interface.
+
+    A value of this type is what {!Synth.make} hands to a timing simulator:
+    a functional simulator specialized to one buildset. The three semantic
+    shapes of the paper map to three call styles:
+
+    - [run_block]: one call executes a basic block (Block detail);
+    - [run_one]: one call executes a single instruction (One detail);
+    - [step]: one call executes one entrypoint of one dynamic instruction
+      (Step detail) — the timing simulator controls when each piece of the
+      instruction's behaviour happens.
+
+    Informational detail is realized in the {!Di.t} records: only cells the
+    buildset makes visible have DI slots ([slot_of]). Speculation, when
+    enabled, gives per-instruction checkpoints ([Di.ckpt]) plus
+    [rollback] / [redirect]. *)
+
+type stats = {
+  mutable blocks_compiled : int;
+  mutable block_hits : int;
+  mutable instrs_executed : int64;  (** via this interface's calls *)
+}
+
+type t = {
+  spec : Lis.Spec.t;
+  bs : Lis.Spec.buildset;
+  st : Machine.State.t;
+  slots : Slots.t;
+  journal : Specul.t option;
+  entry_names : string array;
+  run_one : Di.t -> unit;
+      (** execute the instruction at the current fetch pc; commits state
+          and advances the fetch pc *)
+  run_block : unit -> Di.t array * int;
+      (** execute a basic block at the current fetch pc; returns the DI
+          records (engine-owned, valid until the next call) and the count *)
+  step : Di.t -> int -> unit;
+      (** [step di k] runs entrypoint [k] for [di]; the caller owns fetch
+          redirection and retirement *)
+  retire : Di.t -> unit;
+      (** commit a stepped instruction: advance fetch pc to [di.next_pc]
+          and count it as retired *)
+  redirect : int64 -> unit;  (** set the fetch pc (branch redirect) *)
+  checkpoint : unit -> int;
+  rollback : int -> unit;
+  commit_ckpt : int -> unit;
+  flush_code_cache : unit -> unit;
+      (** drop compiled blocks (needed after writing code memory) *)
+  stats : stats;
+}
+
+let n_entrypoints t = Array.length t.entry_names
+let entry_name t k = t.entry_names.(k)
+
+(** [slot_of t name] is the DI slot of cell [name] if visible in this
+    interface. Timing simulators resolve the cells they consume once, at
+    connection time. *)
+let slot_of t name = Slots.slot_of_name t.spec t.slots name
+
+(** [slot_of_exn t name] raises with a helpful message when the cell is
+    hidden — the typical interface-mismatch error the paper describes. *)
+let slot_of_exn t name =
+  match slot_of t name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "interface %s/%s does not expose cell '%s' (hidden by visibility)"
+         t.spec.name t.bs.bs_name name)
+
+(** [rollback_di t di] undoes the architectural effects of [di] and every
+    later instruction (requires a speculative buildset). *)
+let rollback_di t (di : Di.t) =
+  if di.ckpt < 0 then invalid_arg "rollback_di: no checkpoint on this DI";
+  t.rollback di.ckpt
+
+(** [run_n t n] executes up to [n] instructions through the fastest call
+    style of this interface (blocks when available) and returns the number
+    actually executed (less than [n] on halt/fault). This is the paper's
+    "fast-forward" entry used during sampling. *)
+let run_n t n =
+  let start = t.st.instr_count in
+  let executed () = Int64.to_int (Int64.sub t.st.instr_count start) in
+  if t.bs.bs_block then
+    while executed () < n && not t.st.halted do
+      ignore (t.run_block ())
+    done
+  else begin
+    let di = Di.create ~info_slots:t.slots.di_size in
+    while executed () < n && not t.st.halted do
+      t.run_one di
+    done
+  end;
+  executed ()

@@ -1,0 +1,24 @@
+(** Static cross-entrypoint liveness check.
+
+    Any cell written in one entrypoint and read in a later one must be
+    interface-visible — hidden cells live in scratch storage that is not
+    part of the per-instruction record and cannot be trusted across
+    interface calls. This turns the paper's dominant runtime interface bug
+    ("some intermediate value or operand that needs to be visible is
+    hidden") into a synthesis-time error. *)
+
+type violation = {
+  v_instr : string;
+  v_cell : string;
+  v_writer : string;  (** entrypoint that writes the cell *)
+  v_reader : string;  (** later entrypoint that reads it *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check spec bs] returns all hidden-but-crossing cells; empty means the
+    buildset is safe for any number of in-flight instructions. *)
+val check : Lis.Spec.t -> Lis.Spec.buildset -> violation list
+
+(** Deduplicated (cell, writer, reader) triples across instructions. *)
+val summarize : violation list -> (string * string * string) list

@@ -1,0 +1,41 @@
+(** Cell storage assignment for one buildset.
+
+    Visible cells get consecutive slots in the retained DI [info] array;
+    hidden cells get slots in the engine's reused scratch array. This is
+    the mechanical realization of the paper's Fig. 4: hidden values become
+    locals that never reach the dynamic-instruction structure. *)
+
+type t = {
+  loc : Semir.Frame.location array;  (** per cell *)
+  di_size : int;
+  scratch_size : int;
+  di_slot_of_cell : int array;  (** per cell; -1 when hidden *)
+}
+
+let make (spec : Lis.Spec.t) (bs : Lis.Spec.buildset) : t =
+  let n = Lis.Spec.n_cells spec in
+  if Array.length bs.bs_visible <> n then
+    invalid_arg "Slots.make: visibility array does not match cell table";
+  let loc = Array.make n (Semir.Frame.In_scratch 0) in
+  let di_slot_of_cell = Array.make n (-1) in
+  let next_di = ref 0 and next_scratch = ref 0 in
+  for c = 0 to n - 1 do
+    if bs.bs_visible.(c) then begin
+      loc.(c) <- Semir.Frame.In_di !next_di;
+      di_slot_of_cell.(c) <- !next_di;
+      incr next_di
+    end
+    else begin
+      loc.(c) <- Semir.Frame.In_scratch !next_scratch;
+      incr next_scratch
+    end
+  done;
+  { loc; di_size = !next_di; scratch_size = !next_scratch; di_slot_of_cell }
+
+(** [slot_of_name spec slots name] is the DI slot of cell [name], if the
+    buildset makes it visible. Timing simulators use this to locate the
+    information they need. *)
+let slot_of_name (spec : Lis.Spec.t) t name =
+  match Lis.Spec.cell_id spec name with
+  | exception Not_found -> None
+  | c -> if t.di_slot_of_cell.(c) >= 0 then Some t.di_slot_of_cell.(c) else None

@@ -1,0 +1,192 @@
+(** Rollback journal: speculation support synthesized into an interface.
+
+    The paper handles speculation by carrying "enough information to roll
+    back the architectural effects of each instruction". This journal logs
+    the old value of every register and memory write (via {!Semir.Hooks})
+    between checkpoints; [rollback] replays the log backwards.
+
+    Tokens are monotonically increasing ints. Checkpoints nest: rolling
+    back to an older token undoes everything after it. Committing a token
+    merely forgets the ability to roll back before it. Speculation across
+    a syscall is not supported — the OS emulator's buffers are not
+    journaled — and syscall instructions end speculative regions in all
+    shipped simulators.
+
+    The layout is tuned for the per-instruction fast path (this is the
+    entire cost of a speculative interface, paper Table III's last row):
+    checkpoint marks are packed into immediate ints so a checkpoint is a
+    couple of unboxed stores plus a capacity check. *)
+
+type t = {
+  mutable reg_flat : int array;
+  mutable reg_old : int64 array;
+  mutable reg_n : int;
+  mutable mem_addr : int64 array;
+  mutable mem_old : int64 array;
+  mutable mem_width : int array;
+  mutable mem_n : int;
+  (* per checkpoint: packed (reg_n << 31) | mem_n, plus pc and retired
+     count at checkpoint time *)
+  mutable ck_meta : int array;
+  mutable ck_pc : int64 array;
+  mutable ck_count : int64 array;
+  mutable ck_n : int;
+  mutable committed : int;  (** internal indices below this are committed *)
+  mutable base : int;
+      (** external token = [base] + internal index; [compact] shifts
+          internal indices but leaves issued tokens valid *)
+}
+
+let create () =
+  {
+    reg_flat = Array.make 256 0;
+    reg_old = Array.make 256 0L;
+    reg_n = 0;
+    mem_addr = Array.make 256 0L;
+    mem_old = Array.make 256 0L;
+    mem_width = Array.make 256 0;
+    mem_n = 0;
+    ck_meta = Array.make 256 0;
+    ck_pc = Array.make 256 0L;
+    ck_count = Array.make 256 0L;
+    ck_n = 0;
+    committed = 0;
+    base = 0;
+  }
+
+let pack ~reg_n ~mem_n = (reg_n lsl 31) lor mem_n
+let meta_reg m = m lsr 31
+let meta_mem m = m land 0x7FFFFFFF
+
+let[@inline never] grow_regs t =
+  let cap = 2 * Array.length t.reg_flat in
+  t.reg_flat <- Array.append t.reg_flat (Array.make (cap / 2) 0);
+  t.reg_old <- Array.append t.reg_old (Array.make (cap / 2) 0L)
+
+let[@inline never] grow_mem t =
+  let cap = 2 * Array.length t.mem_addr in
+  t.mem_addr <- Array.append t.mem_addr (Array.make (cap / 2) 0L);
+  t.mem_old <- Array.append t.mem_old (Array.make (cap / 2) 0L);
+  t.mem_width <- Array.append t.mem_width (Array.make (cap / 2) 0)
+
+let[@inline never] grow_ck t =
+  let cap = 2 * Array.length t.ck_meta in
+  t.ck_meta <- Array.append t.ck_meta (Array.make (cap / 2) 0);
+  t.ck_pc <- Array.append t.ck_pc (Array.make (cap / 2) 0L);
+  t.ck_count <- Array.append t.ck_count (Array.make (cap / 2) 0L)
+
+let record_reg t (st : Machine.State.t) flat =
+  let n = t.reg_n in
+  if n >= Array.length t.reg_flat then grow_regs t;
+  Array.unsafe_set t.reg_flat n flat;
+  Array.unsafe_set t.reg_old n (Machine.Regfile.read_flat st.regs flat);
+  t.reg_n <- n + 1
+
+let record_store t (st : Machine.State.t) addr width =
+  let n = t.mem_n in
+  if n >= Array.length t.mem_addr then grow_mem t;
+  Array.unsafe_set t.mem_addr n addr;
+  Array.unsafe_set t.mem_old n (Machine.Memory.read st.mem ~addr ~width);
+  Array.unsafe_set t.mem_width n width;
+  t.mem_n <- n + 1
+
+(** Hooks to compile into speculative interfaces. *)
+let hooks t : Semir.Hooks.t =
+  {
+    on_reg_write = (fun st flat -> record_reg t st flat);
+    on_store = (fun st addr width -> record_store t st addr width);
+  }
+
+(** [checkpoint t st] opens a new speculative region and returns its token. *)
+let checkpoint t (st : Machine.State.t) : int =
+  let n = t.ck_n in
+  if n >= Array.length t.ck_meta then grow_ck t;
+  Array.unsafe_set t.ck_meta n (pack ~reg_n:t.reg_n ~mem_n:t.mem_n);
+  Array.unsafe_set t.ck_pc n st.pc;
+  Array.unsafe_set t.ck_count n st.instr_count;
+  t.ck_n <- n + 1;
+  t.base + n
+
+(** [rollback t st token] undoes every architectural effect recorded since
+    [checkpoint] returned [token], restoring pc and instruction count.
+    @raise Invalid_argument if [token] was already committed or never issued. *)
+let rollback t (st : Machine.State.t) token =
+  let token = token - t.base in
+  if token < t.committed || token >= t.ck_n then
+    invalid_arg "Specul.rollback: invalid token";
+  let meta = t.ck_meta.(token) in
+  let reg_mark = meta_reg meta and mem_mark = meta_mem meta in
+  for i = t.reg_n - 1 downto reg_mark do
+    Machine.Regfile.write_flat st.regs t.reg_flat.(i) t.reg_old.(i)
+  done;
+  t.reg_n <- reg_mark;
+  for i = t.mem_n - 1 downto mem_mark do
+    Machine.Memory.write st.mem ~addr:t.mem_addr.(i) ~width:t.mem_width.(i)
+      t.mem_old.(i)
+  done;
+  t.mem_n <- mem_mark;
+  st.pc <- t.ck_pc.(token);
+  st.next_pc <- t.ck_pc.(token);
+  st.instr_count <- t.ck_count.(token);
+  (* Rolling back also cancels any fault raised speculatively. *)
+  st.fault <- None;
+  st.halted <- false;
+  t.ck_n <- token
+
+(** [commit t token] declares everything up to and including the region
+    opened at [token] non-speculative. When no open region remains, the
+    log is reset to empty. *)
+let commit t token =
+  let token = token - t.base in
+  if token >= t.ck_n then invalid_arg "Specul.commit: invalid token";
+  if token + 1 > t.committed then t.committed <- token + 1;
+  if t.committed >= t.ck_n then begin
+    t.base <- t.base + t.ck_n;
+    t.ck_n <- 0;
+    t.committed <- 0;
+    t.reg_n <- 0;
+    t.mem_n <- 0
+  end
+
+(** Number of open (uncommitted) checkpoints. *)
+let depth t = t.ck_n - t.committed
+
+(** [compact t] discards committed log entries, shifting the arrays down.
+    Called by the engine when the committed prefix grows large, so a
+    sliding-window speculation policy runs in bounded memory. *)
+let compact t =
+  if t.committed > 0 then begin
+    let ck0 = t.committed in
+    let live_ck = t.ck_n - ck0 in
+    let reg0 = if live_ck > 0 then meta_reg t.ck_meta.(ck0) else t.reg_n in
+    let mem0 = if live_ck > 0 then meta_mem t.ck_meta.(ck0) else t.mem_n in
+    Array.blit t.ck_pc ck0 t.ck_pc 0 live_ck;
+    Array.blit t.ck_count ck0 t.ck_count 0 live_ck;
+    for i = 0 to live_ck - 1 do
+      let m = t.ck_meta.(ck0 + i) in
+      t.ck_meta.(i) <- pack ~reg_n:(meta_reg m - reg0) ~mem_n:(meta_mem m - mem0)
+    done;
+    Array.blit t.reg_flat reg0 t.reg_flat 0 (t.reg_n - reg0);
+    Array.blit t.reg_old reg0 t.reg_old 0 (t.reg_n - reg0);
+    t.reg_n <- t.reg_n - reg0;
+    Array.blit t.mem_addr mem0 t.mem_addr 0 (t.mem_n - mem0);
+    Array.blit t.mem_old mem0 t.mem_old 0 (t.mem_n - mem0);
+    Array.blit t.mem_width mem0 t.mem_width 0 (t.mem_n - mem0);
+    t.mem_n <- t.mem_n - mem0;
+    t.ck_n <- live_ck;
+    t.base <- t.base + ck0;
+    t.committed <- 0
+  end
+
+(** Log sizes, for tests and statistics. *)
+let log_sizes t = (t.reg_n, t.mem_n)
+
+(** [auto_trim t ~window] keeps at most [window] open checkpoints by
+    committing the oldest, compacting occasionally. The engine calls this
+    once per instruction when it auto-checkpoints, giving speculative
+    interfaces a bounded-memory sliding rollback horizon. *)
+let auto_trim t ~window =
+  if t.ck_n - t.committed > window then begin
+    commit t (t.base + t.committed);
+    if t.committed > 4096 then compact t
+  end

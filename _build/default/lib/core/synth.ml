@@ -1,0 +1,461 @@
+(** The simulator synthesizer — the paper's contribution, mechanized.
+
+    [make spec buildset_name] specializes a functional simulator for one
+    interface: cells get storage per the buildset's visibility (DI slots
+    vs. reused scratch), actions are grouped into the buildset's
+    entrypoints and fused, dead information computation is eliminated,
+    speculation hooks are compiled in only when asked for, and — for
+    block-semantic buildsets — each basic block is specialized against its
+    concrete instruction encodings and cached (the binary-translation
+    analog). *)
+
+open Machine
+
+exception Synth_error of string
+
+let synth_error fmt = Format.kasprintf (fun m -> raise (Synth_error m)) fmt
+
+(** Execution backend: [Compiled] closures (default) or the reference
+    [Interpreted] AST walker (paper footnote 5's baseline). *)
+type backend = Compiled | Interpreted
+
+(* An entrypoint is a sequence of items; fetch and decode are engine
+   builtins, everything else is per-instruction compiled code. *)
+type item =
+  | I_fetch
+  | I_decode of Semir.Compile.code array  (* per instruction *)
+  | I_chunk of Semir.Compile.code array
+
+(* Segment: compilation-time view of an item. *)
+type seg = Seg_fetch | Seg_decode | Seg_ir of Lis.Spec.action_sym list
+
+let spec_window = 64
+
+(* ------------------------------------------------------------------ *)
+(* Segment construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let segments_of_entrypoint (syms : Lis.Spec.action_sym list) : seg list =
+  let flush acc cur =
+    match cur with [] -> acc | _ -> Seg_ir (List.rev cur) :: acc
+  in
+  let rec go acc cur = function
+    | [] -> List.rev (flush acc cur)
+    | Lis.Spec.A_fetch :: rest -> go (Seg_fetch :: flush acc cur) [] rest
+    | Lis.Spec.A_decode :: rest -> go (Seg_decode :: flush acc cur) [] rest
+    | sym :: rest -> go acc (sym :: cur) rest
+  in
+  go [] [] syms
+
+let sym_ir (i : Lis.Spec.instr) = function
+  | Lis.Spec.A_fetch | Lis.Spec.A_decode -> []
+  | Lis.Spec.A_read_operands -> i.i_read
+  | Lis.Spec.A_writeback -> i.i_writeback
+  | Lis.Spec.A_user name -> Lis.Spec.user_action i name
+
+(* IR contributed by a segment for instruction [i]; decode contributes the
+   generated operand-id extraction. *)
+let seg_ir (i : Lis.Spec.instr) = function
+  | Seg_fetch -> []
+  | Seg_decode -> i.i_decode
+  | Seg_ir syms -> List.concat_map (sym_ir i) syms
+
+module Iset = Set.Make (Int)
+
+let reads_of (p : Semir.Ir.program) = Iset.of_list (Semir.Ir.program_reads p)
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?st
+    (spec : Lis.Spec.t) (bs_name : string) : Iface.t =
+  let bs = Lis.Spec.find_buildset spec bs_name in
+  let st = match st with Some s -> s | None -> Lis.Spec.make_machine spec in
+  let slots = Slots.make spec bs in
+  (match Liveness.check spec bs with
+  | [] -> ()
+  | violations when not allow_hidden_crossing ->
+    let summary = Liveness.summarize violations in
+    synth_error
+      "buildset %s/%s hides %d cell(s) that cross entrypoint boundaries:@\n%s"
+      spec.name bs.bs_name (List.length summary)
+      (String.concat "\n"
+         (List.map
+            (fun (c, w, r) ->
+              Printf.sprintf "  '%s' written in '%s', read in '%s'" c w r)
+            summary))
+  | _ -> ());
+  let journal = if bs.bs_speculation then Some (Specul.create ()) else None in
+  let hooks = Option.map Specul.hooks journal in
+  let layout = st.State.regs in
+  let loc = slots.Slots.loc in
+  let frame =
+    Semir.Frame.create ~di_slots:slots.di_size ~scratch_slots:slots.scratch_size
+  in
+  let n_instrs = Array.length spec.instrs in
+  let decoder = Decoder.make spec in
+  let instr_bytes64 = Int64.of_int spec.instr_bytes in
+  let stats =
+    { Iface.blocks_compiled = 0; block_hits = 0; instrs_executed = 0L }
+  in
+
+  let compile_program ir =
+    match backend with
+    | Compiled -> Semir.Compile.program ?hooks ~layout ~loc ir
+    | Interpreted -> fun st fr -> Semir.Eval.exec ?hooks ~loc st fr ir
+  in
+
+  (* --- entrypoint plans ---------------------------------------------- *)
+  let ep_segs =
+    Array.map (fun (_, syms) -> segments_of_entrypoint syms) bs.bs_entrypoints
+  in
+  let flat_segs = Array.to_list ep_segs |> List.concat in
+  (* Sanity: per-instruction dispatch needs decode before any IR. *)
+  (let seen_decode = ref false in
+   List.iter
+     (fun s ->
+       match s with
+       | Seg_decode -> seen_decode := true
+       | Seg_ir _ when not !seen_decode ->
+         synth_error
+           "buildset %s/%s runs instruction actions before 'decode'" spec.name
+           bs.bs_name
+       | Seg_ir _ | Seg_fetch -> ())
+     flat_segs);
+
+  (* Per-instruction optimized IR per IR-bearing segment, with cross-
+     segment liveness driving DCE: a cell assignment survives only if the
+     cell is interface-visible or read by a later segment. *)
+  let n_segs = List.length flat_segs in
+  let flat_segs_arr = Array.of_list flat_segs in
+  let per_instr_seg_ir =
+    Array.init n_instrs (fun ii ->
+        let instr = spec.instrs.(ii) in
+        let irs = Array.map (seg_ir instr) flat_segs_arr in
+        (* downstream reads per segment *)
+        let downstream = Array.make (n_segs + 1) Iset.empty in
+        for k = n_segs - 1 downto 0 do
+          downstream.(k) <- Iset.union downstream.(k + 1) (reads_of irs.(k))
+        done;
+        Array.mapi
+          (fun k ir ->
+            let keep c =
+              bs.bs_visible.(c) || Iset.mem c downstream.(k + 1)
+            in
+            Semir.Opt.optimize ~keep ir)
+          irs)
+  in
+  let ep_items : item array array =
+    let seg_index = ref 0 in
+    Array.map
+      (fun segs ->
+        Array.of_list
+          (List.map
+             (fun seg ->
+               let k = !seg_index in
+               incr seg_index;
+               match seg with
+               | Seg_fetch -> I_fetch
+               | Seg_decode ->
+                 I_decode
+                   (Array.init n_instrs (fun ii ->
+                        compile_program per_instr_seg_ir.(ii).(k)))
+               | Seg_ir _ ->
+                 I_chunk
+                   (Array.init n_instrs (fun ii ->
+                        compile_program per_instr_seg_ir.(ii).(k))))
+             segs))
+      ep_segs
+  in
+
+  (* --- execution ------------------------------------------------------ *)
+  let exec_item (di : Di.t) = function
+    | I_fetch ->
+      frame.enc <-
+        Memory.read st.mem ~addr:frame.pc ~width:spec.instr_bytes;
+      frame.next_pc <- Int64.add frame.pc instr_bytes64
+    | I_decode codes ->
+      let idx = Decoder.decode decoder frame.enc in
+      if idx < 0 then
+        State.raise_fault st (Fault.Illegal_instruction frame.enc)
+      else begin
+        di.instr_index <- idx;
+        (Array.unsafe_get codes idx) st frame
+      end
+    | I_chunk codes ->
+      let idx = di.instr_index in
+      if idx < 0 then
+        invalid_arg "interface misuse: entrypoint called before decode"
+      else (Array.unsafe_get codes idx) st frame
+  in
+  let exec_items di (items : item array) =
+    let n = Array.length items in
+    let rec go k =
+      if k < n && not st.halted then begin
+        exec_item di items.(k);
+        go (k + 1)
+      end
+    in
+    go 0
+  in
+  let load_frame (di : Di.t) =
+    frame.pc <- di.pc;
+    frame.enc <- di.encoding;
+    frame.next_pc <- di.next_pc;
+    frame.di <- di.info
+  in
+  let save_frame (di : Di.t) =
+    di.encoding <- frame.enc;
+    di.next_pc <- frame.next_pc;
+    di.fault <- st.fault
+  in
+
+  let step di k =
+    load_frame di;
+    exec_items di ep_items.(k);
+    save_frame di
+  in
+
+  let auto_checkpoint (di : Di.t) =
+    match journal with
+    | None -> ()
+    | Some j ->
+      di.ckpt <- Specul.checkpoint j st;
+      Specul.auto_trim j ~window:spec_window
+  in
+
+  let n_eps = Array.length ep_items in
+  let run_one (di : Di.t) =
+    if not st.halted then begin
+      di.pc <- st.pc;
+      di.instr_index <- -1;
+      di.fault <- None;
+      auto_checkpoint di;
+      load_frame di;
+      let rec go k =
+        if k < n_eps && not st.halted then begin
+          exec_items di ep_items.(k);
+          go (k + 1)
+        end
+      in
+      go 0;
+      save_frame di;
+      if not st.halted then begin
+        st.pc <- frame.next_pc;
+        st.instr_count <- Int64.add st.instr_count 1L;
+        stats.instrs_executed <- Int64.add stats.instrs_executed 1L
+      end
+    end
+  in
+
+  (* --- block mode ------------------------------------------------------ *)
+  (* Full per-instruction chain IR in sequence order (fetch excluded),
+     used for per-site specialization. *)
+  let chain_ir =
+    Array.map
+      (fun (i : Lis.Spec.instr) ->
+        List.concat_map
+          (fun sym ->
+            match sym with
+            | Lis.Spec.A_decode -> i.i_decode
+            | other -> sym_ir i other)
+          (Array.to_list spec.sequence))
+      spec.instrs
+  in
+  let rec stmt_is_ctrl (s : Semir.Ir.stmt) =
+    match s with
+    | Set_next_pc _ | Syscall | Halt | Fault_illegal | Fault_unaligned _
+    | Fault_arith _ ->
+      true
+    | If (_, t, f) -> List.exists stmt_is_ctrl t || List.exists stmt_is_ctrl f
+    | Set_cell _ | Store _ | Reg_write _ -> false
+  in
+  let is_ctrl = Array.map (List.exists stmt_is_ctrl) chain_ir in
+  (* Cells read by some instruction before it writes them (cross-
+     instruction carriers); they must survive DCE in block mode. *)
+  let carried =
+    Array.fold_left
+      (fun acc ir ->
+        let rec upward live (reads : Iset.t) = function
+          | [] -> reads
+          | s :: rest ->
+            let srs = Iset.of_list (Semir.Ir.stmt_reads [] s) in
+            let exposed = Iset.diff srs live in
+            let live =
+              Iset.union live (Iset.of_list (Semir.Ir.stmt_writes [] s))
+            in
+            upward live (Iset.union reads exposed) rest
+        in
+        Iset.union acc (upward Iset.empty Iset.empty ir))
+      Iset.empty chain_ir
+  in
+  let block_keep c = bs.bs_visible.(c) || Iset.mem c carried in
+
+  let max_block = 64 in
+  let module Bcache = Hashtbl in
+  (* A compiled block: parallel arrays of specialized sites, plus the
+     per-site pcs (len+1 entries: pcs.(len) is the fall-through pc), so
+     the execution loop does no per-instruction address arithmetic. *)
+  let blocks :
+      ( int64,
+        Semir.Compile.code array * int64 array * int array * int64 array )
+      Bcache.t =
+    Bcache.create 1024
+  in
+  let compile_site enc idx =
+    let ir = Semir.Opt.optimize ~enc ~keep:block_keep chain_ir.(idx) in
+    compile_program ir
+  in
+  let illegal_site : Semir.Compile.code =
+   fun st fr -> State.raise_fault st (Fault.Illegal_instruction fr.enc)
+  in
+  let build_block pc0 =
+    let codes = ref [] and encs = ref [] and idxs = ref [] in
+    let n = ref 0 in
+    let pc = ref pc0 in
+    let stop = ref false in
+    while not !stop do
+      let enc = Memory.read st.mem ~addr:!pc ~width:spec.instr_bytes in
+      let idx = Decoder.decode decoder enc in
+      if idx < 0 then begin
+        codes := illegal_site :: !codes;
+        encs := enc :: !encs;
+        idxs := idx :: !idxs;
+        incr n;
+        stop := true
+      end
+      else begin
+        codes := compile_site enc idx :: !codes;
+        encs := enc :: !encs;
+        idxs := idx :: !idxs;
+        incr n;
+        pc := Int64.add !pc instr_bytes64;
+        if is_ctrl.(idx) || !n >= max_block then stop := true
+      end
+    done;
+    stats.Iface.blocks_compiled <- stats.Iface.blocks_compiled + 1;
+    let pcs =
+      Array.init (!n + 1) (fun i -> Int64.add pc0 (Int64.of_int (4 * i)))
+    in
+    ( Array.of_list (List.rev !codes),
+      Array.of_list (List.rev !encs),
+      Array.of_list (List.rev !idxs),
+      pcs )
+  in
+  (* Engine-owned DI ring returned by [run_block]. *)
+  let dis = ref (Array.init 4 (fun _ -> Di.create ~info_slots:slots.di_size)) in
+  let ensure_dis n =
+    if Array.length !dis < n then begin
+      let bigger =
+        Array.init (max n (2 * Array.length !dis)) (fun i ->
+            if i < Array.length !dis then !dis.(i)
+            else Di.create ~info_slots:slots.di_size)
+      in
+      dis := bigger
+    end
+  in
+  let run_block () =
+    if st.halted then (!dis, 0)
+    else begin
+      let pc0 = st.pc in
+      let codes, encs, idxs, pcs =
+        match Bcache.find_opt blocks pc0 with
+        | Some b ->
+          stats.block_hits <- stats.block_hits + 1;
+          b
+        | None ->
+          let b = build_block pc0 in
+          Bcache.add blocks pc0 b;
+          b
+      in
+      let len = Array.length codes in
+      ensure_dis len;
+      let dis = !dis in
+      let executed = ref 0 in
+      let k = ref 0 in
+      while !k < len && not st.halted do
+        let di = Array.unsafe_get dis !k in
+        let pc = Array.unsafe_get pcs !k in
+        di.pc <- pc;
+        di.encoding <- Array.unsafe_get encs !k;
+        di.instr_index <- Array.unsafe_get idxs !k;
+        di.fault <- None;
+        auto_checkpoint di;
+        frame.pc <- pc;
+        frame.enc <- di.encoding;
+        frame.next_pc <- Array.unsafe_get pcs (!k + 1);
+        frame.di <- di.info;
+        (Array.unsafe_get codes !k) st frame;
+        di.next_pc <- frame.next_pc;
+        di.fault <- st.fault;
+        if not st.halted then incr executed;
+        incr k
+      done;
+      if !executed > 0 then begin
+        (* the last executed site's next_pc is the continuation; on a halt
+           the fetch pc stays put (rollback restores it anyway) *)
+        if not st.halted then st.pc <- frame.next_pc;
+        st.instr_count <- Int64.add st.instr_count (Int64.of_int !executed);
+        stats.instrs_executed <-
+          Int64.add stats.instrs_executed (Int64.of_int !executed)
+      end;
+      (dis, !executed)
+    end
+  in
+  (* Non-block buildsets still offer [run_block] as a one-instruction
+     batch so consumers can be written against one call style. *)
+  let run_block =
+    if bs.bs_block then begin
+      if n_eps <> 1 then
+        synth_error
+          "buildset %s/%s: 'semantic block' requires a single entrypoint"
+          spec.name bs.bs_name;
+      run_block
+    end
+    else fun () ->
+      ensure_dis 1;
+      let d = !dis in
+      run_one d.(0);
+      (d, if st.halted && st.fault <> None then 0 else 1)
+  in
+
+  let retire (di : Di.t) =
+    st.pc <- di.next_pc;
+    st.instr_count <- Int64.add st.instr_count 1L;
+    stats.instrs_executed <- Int64.add stats.instrs_executed 1L
+  in
+  let redirect pc = st.pc <- pc in
+  let no_spec (_ : unit) =
+    invalid_arg
+      (Printf.sprintf "interface %s/%s was synthesized without speculation"
+         spec.name bs.bs_name)
+  in
+  let checkpoint () =
+    match journal with Some j -> Specul.checkpoint j st | None -> no_spec ()
+  in
+  let rollback tok =
+    match journal with Some j -> Specul.rollback j st tok | None -> no_spec ()
+  in
+  let commit_ckpt tok =
+    match journal with Some j -> Specul.commit j tok | None -> no_spec ()
+  in
+  let flush_code_cache () = Bcache.reset blocks in
+  {
+    Iface.spec;
+    bs;
+    st;
+    slots;
+    journal;
+    entry_names = Array.map fst bs.bs_entrypoints;
+    run_one;
+    run_block;
+    step;
+    retire;
+    redirect;
+    checkpoint;
+    rollback;
+    commit_ckpt;
+    flush_code_cache;
+    stats;
+  }

@@ -1,0 +1,49 @@
+(** The simulator synthesizer — the paper's contribution, mechanized.
+
+    [make spec buildset_name] specializes a functional simulator for one
+    interface: cells get storage per the buildset's visibility (retained
+    DI slots vs. reused scratch), actions are grouped into the buildset's
+    entrypoints and fused, dead information computation is eliminated,
+    speculation hooks are compiled in only when asked for, and — for
+    block-semantic buildsets — each basic block is specialized against its
+    concrete instruction encodings and cached (the binary-translation
+    analog). *)
+
+exception Synth_error of string
+
+(** Execution backend: [Compiled] closures (default) or the reference
+    [Interpreted] AST walker (paper footnote 5's baseline). *)
+type backend = Compiled | Interpreted
+
+(** Internal plan/segment types, exposed for {!Emit} and for tests. *)
+type item =
+  | I_fetch
+  | I_decode of Semir.Compile.code array
+  | I_chunk of Semir.Compile.code array
+
+type seg = Seg_fetch | Seg_decode | Seg_ir of Lis.Spec.action_sym list
+
+(** Sliding rollback-horizon (instructions) for speculative interfaces. *)
+val spec_window : int
+
+val segments_of_entrypoint : Lis.Spec.action_sym list -> seg list
+
+(** IR contributed by one action symbol / one segment for an instruction. *)
+val sym_ir : Lis.Spec.instr -> Lis.Spec.action_sym -> Semir.Ir.program
+
+val seg_ir : Lis.Spec.instr -> seg -> Semir.Ir.program
+
+(** [make ?backend ?allow_hidden_crossing ?st spec buildset] synthesizes
+    the interface. A fresh machine is created unless [st] is given
+    (sharing [st] across interfaces is how sampling and rotating
+    validation work).
+    @raise Synth_error when the buildset hides a cell that crosses
+    entrypoint boundaries (override with [allow_hidden_crossing] to
+    observe the paper's runtime manifestation of the bug). *)
+val make :
+  ?backend:backend ->
+  ?allow_hidden_crossing:bool ->
+  ?st:Machine.State.t ->
+  Lis.Spec.t ->
+  string ->
+  Iface.t

@@ -1,0 +1,166 @@
+(** A small demonstration ISA used throughout the test suite.
+
+    Little-endian, 64-bit, fixed 4-byte instructions, primary opcode in
+    bits 26..31. It is deliberately shaped like the paper's running
+    example (Figs. 2-4): loads and stores compute an effective address in
+    a dedicated field, ALU instructions stage a destination operand that
+    the generated writeback commits. *)
+
+let isa_text =
+  {|
+isa "demo" {
+  endian little;
+  wordsize 64;
+  instrsize 4;
+  decodekey 26 6;
+}
+
+regclass GPR 32 width 64 zero 31;
+
+field effective_addr : u64 decode;
+field alu_out : u64;
+
+class rr {
+  operand ra : GPR[bits(21,5)] read;
+  operand rb : GPR[bits(16,5)] read;
+  operand rc : GPR[bits(11,5)] write;
+}
+
+class ri {
+  operand ra : GPR[bits(21,5)] read;
+  operand rc : GPR[bits(16,5)] write;
+}
+
+class mem {
+  operand ra : GPR[bits(21,5)] read;
+  action address { effective_addr = ra + sbits(0,16); }
+}
+
+instr ADD : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { alu_out = ra + rb; rc = alu_out; }
+}
+
+instr SUB : rr match 0x40000001 mask 0xFC0007FF {
+  action evaluate { alu_out = ra - rb; rc = alu_out; }
+}
+
+instr MUL : rr match 0x40000002 mask 0xFC0007FF {
+  action evaluate { alu_out = ra * rb; rc = alu_out; }
+}
+
+instr CMPLT : rr match 0x40000003 mask 0xFC0007FF {
+  action evaluate { alu_out = ra < rb; rc = alu_out; }
+}
+
+// rc = ra + sext(imm16)
+instr ADDI : ri match 0x44000000 mask 0xFC000000 {
+  action evaluate { alu_out = ra + sbits(0,16); rc = alu_out; }
+}
+
+// load 64-bit: rc = mem[ra + imm16]
+instr LDQ : mem match 0x48000000 mask 0xFC000000 {
+  operand rc : GPR[bits(16,5)] write;
+  action memory { rc = load.u64(effective_addr); }
+}
+
+// store 64-bit: mem[ra + imm16] = rb
+instr STQ : mem match 0x4C000000 mask 0xFC000000 {
+  operand rb : GPR[bits(16,5)] read;
+  action memory { store.u64(effective_addr, rb); }
+}
+
+// branch if ra == 0, pc-relative in words
+instr BEQZ match 0x50000000 mask 0xFC000000 {
+  operand ra : GPR[bits(21,5)] read;
+  action evaluate {
+    if (ra == 0) { next_pc = pc + 4 + (sbits(0,16) << 2); }
+  }
+}
+
+// unconditional branch
+instr BR match 0x54000000 mask 0xFC000000 {
+  action evaluate { next_pc = pc + 4 + (sbits(0,26) << 2); }
+}
+
+instr SYS match 0x58000000 mask 0xFC000000 {
+  action exception { syscall; }
+}
+
+abi {
+  nr = GPR[0];
+  arg0 = GPR[1];
+  arg1 = GPR[2];
+  arg2 = GPR[3];
+  ret = GPR[0];
+}
+|}
+
+let buildsets_text = Specsim.Detail.canonical_buildset_file ()
+
+let sources : Lis.Ast.source list =
+  [
+    { src_role = Lis.Ast.Isa_description; src_name = "demo.lis"; src_text = isa_text };
+    {
+      src_role = Lis.Ast.Buildset_file;
+      src_name = "demo_buildsets.lis";
+      src_text = buildsets_text;
+    };
+  ]
+
+let spec = lazy (Lis.Sema.load sources)
+
+(* --------------------------------------------------------------- *)
+(* A tiny assembler for the demo ISA                                 *)
+(* --------------------------------------------------------------- *)
+
+let rr op ~ra ~rb ~rc =
+  Int64.of_int
+    ((0x10 lsl 26) lor (ra lsl 21) lor (rb lsl 16) lor (rc lsl 11) lor op)
+
+let add ~ra ~rb ~rc = rr 0 ~ra ~rb ~rc
+let sub ~ra ~rb ~rc = rr 1 ~ra ~rb ~rc
+let mul ~ra ~rb ~rc = rr 2 ~ra ~rb ~rc
+let cmplt ~ra ~rb ~rc = rr 3 ~ra ~rb ~rc
+
+let addi ~ra ~imm ~rc =
+  Int64.of_int
+    ((0x11 lsl 26) lor (ra lsl 21) lor (rc lsl 16) lor (imm land 0xFFFF))
+
+let ldq ~ra ~imm ~rc =
+  Int64.of_int
+    ((0x12 lsl 26) lor (ra lsl 21) lor (rc lsl 16) lor (imm land 0xFFFF))
+
+let stq ~ra ~imm ~rb =
+  Int64.of_int
+    ((0x13 lsl 26) lor (ra lsl 21) lor (rb lsl 16) lor (imm land 0xFFFF))
+
+let beqz ~ra ~off =
+  Int64.of_int ((0x14 lsl 26) lor (ra lsl 21) lor (off land 0xFFFF))
+
+let br ~off = Int64.of_int ((0x15 lsl 26) lor (off land 0x3FFFFFF))
+let sys = Int64.of_int (0x16 lsl 26)
+
+(** [load_program st ~base words] writes the program at [base]. *)
+let load_program (st : Machine.State.t) ~base words =
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add base (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:base
+
+(** Program: exit(sum of 1..10) — exercises ALU, branches, memory. *)
+let sum_program =
+  [
+    addi ~ra:31 ~imm:10 ~rc:1 (* r1 = 10 *);
+    addi ~ra:31 ~imm:0 ~rc:2 (* r2 = 0 (sum) *);
+    (* loop: *)
+    add ~ra:2 ~rb:1 ~rc:2 (* r2 += r1 *);
+    addi ~ra:1 ~imm:(-1) ~rc:1 (* r1 -= 1 *);
+    beqz ~ra:1 ~off:1 (* if r1 == 0 skip back-branch *);
+    br ~off:(-4) (* goto loop *);
+    addi ~ra:31 ~imm:0 ~rc:0 (* r0 = 0 (sys_exit) *);
+    add ~ra:2 ~rb:31 ~rc:1 (* r1 = r2 (arg0 = sum) *);
+    sys;
+  ]

@@ -1,0 +1,1 @@
+lib/isa_alpha/alpha.ml: Lis Specsim

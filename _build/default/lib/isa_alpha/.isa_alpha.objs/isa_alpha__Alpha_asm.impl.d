@@ -1,0 +1,1 @@
+lib/isa_alpha/alpha_asm.ml: Int64 List Printf Semir Vir

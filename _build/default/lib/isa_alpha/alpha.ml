@@ -1,0 +1,540 @@
+(** Alpha (user-mode integer subset) LIS description.
+
+    64-bit, little-endian, primary opcode in bits 26..31. Operate-format
+    instructions come in register and literal flavours (bit 12), described
+    as separate instructions — the literal flavour folds the 8-bit literal
+    straight out of the encoding, which is exactly what the paper's
+    specialized simulators exploit. R31 is the hardwired zero.
+
+    The OS-support file overrides CALL_PAL to route [callsys] (function
+    0x83) into the emulated OS, following the paper's description file
+    layout (ISA description / OS support / buildsets). *)
+
+let isa_text =
+  {|
+// ===================================================================
+// Alpha user-mode integer instruction set
+// ===================================================================
+isa "alpha" {
+  endian little;
+  wordsize 64;
+  instrsize 4;
+  decodekey 26 6;
+}
+
+regclass GPR 32 width 64 zero 31;
+
+// Intermediate values (informational detail at the All level; the ones
+// marked 'decode' are also part of the Decode level).
+field effective_addr : u64 decode;
+field branch_target : u64 decode;
+field branch_taken : u64 decode;
+field opb : u64;
+field alu_out : u64;
+field byte_mask : u64;
+
+sequence fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+
+// ---------------- instruction classes ------------------------------
+// Operate format, register flavour: opb is the rb register value.
+class op_rr {
+  operand ra : GPR[bits(21,5)] read;
+  operand rb : GPR[bits(16,5)] read;
+  operand rc : GPR[bits(0,5)] write;
+  action address { opb = rb; }
+}
+
+// Operate format, literal flavour: opb is the zero-extended 8-bit literal.
+class op_lit {
+  operand ra : GPR[bits(21,5)] read;
+  operand rc : GPR[bits(0,5)] write;
+  action address { opb = bits(13,8); }
+}
+
+// Conditional moves read their destination as well.
+class cmov_rr {
+  operand ra : GPR[bits(21,5)] read;
+  operand rb : GPR[bits(16,5)] read;
+  operand rc : GPR[bits(0,5)] read write;
+  action address { opb = rb; }
+}
+
+class cmov_lit {
+  operand ra : GPR[bits(21,5)] read;
+  operand rc : GPR[bits(0,5)] read write;
+  action address { opb = bits(13,8); }
+}
+
+// Memory format: ra is data, rb is base.
+class mem_load {
+  operand ra : GPR[bits(21,5)] write;
+  operand rb : GPR[bits(16,5)] read;
+  action address { effective_addr = rb + sbits(0,16); }
+}
+
+class mem_store {
+  operand ra : GPR[bits(21,5)] read;
+  operand rb : GPR[bits(16,5)] read;
+  action address { effective_addr = rb + sbits(0,16); }
+}
+
+// Branch format: 21-bit word displacement from the updated pc.
+class condbr {
+  operand ra : GPR[bits(21,5)] read;
+  action address { branch_target = pc + 4 + (sbits(0,21) << 2); }
+}
+
+class uncondbr {
+  operand ra : GPR[bits(21,5)] write;
+  action address { branch_target = pc + 4 + (sbits(0,21) << 2); }
+  action evaluate { ra = pc + 4; branch_taken = 1; next_pc = branch_target; }
+}
+
+// ---------------- load address -------------------------------------
+instr LDA : mem_load match 0x20000000 mask 0xFC000000 {
+  action evaluate { ra = effective_addr; }
+}
+instr LDAH : mem_load match 0x24000000 mask 0xFC000000 {
+  action evaluate { ra = rb + (sbits(0,16) << 16); }
+}
+
+// ---------------- memory -------------------------------------------
+instr LDBU : mem_load match 0x28000000 mask 0xFC000000 {
+  action memory { ra = load.u8(effective_addr); }
+}
+instr LDWU : mem_load match 0x30000000 mask 0xFC000000 {
+  action memory { ra = load.u16(effective_addr); }
+}
+instr LDL : mem_load match 0xA0000000 mask 0xFC000000 {
+  action memory { ra = load.s32(effective_addr); }
+}
+instr LDQ : mem_load match 0xA4000000 mask 0xFC000000 {
+  action memory { ra = load.u64(effective_addr); }
+}
+instr STB : mem_store match 0x38000000 mask 0xFC000000 {
+  action memory { store.u8(effective_addr, ra); }
+}
+instr STW : mem_store match 0x34000000 mask 0xFC000000 {
+  action memory { store.u16(effective_addr, ra); }
+}
+instr STL : mem_store match 0xB0000000 mask 0xFC000000 {
+  action memory { store.u32(effective_addr, ra); }
+}
+instr STQ : mem_store match 0xB4000000 mask 0xFC000000 {
+  action memory { store.u64(effective_addr, ra); }
+}
+
+// ---------------- integer arithmetic (opcode 0x10) ------------------
+instr ADDL : op_rr match 0x40000000 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext(ra + opb, 32); rc = alu_out; }
+}
+instr ADDL_LIT : op_lit match 0x40001000 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext(ra + opb, 32); rc = alu_out; }
+}
+instr SUBL : op_rr match 0x40000120 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext(ra - opb, 32); rc = alu_out; }
+}
+instr SUBL_LIT : op_lit match 0x40001120 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext(ra - opb, 32); rc = alu_out; }
+}
+instr ADDQ : op_rr match 0x40000400 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra + opb; rc = alu_out; }
+}
+instr ADDQ_LIT : op_lit match 0x40001400 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra + opb; rc = alu_out; }
+}
+instr SUBQ : op_rr match 0x40000520 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra - opb; rc = alu_out; }
+}
+instr SUBQ_LIT : op_lit match 0x40001520 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra - opb; rc = alu_out; }
+}
+instr S4ADDQ : op_rr match 0x40000440 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 2) + opb; rc = alu_out; }
+}
+instr S4ADDQ_LIT : op_lit match 0x40001440 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 2) + opb; rc = alu_out; }
+}
+instr S8ADDQ : op_rr match 0x40000640 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 3) + opb; rc = alu_out; }
+}
+instr S8ADDQ_LIT : op_lit match 0x40001640 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 3) + opb; rc = alu_out; }
+}
+instr S4SUBQ : op_rr match 0x40000560 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 2) - opb; rc = alu_out; }
+}
+instr S4SUBQ_LIT : op_lit match 0x40001560 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 2) - opb; rc = alu_out; }
+}
+instr S8SUBQ : op_rr match 0x40000760 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 3) - opb; rc = alu_out; }
+}
+instr S8SUBQ_LIT : op_lit match 0x40001760 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra << 3) - opb; rc = alu_out; }
+}
+instr S4ADDL : op_rr match 0x40000040 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext((ra << 2) + opb, 32); rc = alu_out; }
+}
+instr S4SUBL : op_rr match 0x40000160 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext((ra << 2) - opb, 32); rc = alu_out; }
+}
+instr S8ADDL : op_rr match 0x40000240 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext((ra << 3) + opb, 32); rc = alu_out; }
+}
+instr S8SUBL : op_rr match 0x40000360 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext((ra << 3) - opb, 32); rc = alu_out; }
+}
+instr CMPEQ : op_rr match 0x400005A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra == opb; rc = alu_out; }
+}
+instr CMPEQ_LIT : op_lit match 0x400015A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra == opb; rc = alu_out; }
+}
+instr CMPLT : op_rr match 0x400009A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra < opb; rc = alu_out; }
+}
+instr CMPLT_LIT : op_lit match 0x400019A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra < opb; rc = alu_out; }
+}
+instr CMPLE : op_rr match 0x40000DA0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra <= opb; rc = alu_out; }
+}
+instr CMPLE_LIT : op_lit match 0x40001DA0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra <= opb; rc = alu_out; }
+}
+instr CMPULT : op_rr match 0x400003A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ltu(ra, opb); rc = alu_out; }
+}
+instr CMPULT_LIT : op_lit match 0x400013A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ltu(ra, opb); rc = alu_out; }
+}
+instr CMPULE : op_rr match 0x400007A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = leu(ra, opb); rc = alu_out; }
+}
+instr CMPULE_LIT : op_lit match 0x400017A0 mask 0xFC001FE0 {
+  action evaluate { alu_out = leu(ra, opb); rc = alu_out; }
+}
+instr CMPBGE : op_rr match 0x400001E0 mask 0xFC001FE0 {
+  action evaluate {
+    alu_out = (geu(ra & 0xFF, opb & 0xFF))
+            | (geu((ra >> 8) & 0xFF, (opb >> 8) & 0xFF) << 1)
+            | (geu((ra >> 16) & 0xFF, (opb >> 16) & 0xFF) << 2)
+            | (geu((ra >> 24) & 0xFF, (opb >> 24) & 0xFF) << 3)
+            | (geu((ra >> 32) & 0xFF, (opb >> 32) & 0xFF) << 4)
+            | (geu((ra >> 40) & 0xFF, (opb >> 40) & 0xFF) << 5)
+            | (geu((ra >> 48) & 0xFF, (opb >> 48) & 0xFF) << 6)
+            | (geu(ra >> 56, opb >> 56) << 7);
+    rc = alu_out;
+  }
+}
+
+// ---------------- integer logical (opcode 0x11) ---------------------
+instr AND : op_rr match 0x44000000 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & opb; rc = alu_out; }
+}
+instr AND_LIT : op_lit match 0x44001000 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & opb; rc = alu_out; }
+}
+instr BIC : op_rr match 0x44000100 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & ~opb; rc = alu_out; }
+}
+instr BIC_LIT : op_lit match 0x44001100 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & ~opb; rc = alu_out; }
+}
+instr BIS : op_rr match 0x44000400 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra | opb; rc = alu_out; }
+}
+instr BIS_LIT : op_lit match 0x44001400 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra | opb; rc = alu_out; }
+}
+instr ORNOT : op_rr match 0x44000500 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra | ~opb; rc = alu_out; }
+}
+instr ORNOT_LIT : op_lit match 0x44001500 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra | ~opb; rc = alu_out; }
+}
+instr XOR : op_rr match 0x44000800 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra ^ opb; rc = alu_out; }
+}
+instr XOR_LIT : op_lit match 0x44001800 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra ^ opb; rc = alu_out; }
+}
+instr EQV : op_rr match 0x44000900 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra ^ ~opb; rc = alu_out; }
+}
+instr EQV_LIT : op_lit match 0x44001900 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra ^ ~opb; rc = alu_out; }
+}
+instr CMOVEQ : cmov_rr match 0x44000480 mask 0xFC001FE0 {
+  action evaluate { rc = ra == 0 ? opb : rc; }
+}
+instr CMOVEQ_LIT : cmov_lit match 0x44001480 mask 0xFC001FE0 {
+  action evaluate { rc = ra == 0 ? opb : rc; }
+}
+instr CMOVNE : cmov_rr match 0x440004C0 mask 0xFC001FE0 {
+  action evaluate { rc = ra != 0 ? opb : rc; }
+}
+instr CMOVNE_LIT : cmov_lit match 0x440014C0 mask 0xFC001FE0 {
+  action evaluate { rc = ra != 0 ? opb : rc; }
+}
+instr CMOVLT : cmov_rr match 0x44000880 mask 0xFC001FE0 {
+  action evaluate { rc = ra < 0 ? opb : rc; }
+}
+instr CMOVLT_LIT : cmov_lit match 0x44001880 mask 0xFC001FE0 {
+  action evaluate { rc = ra < 0 ? opb : rc; }
+}
+instr CMOVGE : cmov_rr match 0x440008C0 mask 0xFC001FE0 {
+  action evaluate { rc = ra >= 0 ? opb : rc; }
+}
+instr CMOVGE_LIT : cmov_lit match 0x440018C0 mask 0xFC001FE0 {
+  action evaluate { rc = ra >= 0 ? opb : rc; }
+}
+instr CMOVLE : cmov_rr match 0x44000C80 mask 0xFC001FE0 {
+  action evaluate { rc = ra <= 0 ? opb : rc; }
+}
+instr CMOVLE_LIT : cmov_lit match 0x44001C80 mask 0xFC001FE0 {
+  action evaluate { rc = ra <= 0 ? opb : rc; }
+}
+instr CMOVGT : cmov_rr match 0x44000CC0 mask 0xFC001FE0 {
+  action evaluate { rc = ra > 0 ? opb : rc; }
+}
+instr CMOVGT_LIT : cmov_lit match 0x44001CC0 mask 0xFC001FE0 {
+  action evaluate { rc = ra > 0 ? opb : rc; }
+}
+instr CMOVLBS : cmov_rr match 0x44000280 mask 0xFC001FE0 {
+  action evaluate { rc = (ra & 1) == 1 ? opb : rc; }
+}
+instr CMOVLBC : cmov_rr match 0x440002C0 mask 0xFC001FE0 {
+  action evaluate { rc = (ra & 1) == 0 ? opb : rc; }
+}
+instr CMOVLBS_LIT : cmov_lit match 0x44001280 mask 0xFC001FE0 {
+  action evaluate { rc = (ra & 1) == 1 ? opb : rc; }
+}
+instr CMOVLBC_LIT : cmov_lit match 0x440012C0 mask 0xFC001FE0 {
+  action evaluate { rc = (ra & 1) == 0 ? opb : rc; }
+}
+
+// ---------------- shifts and byte ops (opcode 0x12) -----------------
+instr SLL : op_rr match 0x48000720 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra << (opb & 63); rc = alu_out; }
+}
+instr SLL_LIT : op_lit match 0x48001720 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra << (opb & 63); rc = alu_out; }
+}
+instr SRL : op_rr match 0x48000680 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra >> (opb & 63); rc = alu_out; }
+}
+instr SRL_LIT : op_lit match 0x48001680 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra >> (opb & 63); rc = alu_out; }
+}
+instr SRA : op_rr match 0x48000780 mask 0xFC001FE0 {
+  action evaluate { alu_out = asr(ra, opb & 63); rc = alu_out; }
+}
+instr SRA_LIT : op_lit match 0x48001780 mask 0xFC001FE0 {
+  action evaluate { alu_out = asr(ra, opb & 63); rc = alu_out; }
+}
+instr ZAP : op_rr match 0x48000600 mask 0xFC001FE0 {
+  action evaluate {
+    byte_mask = (((opb >> 0) & 1) * 0xFF)
+              | (((opb >> 1) & 1) * 0xFF00)
+              | (((opb >> 2) & 1) * 0xFF0000)
+              | (((opb >> 3) & 1) * 0xFF000000)
+              | (((opb >> 4) & 1) * 0xFF00000000)
+              | (((opb >> 5) & 1) * 0xFF0000000000)
+              | (((opb >> 6) & 1) * 0xFF000000000000)
+              | (((opb >> 7) & 1) * 0xFF00000000000000);
+    alu_out = ra & ~byte_mask;
+    rc = alu_out;
+  }
+}
+instr ZAPNOT : op_rr match 0x48000620 mask 0xFC001FE0 {
+  action evaluate {
+    byte_mask = (((opb >> 0) & 1) * 0xFF)
+              | (((opb >> 1) & 1) * 0xFF00)
+              | (((opb >> 2) & 1) * 0xFF0000)
+              | (((opb >> 3) & 1) * 0xFF000000)
+              | (((opb >> 4) & 1) * 0xFF00000000)
+              | (((opb >> 5) & 1) * 0xFF0000000000)
+              | (((opb >> 6) & 1) * 0xFF000000000000)
+              | (((opb >> 7) & 1) * 0xFF00000000000000);
+    alu_out = ra & byte_mask;
+    rc = alu_out;
+  }
+}
+instr ZAPNOT_LIT : op_lit match 0x48001620 mask 0xFC001FE0 {
+  action evaluate {
+    byte_mask = (((opb >> 0) & 1) * 0xFF)
+              | (((opb >> 1) & 1) * 0xFF00)
+              | (((opb >> 2) & 1) * 0xFF0000)
+              | (((opb >> 3) & 1) * 0xFF000000)
+              | (((opb >> 4) & 1) * 0xFF00000000)
+              | (((opb >> 5) & 1) * 0xFF0000000000)
+              | (((opb >> 6) & 1) * 0xFF000000000000)
+              | (((opb >> 7) & 1) * 0xFF00000000000000);
+    alu_out = ra & byte_mask;
+    rc = alu_out;
+  }
+}
+instr EXTBL : op_rr match 0x480000C0 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra >> ((opb & 7) << 3)) & 0xFF; rc = alu_out; }
+}
+instr EXTBL_LIT : op_lit match 0x480010C0 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra >> ((opb & 7) << 3)) & 0xFF; rc = alu_out; }
+}
+instr EXTWL : op_rr match 0x480002C0 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra >> ((opb & 7) << 3)) & 0xFFFF; rc = alu_out; }
+}
+instr EXTLL : op_rr match 0x480004C0 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra >> ((opb & 7) << 3)) & 0xFFFFFFFF; rc = alu_out; }
+}
+instr EXTQL : op_rr match 0x480006C0 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra >> ((opb & 7) << 3); rc = alu_out; }
+}
+instr INSBL : op_rr match 0x48000160 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra & 0xFF) << ((opb & 7) << 3); rc = alu_out; }
+}
+instr INSBL_LIT : op_lit match 0x48001160 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra & 0xFF) << ((opb & 7) << 3); rc = alu_out; }
+}
+instr INSWL : op_rr match 0x48000360 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra & 0xFFFF) << ((opb & 7) << 3); rc = alu_out; }
+}
+instr INSLL : op_rr match 0x48000560 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra & 0xFFFFFFFF) << ((opb & 7) << 3); rc = alu_out; }
+}
+instr INSQL : op_rr match 0x48000760 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra << ((opb & 7) << 3); rc = alu_out; }
+}
+instr MSKBL : op_rr match 0x48000040 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & ~(0xFF << ((opb & 7) << 3)); rc = alu_out; }
+}
+instr MSKWL : op_rr match 0x48000240 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & ~(0xFFFF << ((opb & 7) << 3)); rc = alu_out; }
+}
+instr MSKLL : op_rr match 0x48000440 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & ~(0xFFFFFFFF << ((opb & 7) << 3)); rc = alu_out; }
+}
+instr MSKQL : op_rr match 0x48000640 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra & ~(0xFFFFFFFFFFFFFFFF << ((opb & 7) << 3)); rc = alu_out; }
+}
+instr EXTWL_LIT : op_lit match 0x480012C0 mask 0xFC001FE0 {
+  action evaluate { alu_out = (ra >> ((opb & 7) << 3)) & 0xFFFF; rc = alu_out; }
+}
+
+// ---------------- integer multiply (opcode 0x13) --------------------
+instr MULL : op_rr match 0x4C000000 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext(ra * opb, 32); rc = alu_out; }
+}
+instr MULL_LIT : op_lit match 0x4C001000 mask 0xFC001FE0 {
+  action evaluate { alu_out = sext(ra * opb, 32); rc = alu_out; }
+}
+instr MULQ : op_rr match 0x4C000400 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra * opb; rc = alu_out; }
+}
+instr MULQ_LIT : op_lit match 0x4C001400 mask 0xFC001FE0 {
+  action evaluate { alu_out = ra * opb; rc = alu_out; }
+}
+instr UMULH : op_rr match 0x4C000600 mask 0xFC001FE0 {
+  action evaluate { alu_out = mulhu(ra, opb); rc = alu_out; }
+}
+instr UMULH_LIT : op_lit match 0x4C001600 mask 0xFC001FE0 {
+  action evaluate { alu_out = mulhu(ra, opb); rc = alu_out; }
+}
+
+// ---------------- counts (opcode 0x1C) -------------------------------
+instr CTPOP : op_rr match 0x70000600 mask 0xFC001FE0 {
+  action evaluate { alu_out = popcount(opb); rc = alu_out; }
+}
+instr CTLZ : op_rr match 0x70000640 mask 0xFC001FE0 {
+  action evaluate { alu_out = clz(opb); rc = alu_out; }
+}
+instr CTTZ : op_rr match 0x70000660 mask 0xFC001FE0 {
+  action evaluate { alu_out = ctz(opb); rc = alu_out; }
+}
+
+// ---------------- control flow --------------------------------------
+instr JMP match 0x68000000 mask 0xFC000000 {
+  operand ra : GPR[bits(21,5)] write;
+  operand rb : GPR[bits(16,5)] read;
+  action evaluate { ra = pc + 4; branch_taken = 1; next_pc = rb & ~3; }
+}
+
+instr BR : uncondbr match 0xC0000000 mask 0xFC000000;
+instr BSR : uncondbr match 0xD0000000 mask 0xFC000000;
+
+instr BEQ : condbr match 0xE4000000 mask 0xFC000000 {
+  action evaluate { branch_taken = ra == 0; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BNE : condbr match 0xF4000000 mask 0xFC000000 {
+  action evaluate { branch_taken = ra != 0; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BLT : condbr match 0xE8000000 mask 0xFC000000 {
+  action evaluate { branch_taken = ra < 0; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BLE : condbr match 0xEC000000 mask 0xFC000000 {
+  action evaluate { branch_taken = ra <= 0; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BGT : condbr match 0xFC000000 mask 0xFC000000 {
+  action evaluate { branch_taken = ra > 0; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BGE : condbr match 0xF8000000 mask 0xFC000000 {
+  action evaluate { branch_taken = ra >= 0; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BLBC : condbr match 0xE0000000 mask 0xFC000000 {
+  action evaluate { branch_taken = (ra & 1) == 0; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BLBS : condbr match 0xF0000000 mask 0xFC000000 {
+  action evaluate { branch_taken = (ra & 1) == 1; if (branch_taken) { next_pc = branch_target; } }
+}
+
+// ---------------- PALcode entry --------------------------------------
+// In user mode only callsys/halt are meaningful; the OS-support file
+// overrides the exception action to route them into the emulated OS.
+instr CALL_PAL match 0x00000000 mask 0xFC000000 {
+  action exception { fault illegal; }
+}
+|}
+
+(** OS/simulator support: the paper's second description file. *)
+let os_text =
+  {|
+// OS emulation for Alpha: OSF/1-style calling convention.
+// v0 (R0) carries the syscall number and the result; a0-a2 (R16-R18)
+// carry arguments.
+abi {
+  nr = GPR[0];
+  arg0 = GPR[16];
+  arg1 = GPR[17];
+  arg2 = GPR[18];
+  ret = GPR[0];
+}
+
+override CALL_PAL action exception {
+  if (bits(0,26) == 0x83) {
+    syscall;
+  } else {
+    if (bits(0,26) == 0) {
+      halt;
+    } else {
+      fault illegal;
+    }
+  }
+}
+|}
+
+let buildsets_text = Specsim.Detail.canonical_buildset_file ()
+
+let sources : Lis.Ast.source list =
+  [
+    { src_role = Lis.Ast.Isa_description; src_name = "alpha.lis"; src_text = isa_text };
+    { src_role = Lis.Ast.Os_support; src_name = "alpha_os.lis"; src_text = os_text };
+    {
+      src_role = Lis.Ast.Buildset_file;
+      src_name = "alpha_buildsets.lis";
+      src_text = buildsets_text;
+    };
+  ]
+
+(** The resolved specification (parsed and analyzed once). *)
+let spec = lazy (Lis.Sema.load sources)

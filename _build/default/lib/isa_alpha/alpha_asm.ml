@@ -1,0 +1,175 @@
+(** Alpha encoder and VIR lowering.
+
+    Canonical form: every VIR register is held sign-extended from 32 bits,
+    so signed compares work directly and unsigned 32-bit compares coincide
+    with 64-bit unsigned compares on the canonical values. Every lowered
+    operation re-establishes the canonical form (see lib/vir's word model). *)
+
+let check_reg name v lo hi =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "alpha asm: %s=%d out of range" name v)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction encoders                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mem op ~ra ~rb ~disp =
+  check_reg "ra" ra 0 31;
+  check_reg "rb" rb 0 31;
+  if disp < -32768 || disp > 32767 then invalid_arg "alpha asm: disp16 range";
+  Int64.of_int
+    ((op lsl 26) lor (ra lsl 21) lor (rb lsl 16) lor (disp land 0xFFFF))
+
+let opr op func ~ra ~rb ~rc =
+  check_reg "ra" ra 0 31;
+  check_reg "rb" rb 0 31;
+  check_reg "rc" rc 0 31;
+  Int64.of_int
+    ((op lsl 26) lor (ra lsl 21) lor (rb lsl 16) lor (func lsl 5) lor rc)
+
+let opl op func ~ra ~lit ~rc =
+  check_reg "ra" ra 0 31;
+  check_reg "rc" rc 0 31;
+  if lit < 0 || lit > 255 then invalid_arg "alpha asm: literal range";
+  Int64.of_int
+    ((op lsl 26) lor (ra lsl 21) lor (lit lsl 13) lor 0x1000 lor (func lsl 5)
+   lor rc)
+
+let branch_disp ~self_pc ~target_pc =
+  let d = Int64.to_int (Int64.sub target_pc (Int64.add self_pc 4L)) asr 2 in
+  if d < -(1 lsl 20) || d >= 1 lsl 20 then invalid_arg "alpha asm: branch range";
+  d land 0x1FFFFF
+
+let br_raw op ~ra ~disp21 =
+  Int64.of_int ((op lsl 26) lor (ra lsl 21) lor (disp21 land 0x1FFFFF))
+
+(* Named encoders for the subset used by tests and the lowering. *)
+let lda ~ra ~rb ~disp = mem 0x08 ~ra ~rb ~disp
+let ldah ~ra ~rb ~disp = mem 0x09 ~ra ~rb ~disp
+let ldbu ~ra ~rb ~disp = mem 0x0A ~ra ~rb ~disp
+let ldwu ~ra ~rb ~disp = mem 0x0C ~ra ~rb ~disp
+let ldl ~ra ~rb ~disp = mem 0x28 ~ra ~rb ~disp
+let ldq ~ra ~rb ~disp = mem 0x29 ~ra ~rb ~disp
+let stb ~ra ~rb ~disp = mem 0x0E ~ra ~rb ~disp
+let stw ~ra ~rb ~disp = mem 0x0D ~ra ~rb ~disp
+let stl ~ra ~rb ~disp = mem 0x2C ~ra ~rb ~disp
+let stq ~ra ~rb ~disp = mem 0x2D ~ra ~rb ~disp
+let addl ~ra ~rb ~rc = opr 0x10 0x00 ~ra ~rb ~rc
+let addl_lit ~ra ~lit ~rc = opl 0x10 0x00 ~ra ~lit ~rc
+let subl ~ra ~rb ~rc = opr 0x10 0x09 ~ra ~rb ~rc
+let subl_lit ~ra ~lit ~rc = opl 0x10 0x09 ~ra ~lit ~rc
+let addq ~ra ~rb ~rc = opr 0x10 0x20 ~ra ~rb ~rc
+let addq_lit ~ra ~lit ~rc = opl 0x10 0x20 ~ra ~lit ~rc
+let subq ~ra ~rb ~rc = opr 0x10 0x29 ~ra ~rb ~rc
+let cmpeq ~ra ~rb ~rc = opr 0x10 0x2D ~ra ~rb ~rc
+let cmplt ~ra ~rb ~rc = opr 0x10 0x4D ~ra ~rb ~rc
+let cmple ~ra ~rb ~rc = opr 0x10 0x6D ~ra ~rb ~rc
+let cmpult ~ra ~rb ~rc = opr 0x10 0x1D ~ra ~rb ~rc
+let cmpule ~ra ~rb ~rc = opr 0x10 0x3D ~ra ~rb ~rc
+let and_ ~ra ~rb ~rc = opr 0x11 0x00 ~ra ~rb ~rc
+let and_lit ~ra ~lit ~rc = opl 0x11 0x00 ~ra ~lit ~rc
+let bis ~ra ~rb ~rc = opr 0x11 0x20 ~ra ~rb ~rc
+let xor ~ra ~rb ~rc = opr 0x11 0x40 ~ra ~rb ~rc
+let cmoveq ~ra ~rb ~rc = opr 0x11 0x24 ~ra ~rb ~rc
+let sll_lit ~ra ~lit ~rc = opl 0x12 0x39 ~ra ~lit ~rc
+let srl_lit ~ra ~lit ~rc = opl 0x12 0x34 ~ra ~lit ~rc
+let sra_lit ~ra ~lit ~rc = opl 0x12 0x3C ~ra ~lit ~rc
+let zapnot_lit ~ra ~lit ~rc = opl 0x12 0x31 ~ra ~lit ~rc
+let mull ~ra ~rb ~rc = opr 0x13 0x00 ~ra ~rb ~rc
+let mulq ~ra ~rb ~rc = opr 0x13 0x20 ~ra ~rb ~rc
+let umulh ~ra ~rb ~rc = opr 0x13 0x30 ~ra ~rb ~rc
+let jmp ~ra ~rb = Int64.of_int ((0x1A lsl 26) lor (ra lsl 21) lor (rb lsl 16))
+let call_pal func = Int64.of_int (func land 0x3FFFFFF)
+let callsys = call_pal 0x83
+
+let mov ~src ~dst = bis ~ra:src ~rb:src ~rc:dst
+
+(* ------------------------------------------------------------------ *)
+(* VIR lowering                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Target : Vir.Lower.TARGET = struct
+  let name = "alpha"
+
+  (* v0..v15 -> R0..R15; scratch R27, R28; zero R31. *)
+  let r v = v
+  let t0 = 27
+  let zero = 31
+
+  let w x : Vir.Lower.item = Word x
+
+  (* Canonicalize rd to sext32. *)
+  let canon rd = w (addl ~ra:rd ~rb:zero ~rc:rd)
+
+  let li32 ~rd (v : int32) =
+    let v64 = Int64.of_int32 v in
+    let lo = Int64.to_int (Semir.Value.sext (Int64.logand v64 0xFFFFL) 16) in
+    let hi =
+      Int64.to_int
+        (Int64.logand
+           (Int64.shift_right (Int64.sub v64 (Int64.of_int lo)) 16)
+           0xFFFFL)
+    in
+    let hi = if hi >= 32768 then hi - 65536 else hi in
+    [ w (lda ~ra:rd ~rb:zero ~disp:lo); w (ldah ~ra:rd ~rb:rd ~disp:hi); canon rd ]
+
+  let addi ~rd ~rs imm =
+    if imm >= 0 && imm <= 255 then [ w (addl_lit ~ra:rs ~lit:imm ~rc:rd) ]
+    else [ w (lda ~ra:rd ~rb:rs ~disp:imm); canon rd ]
+
+  let branch op ~ra label : Vir.Lower.item =
+    Fix
+      ((fun ~self_pc ~target_pc -> br_raw op ~ra ~disp21:(branch_disp ~self_pc ~target_pc)),
+       label)
+
+  let lower_instr (i : Vir.Lang.instr) : Vir.Lower.item list =
+    match i with
+    | Label l -> [ Mark l ]
+    | Li (d, v) -> li32 ~rd:(r d) v
+    | Mv (d, s) -> [ w (mov ~src:(r s) ~dst:(r d)) ]
+    | Add (d, a, b) -> [ w (addl ~ra:(r a) ~rb:(r b) ~rc:(r d)) ]
+    | Sub (d, a, b) -> [ w (subl ~ra:(r a) ~rb:(r b) ~rc:(r d)) ]
+    | Mul (d, a, b) -> [ w (mull ~ra:(r a) ~rb:(r b) ~rc:(r d)) ]
+    | And_ (d, a, b) -> [ w (and_ ~ra:(r a) ~rb:(r b) ~rc:(r d)) ]
+    | Or_ (d, a, b) -> [ w (bis ~ra:(r a) ~rb:(r b) ~rc:(r d)) ]
+    | Xor_ (d, a, b) -> [ w (xor ~ra:(r a) ~rb:(r b) ~rc:(r d)) ]
+    | Addi (d, a, imm) -> addi ~rd:(r d) ~rs:(r a) imm
+    | Andi (d, a, imm) -> [ w (and_lit ~ra:(r a) ~lit:imm ~rc:(r d)) ]
+    | Shli (d, a, sh) ->
+      [ w (sll_lit ~ra:(r a) ~lit:sh ~rc:(r d)); canon (r d) ]
+    | Shri (d, a, sh) ->
+      [
+        w (zapnot_lit ~ra:(r a) ~lit:0x0F ~rc:(r d));
+        w (srl_lit ~ra:(r d) ~lit:sh ~rc:(r d));
+        canon (r d);
+      ]
+    | Sari (d, a, sh) -> [ w (sra_lit ~ra:(r a) ~lit:sh ~rc:(r d)) ]
+    | Ldw (d, a, imm) -> [ w (ldl ~ra:(r d) ~rb:(r a) ~disp:imm) ]
+    | Stw (s, a, imm) -> [ w (stl ~ra:(r s) ~rb:(r a) ~disp:imm) ]
+    | Ldb (d, a, imm) -> [ w (ldbu ~ra:(r d) ~rb:(r a) ~disp:imm) ]
+    | Stb (s, a, imm) -> [ w (stb ~ra:(r s) ~rb:(r a) ~disp:imm) ]
+    | Bcond (c, a, b, l) ->
+      let cmp, bop =
+        match c with
+        | Vir.Lang.Eq -> (cmpeq ~ra:(r a) ~rb:(r b) ~rc:t0, 0x3D (* BNE *))
+        | Ne -> (cmpeq ~ra:(r a) ~rb:(r b) ~rc:t0, 0x39 (* BEQ *))
+        | Lt -> (cmplt ~ra:(r a) ~rb:(r b) ~rc:t0, 0x3D)
+        | Ge -> (cmplt ~ra:(r a) ~rb:(r b) ~rc:t0, 0x39)
+        | Ltu -> (cmpult ~ra:(r a) ~rb:(r b) ~rc:t0, 0x3D)
+        | Geu -> (cmpult ~ra:(r a) ~rb:(r b) ~rc:t0, 0x39)
+      in
+      [ w cmp; branch bop ~ra:t0 l ]
+    | Jmp l -> [ branch 0x30 ~ra:zero l ]
+    | Sys ->
+      [
+        w (mov ~src:1 ~dst:16);
+        w (mov ~src:2 ~dst:17);
+        w (mov ~src:3 ~dst:18);
+        w callsys;
+      ]
+
+  let lower (p : Vir.Lang.program) = List.concat_map lower_instr p
+end
+
+(** [encode ~base p] lowers a VIR program to Alpha machine words. *)
+let encode ~base p = Vir.Lower.encode (module Target) ~base p

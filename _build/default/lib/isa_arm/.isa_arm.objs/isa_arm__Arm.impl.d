@@ -1,0 +1,1 @@
+lib/isa_arm/arm.ml: Buffer Lis List Printf Specsim String

@@ -1,0 +1,1 @@
+lib/isa_arm/arm_asm.ml: Int32 Int64 List Printf Vir

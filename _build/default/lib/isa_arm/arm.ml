@@ -1,0 +1,501 @@
+(** ARM v5 (user-mode integer subset) LIS description.
+
+    32-bit, little-endian. Every instruction is predicated on the 4-bit
+    condition field; flag-setting instructions update N/Z/C/V (a register
+    class of four 1-bit registers). The shifter operand is modelled
+    faithfully, including its carry output — the paper's example of an
+    ARM-specific intermediate value ([shifter_out]) that a timing
+    simulator may want to observe.
+
+    Deviations (documented in DESIGN.md): r15 is a plain register (no
+    pc+8 reads, no writes to pc via data-processing); generated code never
+    touches it. Condition 0xF (ARMv5 media extensions) never executes. *)
+
+let isa_text =
+  {|
+// ===================================================================
+// ARM v5 user-mode integer instruction set
+// ===================================================================
+isa "arm" {
+  endian little;
+  wordsize 32;
+  instrsize 4;
+  decodekey 20 8;
+}
+
+regclass GPR 16 width 32;
+// N=0, Z=1, C=2, V=3
+regclass FLAGS 4 width 1;
+
+field cond_ok : u64 decode;
+field shift_amount : u64;
+field shifter_out : u64;
+field shifter_carry : u64;
+field alu_out : u64;
+field carry_out : u64;
+field overflow_out : u64;
+field effective_addr : u64 decode;
+field branch_target : u64 decode;
+field branch_taken : u64 decode;
+
+sequence fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+
+// ---------------- condition evaluation ------------------------------
+class armcond {
+  action address {
+    cond_ok = bits(28,4) == 14 ? 1
+            : bits(28,4) == 0 ? reg.FLAGS[1]
+            : bits(28,4) == 1 ? !reg.FLAGS[1]
+            : bits(28,4) == 2 ? reg.FLAGS[2]
+            : bits(28,4) == 3 ? !reg.FLAGS[2]
+            : bits(28,4) == 4 ? reg.FLAGS[0]
+            : bits(28,4) == 5 ? !reg.FLAGS[0]
+            : bits(28,4) == 6 ? reg.FLAGS[3]
+            : bits(28,4) == 7 ? !reg.FLAGS[3]
+            : bits(28,4) == 8 ? (reg.FLAGS[2] && !reg.FLAGS[1])
+            : bits(28,4) == 9 ? (!reg.FLAGS[2] || reg.FLAGS[1])
+            : bits(28,4) == 10 ? reg.FLAGS[0] == reg.FLAGS[3]
+            : bits(28,4) == 11 ? reg.FLAGS[0] != reg.FLAGS[3]
+            : bits(28,4) == 12 ? (!reg.FLAGS[1] && reg.FLAGS[0] == reg.FLAGS[3])
+            : bits(28,4) == 13 ? (reg.FLAGS[1] || reg.FLAGS[0] != reg.FLAGS[3])
+            : 0;
+  }
+}
+
+// ---------------- shifter operand -----------------------------------
+// Immediate: 8-bit value rotated right by twice the rotate field.
+class sh_imm {
+  action address {
+    shift_amount = bits(8,4) << 1;
+    shifter_out = ((bits(0,8) >> shift_amount)
+                 | (bits(0,8) << (32 - shift_amount))) & 0xFFFFFFFF;
+    shifter_carry = shift_amount == 0 ? reg.FLAGS[2] : (shifter_out >> 31) & 1;
+  }
+}
+
+// Register shifted by immediate (including the LSR/ASR #32 and RRX
+// special cases for a zero immediate).
+class sh_regimm {
+  operand rm : GPR[bits(0,4)] read;
+  action address {
+    shift_amount = bits(7,5);
+    shifter_out =
+        bits(5,2) == 0 ? ((rm << shift_amount) & 0xFFFFFFFF)
+      : bits(5,2) == 1 ? (shift_amount == 0 ? 0 : rm >> shift_amount)
+      : bits(5,2) == 2 ? zext(asr(sext(rm,32), shift_amount == 0 ? 32 : shift_amount), 32)
+      : (shift_amount == 0
+           ? ((reg.FLAGS[2] << 31) | (rm >> 1))
+           : (((rm >> shift_amount) | (rm << (32 - shift_amount))) & 0xFFFFFFFF));
+    shifter_carry =
+        bits(5,2) == 0 ? (shift_amount == 0 ? reg.FLAGS[2] : (rm >> (32 - shift_amount)) & 1)
+      : bits(5,2) == 1 ? (shift_amount == 0 ? (rm >> 31) & 1 : (rm >> (shift_amount - 1)) & 1)
+      : bits(5,2) == 2 ? (shift_amount == 0 ? (rm >> 31) & 1 : (rm >> (shift_amount - 1)) & 1)
+      : (shift_amount == 0 ? rm & 1 : (rm >> (shift_amount - 1)) & 1);
+  }
+}
+
+// Register shifted by register (amount is the low byte of rs).
+class sh_regreg {
+  operand rm : GPR[bits(0,4)] read;
+  operand rs : GPR[bits(8,4)] read;
+  action address {
+    shift_amount = rs & 0xFF;
+    shifter_out =
+        shift_amount == 0 ? rm
+      : bits(5,2) == 0 ? (shift_amount < 32 ? ((rm << shift_amount) & 0xFFFFFFFF) : 0)
+      : bits(5,2) == 1 ? (shift_amount < 32 ? (rm >> shift_amount) : 0)
+      : bits(5,2) == 2 ? zext(asr(sext(rm,32), shift_amount < 32 ? shift_amount : 32), 32)
+      : (((rm >> (shift_amount & 31)) | (rm << (32 - (shift_amount & 31)))) & 0xFFFFFFFF);
+    shifter_carry =
+        shift_amount == 0 ? reg.FLAGS[2]
+      : bits(5,2) == 0 ? (shift_amount < 32 ? (rm >> (32 - shift_amount)) & 1
+                          : (shift_amount == 32 ? rm & 1 : 0))
+      : bits(5,2) == 1 ? (shift_amount < 32 ? (rm >> (shift_amount - 1)) & 1
+                          : (shift_amount == 32 ? (rm >> 31) & 1 : 0))
+      : bits(5,2) == 2 ? (shift_amount < 32 ? (rm >> (shift_amount - 1)) & 1 : (rm >> 31) & 1)
+      : ((shift_amount & 31) == 0 ? (rm >> 31) & 1 : (rm >> ((shift_amount & 31) - 1)) & 1);
+  }
+}
+
+class dp_rn {
+  operand rn : GPR[bits(16,4)] read;
+}
+
+class dp_rd {
+  operand rd : GPR[bits(12,4)] read write;
+}
+
+// Flag commit runs in the memory action, after evaluate has produced
+// alu_out / carry_out / overflow_out.
+class flags_logical {
+  action memory {
+    if (cond_ok && bits(20,1)) {
+      reg.FLAGS[0] = (alu_out >> 31) & 1;
+      reg.FLAGS[1] = alu_out == 0;
+      reg.FLAGS[2] = shifter_carry;
+    }
+  }
+}
+
+class flags_arith {
+  action memory {
+    if (cond_ok && bits(20,1)) {
+      reg.FLAGS[0] = (alu_out >> 31) & 1;
+      reg.FLAGS[1] = alu_out == 0;
+      reg.FLAGS[2] = carry_out;
+      reg.FLAGS[3] = overflow_out;
+    }
+  }
+}
+|}
+
+(* The sixteen data-processing opcodes in their three shifter flavours are
+   mechanical; the evaluate bodies are shared per opcode. *)
+let dp_body ~has_rn ~has_rd ~arith ~expr =
+  let dest = if has_rd then "    if (cond_ok) { rd = alu_out; }\n" else "" in
+  let _ = has_rn in
+  if arith then
+    Printf.sprintf "{\n  action evaluate {\n%s%s  }\n}" expr dest
+  else
+    Printf.sprintf "{\n  action evaluate {\n    alu_out = %s;\n%s  }\n}" expr
+      dest
+
+let dp_instrs =
+  (* name, opcode, has_rn, has_rd, arith?, body *)
+  let logical name op e =
+    (name, op, true, true, false, Printf.sprintf "(%s) & 0xFFFFFFFF" e)
+  in
+  let test name op e =
+    (name, op, true, false, false, Printf.sprintf "(%s) & 0xFFFFFFFF" e)
+  in
+  let arith name op ~has_rn ~has_rd body = (name, op, has_rn, has_rd, true, body) in
+  let add_body a b cin =
+    Printf.sprintf
+      "    alu_out = (%s + %s + %s) & 0xFFFFFFFF;\n\
+      \    carry_out = ((%s + %s + %s) >> 32) & 1;\n\
+      \    overflow_out = ((~(%s ^ %s) & (%s ^ alu_out)) >> 31) & 1;\n"
+      a b cin a b cin a b a
+  in
+  let sub_body a b borrow_in =
+    (* a - b - borrow, with C = NOT borrow-out *)
+    Printf.sprintf
+      "    alu_out = (%s - %s - %s) & 0xFFFFFFFF;\n\
+      \    carry_out = geu(%s, %s + %s);\n\
+      \    overflow_out = (((%s ^ %s) & (%s ^ alu_out)) >> 31) & 1;\n"
+      a b borrow_in a b borrow_in a b a
+  in
+  [
+    logical "AND" 0 "rn & shifter_out";
+    logical "EOR" 1 "rn ^ shifter_out";
+    arith "SUB" 2 ~has_rn:true ~has_rd:true (sub_body "rn" "shifter_out" "0");
+    arith "RSB" 3 ~has_rn:true ~has_rd:true (sub_body "shifter_out" "rn" "0");
+    arith "ADD" 4 ~has_rn:true ~has_rd:true (add_body "rn" "shifter_out" "0");
+    arith "ADC" 5 ~has_rn:true ~has_rd:true
+      (add_body "rn" "shifter_out" "reg.FLAGS[2]");
+    arith "SBC" 6 ~has_rn:true ~has_rd:true
+      (sub_body "rn" "shifter_out" "(1 - reg.FLAGS[2])");
+    arith "RSC" 7 ~has_rn:true ~has_rd:true
+      (sub_body "shifter_out" "rn" "(1 - reg.FLAGS[2])");
+    test "TST" 8 "rn & shifter_out";
+    test "TEQ" 9 "rn ^ shifter_out";
+    arith "CMP" 10 ~has_rn:true ~has_rd:false (sub_body "rn" "shifter_out" "0");
+    arith "CMN" 11 ~has_rn:true ~has_rd:false (add_body "rn" "shifter_out" "0");
+    logical "ORR" 12 "rn | shifter_out";
+    ("MOV", 13, false, true, false, "shifter_out");
+    logical "BIC" 14 "rn & ~shifter_out";
+    ("MVN", 15, false, true, false, "(~shifter_out) & 0xFFFFFFFF");
+  ]
+
+(* The register-shifted-by-register flavour only for the common opcodes. *)
+let rsr_opcodes = [ "AND"; "EOR"; "SUB"; "ADD"; "ORR"; "MOV"; "BIC"; "CMP" ]
+
+let dp_text =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, op, has_rn, has_rd, arith, body_expr) ->
+      let is_test = not has_rd in
+      let flags = if arith then "flags_arith" else "flags_logical" in
+      let classes ~sh =
+        String.concat ", "
+          (List.concat
+             [
+               [ "armcond"; sh ];
+               (if has_rn then [ "dp_rn" ] else []);
+               (if has_rd then [ "dp_rd" ] else []);
+               [ flags ];
+             ])
+      in
+      let body = dp_body ~has_rn ~has_rd ~arith ~expr:body_expr in
+      (* S bit in mask for test ops (always set), free otherwise *)
+      let smask = if is_test then 0x00100000 else 0 in
+      let smatch = if is_test then 0x00100000 else 0 in
+      (* immediate flavour: I=1 *)
+      Printf.bprintf b "instr %s_IMM : %s match 0x%08X mask 0x%08X %s\n" name
+        (classes ~sh:"sh_imm")
+        (0x02000000 lor (op lsl 21) lor smatch)
+        (0x0FE00000 lor smask) body;
+      (* register-shift-by-immediate flavour: I=0, bit4=0 *)
+      Printf.bprintf b "instr %s_REG : %s match 0x%08X mask 0x%08X %s\n" name
+        (classes ~sh:"sh_regimm")
+        ((op lsl 21) lor smatch)
+        (0x0FE00010 lor smask) body;
+      (* register-shift-by-register flavour: I=0, bit4=1, bit7=0 *)
+      if List.mem name rsr_opcodes then
+        Printf.bprintf b "instr %s_RSR : %s match 0x%08X mask 0x%08X %s\n" name
+          (classes ~sh:"sh_regreg")
+          ((op lsl 21) lor 0x10 lor smatch)
+          (0x0FE00090 lor smask) body)
+    dp_instrs;
+  Buffer.contents b
+
+let rest_text =
+  {|
+// ---------------- multiply -------------------------------------------
+instr MUL : armcond match 0x00000090 mask 0x0FE000F0 {
+  operand rdm : GPR[bits(16,4)] read write;
+  operand rm : GPR[bits(0,4)] read;
+  operand rs : GPR[bits(8,4)] read;
+  action evaluate {
+    alu_out = (rm * rs) & 0xFFFFFFFF;
+    if (cond_ok) { rdm = alu_out; }
+  }
+  action memory {
+    if (cond_ok && bits(20,1)) {
+      reg.FLAGS[0] = (alu_out >> 31) & 1;
+      reg.FLAGS[1] = alu_out == 0;
+    }
+  }
+}
+
+instr MLA : armcond match 0x00200090 mask 0x0FE000F0 {
+  operand rdm : GPR[bits(16,4)] read write;
+  operand rm : GPR[bits(0,4)] read;
+  operand rs : GPR[bits(8,4)] read;
+  operand racc : GPR[bits(12,4)] read;
+  action evaluate {
+    alu_out = (rm * rs + racc) & 0xFFFFFFFF;
+    if (cond_ok) { rdm = alu_out; }
+  }
+  action memory {
+    if (cond_ok && bits(20,1)) {
+      reg.FLAGS[0] = (alu_out >> 31) & 1;
+      reg.FLAGS[1] = alu_out == 0;
+    }
+  }
+}
+
+// ---------------- long multiply (ARMv4M) ------------------------------
+class mull_ops {
+  operand rdlo : GPR[bits(12,4)] read write;
+  operand rdhi : GPR[bits(16,4)] read write;
+  operand rm : GPR[bits(0,4)] read;
+  operand rs : GPR[bits(8,4)] read;
+}
+
+class mull_flags {
+  action memory {
+    if (cond_ok && bits(20,1)) {
+      reg.FLAGS[0] = (rdhi >> 31) & 1;
+      reg.FLAGS[1] = rdhi == 0 && rdlo == 0;
+    }
+  }
+}
+
+instr UMULL : armcond, mull_ops, mull_flags match 0x00800090 mask 0x0FE000F0 {
+  action evaluate {
+    alu_out = rm * rs;
+    if (cond_ok) { rdlo = alu_out & 0xFFFFFFFF; rdhi = alu_out >> 32; }
+  }
+}
+instr UMLAL : armcond, mull_ops, mull_flags match 0x00A00090 mask 0x0FE000F0 {
+  action evaluate {
+    alu_out = rm * rs + ((rdhi << 32) | rdlo);
+    if (cond_ok) { rdlo = alu_out & 0xFFFFFFFF; rdhi = alu_out >> 32; }
+  }
+}
+instr SMULL : armcond, mull_ops, mull_flags match 0x00C00090 mask 0x0FE000F0 {
+  action evaluate {
+    alu_out = sext(rm,32) * sext(rs,32);
+    if (cond_ok) { rdlo = alu_out & 0xFFFFFFFF; rdhi = (alu_out >> 32) & 0xFFFFFFFF; }
+  }
+}
+instr SMLAL : armcond, mull_ops, mull_flags match 0x00E00090 mask 0x0FE000F0 {
+  action evaluate {
+    alu_out = sext(rm,32) * sext(rs,32) + ((rdhi << 32) | rdlo);
+    if (cond_ok) { rdlo = alu_out & 0xFFFFFFFF; rdhi = (alu_out >> 32) & 0xFFFFFFFF; }
+  }
+}
+
+// ---------------- CLZ (ARMv5) -----------------------------------------
+instr CLZ : armcond match 0x016F0F10 mask 0x0FFF0FF0 {
+  operand rd : GPR[bits(12,4)] read write;
+  operand rm : GPR[bits(0,4)] read;
+  action evaluate {
+    alu_out = rm == 0 ? 32 : clz(rm) - 32;
+    if (cond_ok) { rd = alu_out; }
+  }
+}
+
+// ---------------- status register access ------------------------------
+instr MRS : armcond match 0x010F0000 mask 0x0FFF0FFF {
+  operand rd : GPR[bits(12,4)] read write;
+  action evaluate {
+    if (cond_ok) {
+      rd = (reg.FLAGS[0] << 31) | (reg.FLAGS[1] << 30)
+         | (reg.FLAGS[2] << 29) | (reg.FLAGS[3] << 28);
+    }
+  }
+}
+instr MSR_FLAGS : armcond match 0x0128F000 mask 0x0FFFFFF0 {
+  operand rm : GPR[bits(0,4)] read;
+  action evaluate {
+    if (cond_ok) {
+      reg.FLAGS[0] = (rm >> 31) & 1;
+      reg.FLAGS[1] = (rm >> 30) & 1;
+      reg.FLAGS[2] = (rm >> 29) & 1;
+      reg.FLAGS[3] = (rm >> 28) & 1;
+    }
+  }
+}
+
+// ---------------- loads and stores -----------------------------------
+class ldst_imm {
+  operand rn : GPR[bits(16,4)] read;
+  action address {
+    effective_addr = (bits(23,1) ? rn + bits(0,12) : rn - bits(0,12)) & 0xFFFFFFFF;
+  }
+}
+
+class ldst_reg {
+  operand rn : GPR[bits(16,4)] read;
+  operand rm : GPR[bits(0,4)] read;
+  action address {
+    effective_addr = (bits(23,1)
+        ? rn + ((rm << bits(7,5)) & 0xFFFFFFFF)
+        : rn - ((rm << bits(7,5)) & 0xFFFFFFFF)) & 0xFFFFFFFF;
+  }
+}
+
+class ldst_half {
+  operand rn : GPR[bits(16,4)] read;
+  action address {
+    effective_addr = (bits(23,1)
+        ? rn + ((bits(8,4) << 4) | bits(0,4))
+        : rn - ((bits(8,4) << 4) | bits(0,4))) & 0xFFFFFFFF;
+  }
+}
+
+class ld_rt {
+  operand rt : GPR[bits(12,4)] read write;
+}
+
+class st_rt {
+  operand rt : GPR[bits(12,4)] read;
+}
+
+instr LDR_IMM : armcond, ldst_imm, ld_rt match 0x05100000 mask 0x0F700000 {
+  action memory { if (cond_ok) { rt = load.u32(effective_addr); } }
+}
+instr LDRB_IMM : armcond, ldst_imm, ld_rt match 0x05500000 mask 0x0F700000 {
+  action memory { if (cond_ok) { rt = load.u8(effective_addr); } }
+}
+instr STR_IMM : armcond, ldst_imm, st_rt match 0x05000000 mask 0x0F700000 {
+  action memory { if (cond_ok) { store.u32(effective_addr, rt); } }
+}
+instr STRB_IMM : armcond, ldst_imm, st_rt match 0x05400000 mask 0x0F700000 {
+  action memory { if (cond_ok) { store.u8(effective_addr, rt); } }
+}
+instr LDR_REG : armcond, ldst_reg, ld_rt match 0x07100000 mask 0x0F700070 {
+  action memory { if (cond_ok) { rt = load.u32(effective_addr); } }
+}
+instr LDRB_REG : armcond, ldst_reg, ld_rt match 0x07500000 mask 0x0F700070 {
+  action memory { if (cond_ok) { rt = load.u8(effective_addr); } }
+}
+instr STR_REG : armcond, ldst_reg, st_rt match 0x07000000 mask 0x0F700070 {
+  action memory { if (cond_ok) { store.u32(effective_addr, rt); } }
+}
+instr STRB_REG : armcond, ldst_reg, st_rt match 0x07400000 mask 0x0F700070 {
+  action memory { if (cond_ok) { store.u8(effective_addr, rt); } }
+}
+instr LDRH : armcond, ldst_half, ld_rt match 0x015000B0 mask 0x0F7000F0 {
+  action memory { if (cond_ok) { rt = load.u16(effective_addr); } }
+}
+instr STRH : armcond, ldst_half, st_rt match 0x014000B0 mask 0x0F7000F0 {
+  action memory { if (cond_ok) { store.u16(effective_addr, rt); } }
+}
+instr LDRSB : armcond, ldst_half, ld_rt match 0x015000D0 mask 0x0F7000F0 {
+  action memory { if (cond_ok) { rt = zext(load.s8(effective_addr), 32); } }
+}
+instr LDRSH : armcond, ldst_half, ld_rt match 0x015000F0 mask 0x0F7000F0 {
+  action memory { if (cond_ok) { rt = zext(load.s16(effective_addr), 32); } }
+}
+
+// ---------------- control flow ----------------------------------------
+class armbr {
+  action address { branch_target = (pc + 8 + (sbits(0,24) << 2)) & 0xFFFFFFFF; }
+}
+
+instr B : armcond, armbr match 0x0A000000 mask 0x0F000000 {
+  action evaluate {
+    branch_taken = cond_ok;
+    if (cond_ok) { next_pc = branch_target; }
+  }
+}
+
+instr BL : armcond, armbr match 0x0B000000 mask 0x0F000000 {
+  action evaluate {
+    branch_taken = cond_ok;
+    if (cond_ok) {
+      reg.GPR[14] = (pc + 4) & 0xFFFFFFFF;
+      next_pc = branch_target;
+    }
+  }
+}
+
+instr BX : armcond match 0x012FFF10 mask 0x0FFFFFF0 {
+  operand rm : GPR[bits(0,4)] read;
+  action evaluate {
+    branch_taken = cond_ok;
+    if (cond_ok) { next_pc = rm & ~1; }
+  }
+}
+
+// ---------------- software interrupt ----------------------------------
+instr SWI : armcond match 0x0F000000 mask 0x0F000000 {
+  action exception { if (cond_ok) { fault illegal; } }
+}
+|}
+
+let os_text =
+  {|
+// OS emulation for ARM: syscall number in r0, arguments in r1-r3,
+// result in r0 (the SWI immediate is ignored, like EABI).
+abi {
+  nr = GPR[0];
+  arg0 = GPR[1];
+  arg1 = GPR[2];
+  arg2 = GPR[3];
+  ret = GPR[0];
+}
+
+override SWI action exception {
+  if (cond_ok) { syscall; }
+}
+|}
+
+let full_isa_text = isa_text ^ "\n" ^ dp_text ^ "\n" ^ rest_text
+
+let buildsets_text = Specsim.Detail.canonical_buildset_file ()
+
+let sources : Lis.Ast.source list =
+  [
+    { src_role = Lis.Ast.Isa_description; src_name = "arm.lis"; src_text = full_isa_text };
+    { src_role = Lis.Ast.Os_support; src_name = "arm_os.lis"; src_text = os_text };
+    {
+      src_role = Lis.Ast.Buildset_file;
+      src_name = "arm_buildsets.lis";
+      src_text = buildsets_text;
+    };
+  ]
+
+let spec = lazy (Lis.Sema.load sources)

@@ -1,0 +1,242 @@
+(** ARM encoder and VIR lowering.
+
+    VIR registers map directly to r0..r14 (v15 is rejected: r15 is the
+    program counter). Condition codes make compare-and-branch a natural
+    two-instruction sequence with no scratch register. *)
+
+let al = 0xE (* the ALways condition *)
+
+let cond_eq = 0x0
+let cond_ne = 0x1
+let cond_hs = 0x2
+let cond_lo = 0x3
+let cond_ge = 0xA
+let cond_lt = 0xB
+
+let check_reg name v =
+  if v < 0 || v > 15 then
+    invalid_arg (Printf.sprintf "arm asm: %s=%d out of range" name v)
+
+(* ------------------------------------------------------------------ *)
+(* Encoders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Data-processing, immediate shifter: imm8 rotated right by 2*rot. *)
+let dp_imm ?(cond = al) ?(s = false) ~op ~rn ~rd ~imm8 ~rot () =
+  check_reg "rn" rn;
+  check_reg "rd" rd;
+  if imm8 < 0 || imm8 > 255 || rot < 0 || rot > 15 then
+    invalid_arg "arm asm: dp immediate range";
+  Int64.of_int
+    ((cond lsl 28) lor 0x02000000 lor (op lsl 21)
+    lor ((if s then 1 else 0) lsl 20)
+    lor (rn lsl 16) lor (rd lsl 12) lor (rot lsl 8) lor imm8)
+
+(* Data-processing, register shifted by immediate. *)
+let dp_reg ?(cond = al) ?(s = false) ~op ~rn ~rd ~rm ?(shift_type = 0)
+    ?(shift_imm = 0) () =
+  check_reg "rn" rn;
+  check_reg "rd" rd;
+  check_reg "rm" rm;
+  if shift_imm < 0 || shift_imm > 31 then invalid_arg "arm asm: shift imm";
+  Int64.of_int
+    ((cond lsl 28) lor (op lsl 21)
+    lor ((if s then 1 else 0) lsl 20)
+    lor (rn lsl 16) lor (rd lsl 12) lor (shift_imm lsl 7)
+    lor (shift_type lsl 5) lor rm)
+
+(* Data-processing, register shifted by register. *)
+let dp_rsr ?(cond = al) ?(s = false) ~op ~rn ~rd ~rm ~shift_type ~rs () =
+  Int64.of_int
+    ((cond lsl 28) lor (op lsl 21)
+    lor ((if s then 1 else 0) lsl 20)
+    lor (rn lsl 16) lor (rd lsl 12) lor (rs lsl 8) lor (shift_type lsl 5)
+    lor 0x10 lor rm)
+
+let op_and = 0 and op_eor = 1 and op_sub = 2 and op_rsb = 3
+and op_add = 4 and op_adc = 5 and op_sbc = 6 and op_rsc = 7
+and op_tst = 8 and op_teq = 9 and op_cmp = 10 and op_cmn = 11
+and op_orr = 12 and op_mov = 13 and op_bic = 14 and op_mvn = 15
+
+let mul ?(cond = al) ?(s = false) ~rd ~rm ~rs () =
+  Int64.of_int
+    ((cond lsl 28) lor ((if s then 1 else 0) lsl 20) lor (rd lsl 16)
+    lor (rs lsl 8) lor 0x90 lor rm)
+
+let mla ?(cond = al) ?(s = false) ~rd ~rm ~rs ~ra () =
+  Int64.of_int
+    ((cond lsl 28) lor 0x00200000
+    lor ((if s then 1 else 0) lsl 20)
+    lor (rd lsl 16) lor (ra lsl 12) lor (rs lsl 8) lor 0x90 lor rm)
+
+(* Single data transfer, immediate offset (P=1, W=0). *)
+let ldst_imm ?(cond = al) ~load ~byte ~rn ~rt ~imm () =
+  let u = imm >= 0 in
+  let imm = abs imm in
+  if imm > 4095 then invalid_arg "arm asm: ldst offset range";
+  Int64.of_int
+    ((cond lsl 28) lor 0x04000000 lor 0x01000000
+    lor ((if u then 1 else 0) lsl 23)
+    lor ((if byte then 1 else 0) lsl 22)
+    lor ((if load then 1 else 0) lsl 20)
+    lor (rn lsl 16) lor (rt lsl 12) lor imm)
+
+let ldr ?cond ~rn ~rt ~imm () = ldst_imm ?cond ~load:true ~byte:false ~rn ~rt ~imm ()
+let str ?cond ~rn ~rt ~imm () = ldst_imm ?cond ~load:false ~byte:false ~rn ~rt ~imm ()
+let ldrb ?cond ~rn ~rt ~imm () = ldst_imm ?cond ~load:true ~byte:true ~rn ~rt ~imm ()
+let strb ?cond ~rn ~rt ~imm () = ldst_imm ?cond ~load:false ~byte:true ~rn ~rt ~imm ()
+
+(* Halfword transfer, immediate offset. *)
+let ldsth ?(cond = al) ~code ~load ~rn ~rt ~imm () =
+  let u = imm >= 0 in
+  let imm = abs imm in
+  if imm > 255 then invalid_arg "arm asm: halfword offset range";
+  Int64.of_int
+    ((cond lsl 28) lor 0x01000000
+    lor ((if u then 1 else 0) lsl 23)
+    lor 0x00400000
+    lor ((if load then 1 else 0) lsl 20)
+    lor (rn lsl 16) lor (rt lsl 12)
+    lor ((imm lsr 4) lsl 8)
+    lor code lor (imm land 0xF))
+
+let ldrh ?cond ~rn ~rt ~imm () = ldsth ?cond ~code:0xB0 ~load:true ~rn ~rt ~imm ()
+let strh ?cond ~rn ~rt ~imm () = ldsth ?cond ~code:0xB0 ~load:false ~rn ~rt ~imm ()
+let ldrsb ?cond ~rn ~rt ~imm () = ldsth ?cond ~code:0xD0 ~load:true ~rn ~rt ~imm ()
+let ldrsh ?cond ~rn ~rt ~imm () = ldsth ?cond ~code:0xF0 ~load:true ~rn ~rt ~imm ()
+
+let b_raw ?(cond = al) ~link ~off24 () =
+  Int64.of_int
+    ((cond lsl 28) lor 0x0A000000
+    lor ((if link then 1 else 0) lsl 24)
+    lor (off24 land 0xFFFFFF))
+
+let bx ?(cond = al) ~rm () =
+  Int64.of_int ((cond lsl 28) lor 0x012FFF10 lor rm)
+
+let swi ?(cond = al) imm () =
+  Int64.of_int ((cond lsl 28) lor 0x0F000000 lor (imm land 0xFFFFFF))
+
+(* ------------------------------------------------------------------ *)
+(* Immediate synthesis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rol32 v n =
+  let v = Int32.to_int v land 0xFFFFFFFF in
+  let n = n land 31 in
+  ((v lsl n) lor (v lsr (32 - n))) land 0xFFFFFFFF
+
+(** [arm_imm v] finds (imm8, rot) such that [imm8 ror 2*rot = v], if any. *)
+let arm_imm (v : int32) : (int * int) option =
+  let rec go k =
+    if k > 15 then None
+    else
+      let candidate = rol32 v (2 * k) in
+      if candidate <= 0xFF then Some (candidate, k) else go (k + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* VIR lowering                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Target : Vir.Lower.TARGET = struct
+  let name = "arm"
+
+  let r v =
+    if v > 14 then invalid_arg "arm target: v15 is reserved (r15 is the pc)";
+    v
+
+  let w x : Vir.Lower.item = Word x
+
+  let mov_reg ~rd ~rm = dp_reg ~op:op_mov ~rn:0 ~rd ~rm ()
+
+  let li32 ~rd (v : int32) =
+    match arm_imm v with
+    | Some (imm8, rot) -> [ w (dp_imm ~op:op_mov ~rn:0 ~rd ~imm8 ~rot ()) ]
+    | None ->
+      (* build from bytes: mov + up to three orrs *)
+      let byte i = Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xFF in
+      let items = ref [ w (dp_imm ~op:op_mov ~rn:0 ~rd ~imm8:(byte 0) ~rot:0 ()) ] in
+      for i = 1 to 3 do
+        if byte i <> 0 then
+          (* rot field rotates right by 2*rot; byte i sits at bit 8*i, i.e.
+             rotate right by 32-8i = 2*(16-4i) *)
+          items :=
+            w (dp_imm ~op:op_orr ~rn:rd ~rd ~imm8:(byte i) ~rot:(16 - (4 * i)) ())
+            :: !items
+      done;
+      List.rev !items
+
+  let addi ~rd ~rs imm =
+    if imm = 0 then [ w (mov_reg ~rd ~rm:rs) ]
+    else
+      let op, v = if imm > 0 then (op_add, imm) else (op_sub, -imm) in
+      let b0 = v land 0xFF and b1 = (v lsr 8) land 0xFF in
+      let first = w (dp_imm ~op ~rn:rs ~rd ~imm8:b0 ~rot:0 ()) in
+      if b1 = 0 then [ first ]
+      else [ first; w (dp_imm ~op ~rn:rd ~rd ~imm8:b1 ~rot:12 ()) ]
+
+  let branch ?(cond = al) label : Vir.Lower.item =
+    Fix
+      ( (fun ~self_pc ~target_pc ->
+          let off =
+            Int64.to_int (Int64.sub target_pc (Int64.add self_pc 8L)) asr 2
+          in
+          if off < -(1 lsl 23) || off >= 1 lsl 23 then
+            invalid_arg "arm asm: branch range";
+          b_raw ~cond ~link:false ~off24:off ()),
+        label )
+
+  let lower_instr (i : Vir.Lang.instr) : Vir.Lower.item list =
+    match i with
+    | Label l -> [ Mark l ]
+    | Li (d, v) -> li32 ~rd:(r d) v
+    | Mv (d, s) -> [ w (mov_reg ~rd:(r d) ~rm:(r s)) ]
+    | Add (d, a, b) -> [ w (dp_reg ~op:op_add ~rn:(r a) ~rd:(r d) ~rm:(r b) ()) ]
+    | Sub (d, a, b) -> [ w (dp_reg ~op:op_sub ~rn:(r a) ~rd:(r d) ~rm:(r b) ()) ]
+    | Mul (d, a, b) ->
+      if d = a then
+        (* MUL requires rd <> rm on real hardware; swap operands *)
+        [ w (mul ~rd:(r d) ~rm:(r b) ~rs:(r a) ()) ]
+      else [ w (mul ~rd:(r d) ~rm:(r a) ~rs:(r b) ()) ]
+    | And_ (d, a, b) -> [ w (dp_reg ~op:op_and ~rn:(r a) ~rd:(r d) ~rm:(r b) ()) ]
+    | Or_ (d, a, b) -> [ w (dp_reg ~op:op_orr ~rn:(r a) ~rd:(r d) ~rm:(r b) ()) ]
+    | Xor_ (d, a, b) -> [ w (dp_reg ~op:op_eor ~rn:(r a) ~rd:(r d) ~rm:(r b) ()) ]
+    | Addi (d, a, imm) -> addi ~rd:(r d) ~rs:(r a) imm
+    | Andi (d, a, imm) -> [ w (dp_imm ~op:op_and ~rn:(r a) ~rd:(r d) ~imm8:imm ~rot:0 ()) ]
+    | Shli (d, a, sh) ->
+      [ w (dp_reg ~op:op_mov ~rn:0 ~rd:(r d) ~rm:(r a) ~shift_type:0 ~shift_imm:sh ()) ]
+    | Shri (d, a, sh) ->
+      if sh = 0 then [ w (mov_reg ~rd:(r d) ~rm:(r a)) ]
+      else
+        [ w (dp_reg ~op:op_mov ~rn:0 ~rd:(r d) ~rm:(r a) ~shift_type:1 ~shift_imm:sh ()) ]
+    | Sari (d, a, sh) ->
+      if sh = 0 then [ w (mov_reg ~rd:(r d) ~rm:(r a)) ]
+      else
+        [ w (dp_reg ~op:op_mov ~rn:0 ~rd:(r d) ~rm:(r a) ~shift_type:2 ~shift_imm:sh ()) ]
+    | Ldw (d, a, imm) -> [ w (ldr ~rn:(r a) ~rt:(r d) ~imm ()) ]
+    | Stw (s, a, imm) -> [ w (str ~rn:(r a) ~rt:(r s) ~imm ()) ]
+    | Ldb (d, a, imm) -> [ w (ldrb ~rn:(r a) ~rt:(r d) ~imm ()) ]
+    | Stb (s, a, imm) -> [ w (strb ~rn:(r a) ~rt:(r s) ~imm ()) ]
+    | Bcond (c, a, b, l) ->
+      let cond =
+        match c with
+        | Vir.Lang.Eq -> cond_eq
+        | Ne -> cond_ne
+        | Lt -> cond_lt
+        | Ge -> cond_ge
+        | Ltu -> cond_lo
+        | Geu -> cond_hs
+      in
+      [
+        w (dp_reg ~s:true ~op:op_cmp ~rn:(r a) ~rd:0 ~rm:(r b) ());
+        branch ~cond l;
+      ]
+    | Jmp l -> [ branch l ]
+    | Sys -> [ w (swi 0 ()) ]
+
+  let lower (p : Vir.Lang.program) = List.concat_map lower_instr p
+end
+
+let encode ~base p = Vir.Lower.encode (module Target) ~base p

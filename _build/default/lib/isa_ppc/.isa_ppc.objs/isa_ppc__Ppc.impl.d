@@ -1,0 +1,1 @@
+lib/isa_ppc/ppc.ml: Lis Specsim

@@ -1,0 +1,523 @@
+(** PowerPC (32-bit user-mode integer subset) LIS description.
+
+    Big-endian, 32-bit registers (the register class width masks writes).
+    The condition register is modelled as one 32-bit register whose eight
+    4-bit fields are updated by compares and record (Rc) forms; LR and CTR
+    live in a small SPR class. BO/BI conditional branches implement the
+    full decrement-CTR semantics, so bdnz loops work.
+
+    Simplifications (documented in DESIGN.md): XER carry/overflow (CA, OV,
+    SO) are not modelled — OE forms execute like their base forms and
+    record forms always set the SO bit to zero; division by zero yields 0
+    rather than an undefined value. *)
+
+let isa_text =
+  {|
+// ===================================================================
+// PowerPC 32-bit user-mode integer instruction set
+// ===================================================================
+isa "ppc" {
+  endian big;
+  wordsize 32;
+  instrsize 4;
+  decodekey 26 6;
+}
+
+regclass GPR 32 width 32;
+regclass CR 1 width 32;
+// SPR: 0 = LR, 1 = CTR, 2 = XER
+regclass SPR 3 width 32;
+
+field effective_addr : u64 decode;
+field branch_target : u64 decode;
+field branch_taken : u64 decode;
+field alu_out : u64;
+field cr_field : u64;
+field rot_mask : u64;
+
+sequence fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+
+// ---------------- instruction classes -------------------------------
+// D-form arithmetic: rD <- f(rA, imm)
+class d_arith {
+  operand rd : GPR[bits(21,5)] write;
+  operand ra : GPR[bits(16,5)] read;
+}
+
+// XO-form arithmetic: rD <- f(rA, rB); OE is ignored, Rc handled by
+// the record class.
+class xo_arith {
+  operand rd : GPR[bits(21,5)] write;
+  operand ra : GPR[bits(16,5)] read;
+  operand rb : GPR[bits(11,5)] read;
+}
+
+// X-form logical: rA <- f(rS, rB)  (source and destination swapped!)
+class x_logical {
+  operand rs : GPR[bits(21,5)] read;
+  operand ra_dest : GPR[bits(16,5)] write;
+  operand rb : GPR[bits(11,5)] read;
+}
+
+class x_logical_2op {
+  operand rs : GPR[bits(21,5)] read;
+  operand ra_dest : GPR[bits(16,5)] write;
+}
+
+// Record forms: if Rc (bit 0) is set, CR0 is updated from the result.
+class rc_record {
+  action memory {
+    if (bits(0,1)) {
+      cr_field = (((alu_out >> 31) & 1) << 3)
+               | ((((alu_out >> 31) & 1) == 0 && alu_out != 0) << 2)
+               | ((alu_out == 0) << 1);
+      reg.CR[0] = (reg.CR[0] & ~(0xF << 28)) | (cr_field << 28);
+    }
+  }
+}
+
+// D-form memory: EA = (rA|0) + sext(d)
+class mem_d_load {
+  operand rd : GPR[bits(21,5)] write;
+  operand ra : GPR[bits(16,5)] read;
+  action address {
+    effective_addr = ((ra_id == 0 ? 0 : ra) + sbits(0,16)) & 0xFFFFFFFF;
+  }
+}
+
+class mem_d_store {
+  operand rs : GPR[bits(21,5)] read;
+  operand ra : GPR[bits(16,5)] read;
+  action address {
+    effective_addr = ((ra_id == 0 ? 0 : ra) + sbits(0,16)) & 0xFFFFFFFF;
+  }
+}
+
+// X-form memory: EA = (rA|0) + rB
+class mem_x_load {
+  operand rd : GPR[bits(21,5)] write;
+  operand ra : GPR[bits(16,5)] read;
+  operand rb : GPR[bits(11,5)] read;
+  action address {
+    effective_addr = ((ra_id == 0 ? 0 : ra) + rb) & 0xFFFFFFFF;
+  }
+}
+
+class mem_x_store {
+  operand rs : GPR[bits(21,5)] read;
+  operand ra : GPR[bits(16,5)] read;
+  operand rb : GPR[bits(11,5)] read;
+  action address {
+    effective_addr = ((ra_id == 0 ? 0 : ra) + rb) & 0xFFFFFFFF;
+  }
+}
+
+// ---------------- D-form arithmetic ---------------------------------
+instr ADDI : d_arith match 0x38000000 mask 0xFC000000 {
+  action evaluate { alu_out = ((ra_id == 0 ? 0 : ra) + sbits(0,16)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr ADDIS : d_arith match 0x3C000000 mask 0xFC000000 {
+  action evaluate { alu_out = ((ra_id == 0 ? 0 : ra) + (sbits(0,16) << 16)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr MULLI : d_arith match 0x1C000000 mask 0xFC000000 {
+  action evaluate { alu_out = (ra * sbits(0,16)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SUBFIC : d_arith match 0x20000000 mask 0xFC000000 {
+  action evaluate { alu_out = (sbits(0,16) - ra) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr ADDIC : d_arith match 0x30000000 mask 0xFC000000 {
+  action evaluate { alu_out = (ra + sbits(0,16)) & 0xFFFFFFFF; rd = alu_out; }
+}
+
+// D-form logical (note rS -> rA direction); andi./andis. always record.
+instr ANDI_REC : x_logical_2op match 0x70000000 mask 0xFC000000 {
+  action evaluate {
+    alu_out = rs & bits(0,16);
+    ra_dest = alu_out;
+    cr_field = (((alu_out >> 31) & 1) << 3)
+             | ((((alu_out >> 31) & 1) == 0 && alu_out != 0) << 2)
+             | ((alu_out == 0) << 1);
+    reg.CR[0] = (reg.CR[0] & ~(0xF << 28)) | (cr_field << 28);
+  }
+}
+instr ANDIS_REC : x_logical_2op match 0x74000000 mask 0xFC000000 {
+  action evaluate {
+    alu_out = rs & (bits(0,16) << 16);
+    ra_dest = alu_out;
+    cr_field = (((alu_out >> 31) & 1) << 3)
+             | ((((alu_out >> 31) & 1) == 0 && alu_out != 0) << 2)
+             | ((alu_out == 0) << 1);
+    reg.CR[0] = (reg.CR[0] & ~(0xF << 28)) | (cr_field << 28);
+  }
+}
+instr ORI : x_logical_2op match 0x60000000 mask 0xFC000000 {
+  action evaluate { alu_out = rs | bits(0,16); ra_dest = alu_out; }
+}
+instr ORIS : x_logical_2op match 0x64000000 mask 0xFC000000 {
+  action evaluate { alu_out = rs | (bits(0,16) << 16); ra_dest = alu_out; }
+}
+instr XORI : x_logical_2op match 0x68000000 mask 0xFC000000 {
+  action evaluate { alu_out = rs ^ bits(0,16); ra_dest = alu_out; }
+}
+instr XORIS : x_logical_2op match 0x6C000000 mask 0xFC000000 {
+  action evaluate { alu_out = rs ^ (bits(0,16) << 16); ra_dest = alu_out; }
+}
+
+// ---------------- compares ------------------------------------------
+instr CMPI match 0x2C000000 mask 0xFC000000 {
+  operand ra : GPR[bits(16,5)] read;
+  action evaluate {
+    cr_field = sext(ra,32) < sbits(0,16) ? 8
+             : sext(ra,32) > sbits(0,16) ? 4 : 2;
+    reg.CR[0] = (reg.CR[0] & ~(0xF << ((7 - bits(23,3)) << 2)))
+              | (cr_field << ((7 - bits(23,3)) << 2));
+  }
+}
+instr CMPLI match 0x28000000 mask 0xFC000000 {
+  operand ra : GPR[bits(16,5)] read;
+  action evaluate {
+    cr_field = ltu(ra, bits(0,16)) ? 8
+             : gtu(ra, bits(0,16)) ? 4 : 2;
+    reg.CR[0] = (reg.CR[0] & ~(0xF << ((7 - bits(23,3)) << 2)))
+              | (cr_field << ((7 - bits(23,3)) << 2));
+  }
+}
+instr CMP match 0x7C000000 mask 0xFC0007FE {
+  operand ra : GPR[bits(16,5)] read;
+  operand rb : GPR[bits(11,5)] read;
+  action evaluate {
+    cr_field = sext(ra,32) < sext(rb,32) ? 8
+             : sext(ra,32) > sext(rb,32) ? 4 : 2;
+    reg.CR[0] = (reg.CR[0] & ~(0xF << ((7 - bits(23,3)) << 2)))
+              | (cr_field << ((7 - bits(23,3)) << 2));
+  }
+}
+instr CMPL match 0x7C000040 mask 0xFC0007FE {
+  operand ra : GPR[bits(16,5)] read;
+  operand rb : GPR[bits(11,5)] read;
+  action evaluate {
+    cr_field = ltu(ra, rb) ? 8 : gtu(ra, rb) ? 4 : 2;
+    reg.CR[0] = (reg.CR[0] & ~(0xF << ((7 - bits(23,3)) << 2)))
+              | (cr_field << ((7 - bits(23,3)) << 2));
+  }
+}
+
+// ---------------- XO-form arithmetic --------------------------------
+instr ADD : xo_arith, rc_record match 0x7C000214 mask 0xFC0003FE {
+  action evaluate { alu_out = (ra + rb) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SUBF : xo_arith, rc_record match 0x7C000050 mask 0xFC0003FE {
+  action evaluate { alu_out = (rb - ra) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr NEG : rc_record match 0x7C0000D0 mask 0xFC0003FE {
+  operand rd : GPR[bits(21,5)] write;
+  operand ra : GPR[bits(16,5)] read;
+  action evaluate { alu_out = (0 - ra) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr MULLW : xo_arith, rc_record match 0x7C0001D6 mask 0xFC0003FE {
+  action evaluate { alu_out = (ra * rb) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr MULHW : xo_arith, rc_record match 0x7C000096 mask 0xFC0003FE {
+  action evaluate { alu_out = zext(asr(sext(ra,32) * sext(rb,32), 32), 32); rd = alu_out; }
+}
+instr MULHWU : xo_arith, rc_record match 0x7C000016 mask 0xFC0003FE {
+  action evaluate { alu_out = (ra * rb) >> 32; rd = alu_out; }
+}
+instr DIVW : xo_arith, rc_record match 0x7C0003D6 mask 0xFC0003FE {
+  action evaluate { alu_out = zext(sext(ra,32) / sext(rb,32), 32); rd = alu_out; }
+}
+instr DIVWU : xo_arith, rc_record match 0x7C000396 mask 0xFC0003FE {
+  action evaluate { alu_out = udiv(ra, rb); rd = alu_out; }
+}
+
+// ---------------- X-form logical -------------------------------------
+instr AND : x_logical, rc_record match 0x7C000038 mask 0xFC0007FE {
+  action evaluate { alu_out = rs & rb; ra_dest = alu_out; }
+}
+instr ANDC : x_logical, rc_record match 0x7C000078 mask 0xFC0007FE {
+  action evaluate { alu_out = rs & ~rb; ra_dest = alu_out; }
+}
+instr OR : x_logical, rc_record match 0x7C000378 mask 0xFC0007FE {
+  action evaluate { alu_out = rs | rb; ra_dest = alu_out; }
+}
+instr ORC : x_logical, rc_record match 0x7C000338 mask 0xFC0007FE {
+  action evaluate { alu_out = (rs | ~rb) & 0xFFFFFFFF; ra_dest = alu_out; }
+}
+instr XOR : x_logical, rc_record match 0x7C000278 mask 0xFC0007FE {
+  action evaluate { alu_out = rs ^ rb; ra_dest = alu_out; }
+}
+instr NAND : x_logical, rc_record match 0x7C0003B8 mask 0xFC0007FE {
+  action evaluate { alu_out = (~(rs & rb)) & 0xFFFFFFFF; ra_dest = alu_out; }
+}
+instr NOR : x_logical, rc_record match 0x7C0000F8 mask 0xFC0007FE {
+  action evaluate { alu_out = (~(rs | rb)) & 0xFFFFFFFF; ra_dest = alu_out; }
+}
+instr EQV : x_logical, rc_record match 0x7C000238 mask 0xFC0007FE {
+  action evaluate { alu_out = (~(rs ^ rb)) & 0xFFFFFFFF; ra_dest = alu_out; }
+}
+instr EXTSB : x_logical_2op, rc_record match 0x7C000774 mask 0xFC0007FE {
+  action evaluate { alu_out = zext(sext(rs, 8), 32); ra_dest = alu_out; }
+}
+instr EXTSH : x_logical_2op, rc_record match 0x7C000734 mask 0xFC0007FE {
+  action evaluate { alu_out = zext(sext(rs, 16), 32); ra_dest = alu_out; }
+}
+instr CNTLZW : x_logical_2op, rc_record match 0x7C000034 mask 0xFC0007FE {
+  action evaluate { alu_out = rs == 0 ? 32 : clz(rs) - 32; ra_dest = alu_out; }
+}
+
+// ---------------- shifts ---------------------------------------------
+instr SLW : x_logical, rc_record match 0x7C000030 mask 0xFC0007FE {
+  action evaluate {
+    alu_out = (rb & 0x20) ? 0 : ((rs << (rb & 0x1F)) & 0xFFFFFFFF);
+    ra_dest = alu_out;
+  }
+}
+instr SRW : x_logical, rc_record match 0x7C000430 mask 0xFC0007FE {
+  action evaluate {
+    alu_out = (rb & 0x20) ? 0 : (rs >> (rb & 0x1F));
+    ra_dest = alu_out;
+  }
+}
+instr SRAW : x_logical, rc_record match 0x7C000630 mask 0xFC0007FE {
+  action evaluate {
+    alu_out = zext(asr(sext(rs,32), (rb & 0x20) ? 63 : (rb & 0x1F)), 32);
+    ra_dest = alu_out;
+  }
+}
+instr SRAWI : x_logical_2op, rc_record match 0x7C000670 mask 0xFC0007FE {
+  action evaluate {
+    alu_out = zext(asr(sext(rs,32), bits(11,5)), 32);
+    ra_dest = alu_out;
+  }
+}
+
+// rlwinm: rotate left word immediate then AND with mask(MB,ME)
+instr RLWINM : x_logical_2op, rc_record match 0x54000000 mask 0xFC000000 {
+  action evaluate {
+    rot_mask = bits(6,5) <= bits(1,5)
+      ? ((0xFFFFFFFF >> bits(6,5)) & ((0xFFFFFFFF << (31 - bits(1,5))) & 0xFFFFFFFF))
+      : ((0xFFFFFFFF >> bits(6,5)) | ((0xFFFFFFFF << (31 - bits(1,5))) & 0xFFFFFFFF));
+    alu_out = (((rs << bits(11,5)) | (rs >> (32 - bits(11,5)))) & 0xFFFFFFFF) & rot_mask;
+    ra_dest = alu_out;
+  }
+}
+
+// rlwimi: rotate left then insert under mask (destination partially kept)
+instr RLWIMI : rc_record match 0x50000000 mask 0xFC000000 {
+  operand rs : GPR[bits(21,5)] read;
+  operand ra_dest : GPR[bits(16,5)] read write;
+  action evaluate {
+    rot_mask = bits(6,5) <= bits(1,5)
+      ? ((0xFFFFFFFF >> bits(6,5)) & ((0xFFFFFFFF << (31 - bits(1,5))) & 0xFFFFFFFF))
+      : ((0xFFFFFFFF >> bits(6,5)) | ((0xFFFFFFFF << (31 - bits(1,5))) & 0xFFFFFFFF));
+    alu_out = ((((rs << bits(11,5)) | (rs >> (32 - bits(11,5)))) & 0xFFFFFFFF) & rot_mask)
+            | (ra_dest & ~rot_mask);
+    ra_dest = alu_out;
+  }
+}
+
+// rlwnm: rotate left by register then AND with mask
+instr RLWNM : x_logical, rc_record match 0x5C000000 mask 0xFC000000 {
+  action evaluate {
+    rot_mask = bits(6,5) <= bits(1,5)
+      ? ((0xFFFFFFFF >> bits(6,5)) & ((0xFFFFFFFF << (31 - bits(1,5))) & 0xFFFFFFFF))
+      : ((0xFFFFFFFF >> bits(6,5)) | ((0xFFFFFFFF << (31 - bits(1,5))) & 0xFFFFFFFF));
+    alu_out = (((rs << (rb & 0x1F)) | (rs >> (32 - (rb & 0x1F)))) & 0xFFFFFFFF) & rot_mask;
+    ra_dest = alu_out;
+  }
+}
+
+// ---------------- condition-register logic ----------------------------
+instr CRAND match 0x4C000202 mask 0xFC0007FE {
+  action evaluate {
+    reg.CR[0] = (reg.CR[0] & ~(1 << (31 - bits(21,5))))
+              | ((((reg.CR[0] >> (31 - bits(16,5))) & 1)
+                 & ((reg.CR[0] >> (31 - bits(11,5))) & 1)) << (31 - bits(21,5)));
+  }
+}
+instr CROR match 0x4C000382 mask 0xFC0007FE {
+  action evaluate {
+    reg.CR[0] = (reg.CR[0] & ~(1 << (31 - bits(21,5))))
+              | ((((reg.CR[0] >> (31 - bits(16,5))) & 1)
+                 | ((reg.CR[0] >> (31 - bits(11,5))) & 1)) << (31 - bits(21,5)));
+  }
+}
+instr CRXOR match 0x4C000182 mask 0xFC0007FE {
+  action evaluate {
+    reg.CR[0] = (reg.CR[0] & ~(1 << (31 - bits(21,5))))
+              | ((((reg.CR[0] >> (31 - bits(16,5))) & 1)
+                 ^ ((reg.CR[0] >> (31 - bits(11,5))) & 1)) << (31 - bits(21,5)));
+  }
+}
+instr CRNOR match 0x4C000042 mask 0xFC0007FE {
+  action evaluate {
+    reg.CR[0] = (reg.CR[0] & ~(1 << (31 - bits(21,5))))
+              | (((1 - (((reg.CR[0] >> (31 - bits(16,5))) & 1)
+                       | ((reg.CR[0] >> (31 - bits(11,5))) & 1)))
+                  & 1) << (31 - bits(21,5)));
+  }
+}
+
+// mcrf: copy one CR field to another
+instr MCRF match 0x4C000000 mask 0xFC0007FE {
+  action evaluate {
+    cr_field = (reg.CR[0] >> ((7 - bits(18,3)) << 2)) & 0xF;
+    reg.CR[0] = (reg.CR[0] & ~(0xF << ((7 - bits(23,3)) << 2)))
+              | (cr_field << ((7 - bits(23,3)) << 2));
+  }
+}
+
+// ---------------- memory ---------------------------------------------
+instr LWZ : mem_d_load match 0x80000000 mask 0xFC000000 {
+  action memory { rd = load.u32(effective_addr); }
+}
+instr LBZ : mem_d_load match 0x88000000 mask 0xFC000000 {
+  action memory { rd = load.u8(effective_addr); }
+}
+instr LHZ : mem_d_load match 0xA0000000 mask 0xFC000000 {
+  action memory { rd = load.u16(effective_addr); }
+}
+instr LHA : mem_d_load match 0xA8000000 mask 0xFC000000 {
+  action memory { rd = zext(load.s16(effective_addr), 32); }
+}
+instr STW : mem_d_store match 0x90000000 mask 0xFC000000 {
+  action memory { store.u32(effective_addr, rs); }
+}
+instr STB : mem_d_store match 0x98000000 mask 0xFC000000 {
+  action memory { store.u8(effective_addr, rs); }
+}
+instr STH : mem_d_store match 0xB0000000 mask 0xFC000000 {
+  action memory { store.u16(effective_addr, rs); }
+}
+instr LWZX : mem_x_load match 0x7C00002E mask 0xFC0007FE {
+  action memory { rd = load.u32(effective_addr); }
+}
+instr LBZX : mem_x_load match 0x7C0000AE mask 0xFC0007FE {
+  action memory { rd = load.u8(effective_addr); }
+}
+instr STWX : mem_x_store match 0x7C00012E mask 0xFC0007FE {
+  action memory { store.u32(effective_addr, rs); }
+}
+instr STBX : mem_x_store match 0x7C0001AE mask 0xFC0007FE {
+  action memory { store.u8(effective_addr, rs); }
+}
+instr LHZX : mem_x_load match 0x7C00022E mask 0xFC0007FE {
+  action memory { rd = load.u16(effective_addr); }
+}
+instr LHAX : mem_x_load match 0x7C0002AE mask 0xFC0007FE {
+  action memory { rd = zext(load.s16(effective_addr), 32); }
+}
+instr STHX : mem_x_store match 0x7C00032E mask 0xFC0007FE {
+  action memory { store.u16(effective_addr, rs); }
+}
+
+// ---------------- branches -------------------------------------------
+instr B match 0x48000000 mask 0xFC000000 {
+  action address {
+    branch_target = (bits(1,1) ? (sbits(2,24) << 2) : pc + (sbits(2,24) << 2)) & 0xFFFFFFFF;
+  }
+  action evaluate {
+    branch_taken = 1;
+    if (bits(0,1)) { reg.SPR[0] = (pc + 4) & 0xFFFFFFFF; }
+    next_pc = branch_target;
+  }
+}
+
+// Conditional branch: full BO/BI semantics including CTR decrement.
+instr BC match 0x40000000 mask 0xFC000000 {
+  action address {
+    branch_target = (bits(1,1) ? (sbits(2,14) << 2) : pc + (sbits(2,14) << 2)) & 0xFFFFFFFF;
+  }
+  action evaluate {
+    if (bits(23,1) == 0) { reg.SPR[1] = (reg.SPR[1] - 1) & 0xFFFFFFFF; }
+    branch_taken =
+      (bits(23,1) || ((reg.SPR[1] != 0) ^ bits(22,1)))
+      && (bits(25,1) || (((reg.CR[0] >> (31 - bits(16,5))) & 1) == bits(24,1)));
+    if (bits(0,1)) { reg.SPR[0] = (pc + 4) & 0xFFFFFFFF; }
+    if (branch_taken) { next_pc = branch_target; }
+  }
+}
+
+instr BCLR match 0x4C000020 mask 0xFC0007FE {
+  action evaluate {
+    branch_target = reg.SPR[0] & ~3;
+    if (bits(23,1) == 0) { reg.SPR[1] = (reg.SPR[1] - 1) & 0xFFFFFFFF; }
+    branch_taken =
+      (bits(23,1) || ((reg.SPR[1] != 0) ^ bits(22,1)))
+      && (bits(25,1) || (((reg.CR[0] >> (31 - bits(16,5))) & 1) == bits(24,1)));
+    if (bits(0,1)) { reg.SPR[0] = (pc + 4) & 0xFFFFFFFF; }
+    if (branch_taken) { next_pc = branch_target; }
+  }
+}
+
+instr BCCTR match 0x4C000420 mask 0xFC0007FE {
+  action evaluate {
+    branch_target = reg.SPR[1] & ~3;
+    branch_taken =
+      bits(25,1) || (((reg.CR[0] >> (31 - bits(16,5))) & 1) == bits(24,1));
+    if (bits(0,1)) { reg.SPR[0] = (pc + 4) & 0xFFFFFFFF; }
+    if (branch_taken) { next_pc = branch_target; }
+  }
+}
+
+// ---------------- special registers ----------------------------------
+instr MFSPR match 0x7C0002A6 mask 0xFC0007FE {
+  operand rd : GPR[bits(21,5)] write;
+  action evaluate {
+    alu_out = (bits(16,5) | (bits(11,5) << 5)) == 8 ? reg.SPR[0]
+            : (bits(16,5) | (bits(11,5) << 5)) == 9 ? reg.SPR[1]
+            : (bits(16,5) | (bits(11,5) << 5)) == 1 ? reg.SPR[2]
+            : 0;
+    rd = alu_out;
+  }
+}
+instr MTSPR match 0x7C0003A6 mask 0xFC0007FE {
+  operand rs : GPR[bits(21,5)] read;
+  action evaluate {
+    if ((bits(16,5) | (bits(11,5) << 5)) == 8) { reg.SPR[0] = rs; }
+    if ((bits(16,5) | (bits(11,5) << 5)) == 9) { reg.SPR[1] = rs; }
+    if ((bits(16,5) | (bits(11,5) << 5)) == 1) { reg.SPR[2] = rs; }
+  }
+}
+instr MFCR match 0x7C000026 mask 0xFC0007FE {
+  operand rd : GPR[bits(21,5)] write;
+  action evaluate { rd = reg.CR[0]; }
+}
+
+// ---------------- system call ----------------------------------------
+instr SC match 0x44000002 mask 0xFC000002 {
+  action exception { fault illegal; }
+}
+|}
+
+let os_text =
+  {|
+// OS emulation for PowerPC: conventional sc ABI — number in r0,
+// arguments in r3-r5, result in r3.
+abi {
+  nr = GPR[0];
+  arg0 = GPR[3];
+  arg1 = GPR[4];
+  arg2 = GPR[5];
+  ret = GPR[3];
+}
+
+override SC action exception {
+  syscall;
+}
+|}
+
+let buildsets_text = Specsim.Detail.canonical_buildset_file ()
+
+let sources : Lis.Ast.source list =
+  [
+    { src_role = Lis.Ast.Isa_description; src_name = "ppc.lis"; src_text = isa_text };
+    { src_role = Lis.Ast.Os_support; src_name = "ppc_os.lis"; src_text = os_text };
+    {
+      src_role = Lis.Ast.Buildset_file;
+      src_name = "ppc_buildsets.lis";
+      src_text = buildsets_text;
+    };
+  ]
+
+let spec = lazy (Lis.Sema.load sources)

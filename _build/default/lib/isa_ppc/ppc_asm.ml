@@ -1,0 +1,204 @@
+(** PowerPC encoder and VIR lowering.
+
+    VIR registers map to r14..r29 (callee-saved range); the emulated-OS
+    ABI uses r0 (number) and r3..r5 (arguments), so syscall lowering moves
+    values explicitly, like real PPC glue code. *)
+
+let check_reg name v =
+  if v < 0 || v > 31 then
+    invalid_arg (Printf.sprintf "ppc asm: %s=%d out of range" name v)
+
+(* ------------------------------------------------------------------ *)
+(* Encoders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let d_form op ~rd ~ra ~imm =
+  check_reg "rd" rd;
+  check_reg "ra" ra;
+  if imm < -32768 || imm > 65535 then invalid_arg "ppc asm: imm16 range";
+  Int64.of_int
+    ((op lsl 26) lor (rd lsl 21) lor (ra lsl 16) lor (imm land 0xFFFF))
+
+let x_form ?(rc = false) ~xo ~rs ~ra ~rb () =
+  Int64.of_int
+    ((31 lsl 26) lor (rs lsl 21) lor (ra lsl 16) lor (rb lsl 11)
+    lor (xo lsl 1)
+    lor (if rc then 1 else 0))
+
+let addi ~rd ~ra ~imm = d_form 14 ~rd ~ra ~imm
+let addis ~rd ~ra ~imm = d_form 15 ~rd ~ra ~imm
+let mulli ~rd ~ra ~imm = d_form 7 ~rd ~ra ~imm
+let andi_rec ~ra ~rs ~imm = d_form 28 ~rd:rs ~ra ~imm
+let ori ~ra ~rs ~imm = d_form 24 ~rd:rs ~ra ~imm
+let oris ~ra ~rs ~imm = d_form 25 ~rd:rs ~ra ~imm
+let xori ~ra ~rs ~imm = d_form 26 ~rd:rs ~ra ~imm
+let lwz ~rd ~ra ~imm = d_form 32 ~rd ~ra ~imm
+let lbz ~rd ~ra ~imm = d_form 34 ~rd ~ra ~imm
+let lhz ~rd ~ra ~imm = d_form 40 ~rd ~ra ~imm
+let lha ~rd ~ra ~imm = d_form 42 ~rd ~ra ~imm
+let stw ~rs ~ra ~imm = d_form 36 ~rd:rs ~ra ~imm
+let stb ~rs ~ra ~imm = d_form 38 ~rd:rs ~ra ~imm
+let sth ~rs ~ra ~imm = d_form 44 ~rd:rs ~ra ~imm
+let cmpi ~crf ~ra ~imm = d_form 11 ~rd:(crf lsl 2) ~ra ~imm
+let cmpli ~crf ~ra ~imm = d_form 10 ~rd:(crf lsl 2) ~ra ~imm
+
+let add ?rc ~rd ~ra ~rb () = x_form ?rc ~xo:266 ~rs:rd ~ra ~rb ()
+let subf ?rc ~rd ~ra ~rb () = x_form ?rc ~xo:40 ~rs:rd ~ra ~rb ()
+let neg ?rc ~rd ~ra () = x_form ?rc ~xo:104 ~rs:rd ~ra ~rb:0 ()
+let mullw ?rc ~rd ~ra ~rb () = x_form ?rc ~xo:235 ~rs:rd ~ra ~rb ()
+let mulhw ~rd ~ra ~rb () = x_form ~xo:75 ~rs:rd ~ra ~rb ()
+let mulhwu ~rd ~ra ~rb () = x_form ~xo:11 ~rs:rd ~ra ~rb ()
+let divw ~rd ~ra ~rb () = x_form ~xo:491 ~rs:rd ~ra ~rb ()
+let divwu ~rd ~ra ~rb () = x_form ~xo:459 ~rs:rd ~ra ~rb ()
+let and_ ?rc ~ra ~rs ~rb () = x_form ?rc ~xo:28 ~rs ~ra ~rb ()
+let or_ ?rc ~ra ~rs ~rb () = x_form ?rc ~xo:444 ~rs ~ra ~rb ()
+let xor_ ?rc ~ra ~rs ~rb () = x_form ?rc ~xo:316 ~rs ~ra ~rb ()
+let nor ?rc ~ra ~rs ~rb () = x_form ?rc ~xo:124 ~rs ~ra ~rb ()
+let slw ?rc ~ra ~rs ~rb () = x_form ?rc ~xo:24 ~rs ~ra ~rb ()
+let srw ?rc ~ra ~rs ~rb () = x_form ?rc ~xo:536 ~rs ~ra ~rb ()
+let sraw ?rc ~ra ~rs ~rb () = x_form ?rc ~xo:792 ~rs ~ra ~rb ()
+let srawi ?rc ~ra ~rs ~sh () = x_form ?rc ~xo:824 ~rs ~ra ~rb:sh ()
+let extsb ?rc ~ra ~rs () = x_form ?rc ~xo:954 ~rs ~ra ~rb:0 ()
+let extsh ?rc ~ra ~rs () = x_form ?rc ~xo:922 ~rs ~ra ~rb:0 ()
+let cntlzw ?rc ~ra ~rs () = x_form ?rc ~xo:26 ~rs ~ra ~rb:0 ()
+let cmp ~crf ~ra ~rb = x_form ~xo:0 ~rs:(crf lsl 2) ~ra ~rb ()
+let cmpl ~crf ~ra ~rb = x_form ~xo:32 ~rs:(crf lsl 2) ~ra ~rb ()
+let lwzx ~rd ~ra ~rb = x_form ~xo:23 ~rs:rd ~ra ~rb ()
+let lbzx ~rd ~ra ~rb = x_form ~xo:87 ~rs:rd ~ra ~rb ()
+let stwx ~rs ~ra ~rb = x_form ~xo:151 ~rs ~ra ~rb ()
+let stbx ~rs ~ra ~rb = x_form ~xo:215 ~rs ~ra ~rb ()
+let mr ~rd ~rs = or_ ~ra:rd ~rs ~rb:rs ()
+
+let rlwinm ?(rc = false) ~ra ~rs ~sh ~mb ~me () =
+  Int64.of_int
+    ((21 lsl 26) lor (rs lsl 21) lor (ra lsl 16) lor (sh lsl 11) lor (mb lsl 6)
+    lor (me lsl 1)
+    lor (if rc then 1 else 0))
+
+let slwi ~ra ~rs ~sh = rlwinm ~ra ~rs ~sh ~mb:0 ~me:(31 - sh) ()
+let srwi ~ra ~rs ~sh = rlwinm ~ra ~rs ~sh:((32 - sh) land 31) ~mb:sh ~me:31 ()
+
+(* spr numbers are encoded with their halves swapped *)
+let spr_split n = ((n land 0x1F) lsl 16) lor (((n lsr 5) land 0x1F) lsl 11)
+
+let mfspr ~rd ~spr =
+  Int64.of_int ((31 lsl 26) lor (rd lsl 21) lor spr_split spr lor (339 lsl 1))
+
+let mtspr ~rs ~spr =
+  Int64.of_int ((31 lsl 26) lor (rs lsl 21) lor spr_split spr lor (467 lsl 1))
+
+let mflr ~rd = mfspr ~rd ~spr:8
+let mtlr ~rs = mtspr ~rs ~spr:8
+let mtctr ~rs = mtspr ~rs ~spr:9
+let mfcr ~rd = Int64.of_int ((31 lsl 26) lor (rd lsl 21) lor (19 lsl 1))
+
+let b_raw ?(aa = false) ?(lk = false) off =
+  Int64.of_int
+    ((18 lsl 26)
+    lor (off land 0x3FFFFFC)
+    lor (if aa then 2 else 0)
+    lor if lk then 1 else 0)
+
+let bc_raw ?(aa = false) ?(lk = false) ~bo ~bi off =
+  Int64.of_int
+    ((16 lsl 26) lor (bo lsl 21) lor (bi lsl 16)
+    lor (off land 0xFFFC)
+    lor (if aa then 2 else 0)
+    lor if lk then 1 else 0)
+
+let bclr ?(lk = false) ~bo ~bi () =
+  Int64.of_int
+    ((19 lsl 26) lor (bo lsl 21) lor (bi lsl 16) lor (16 lsl 1)
+    lor if lk then 1 else 0)
+
+let bcctr ?(lk = false) ~bo ~bi () =
+  Int64.of_int
+    ((19 lsl 26) lor (bo lsl 21) lor (bi lsl 16) lor (528 lsl 1)
+    lor if lk then 1 else 0)
+
+let blr = bclr ~bo:20 ~bi:0 ()
+let sc = Int64.of_int ((17 lsl 26) lor 2)
+
+(* ------------------------------------------------------------------ *)
+(* VIR lowering                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Target : Vir.Lower.TARGET = struct
+  let name = "ppc"
+
+  let r v = v + 14
+
+  let w x : Vir.Lower.item = Word x
+
+  let li32 ~rd (v : int32) =
+    let hi = (Int32.to_int (Int32.shift_right_logical v 16)) land 0xFFFF in
+    let lo = Int32.to_int v land 0xFFFF in
+    if hi = 0 && lo < 0x8000 then [ w (addi ~rd ~ra:0 ~imm:lo) ]
+    else [ w (addis ~rd ~ra:0 ~imm:hi); w (ori ~ra:rd ~rs:rd ~imm:lo) ]
+
+  let branch ?(bo_bi = None) label : Vir.Lower.item =
+    Fix
+      ( (fun ~self_pc ~target_pc ->
+          let off = Int64.to_int (Int64.sub target_pc self_pc) in
+          match bo_bi with
+          | None ->
+            if off < -(1 lsl 25) || off >= 1 lsl 25 then
+              invalid_arg "ppc asm: branch range";
+            b_raw off
+          | Some (bo, bi) ->
+            if off < -(1 lsl 15) || off >= 1 lsl 15 then
+              invalid_arg "ppc asm: bc range";
+            bc_raw ~bo ~bi off),
+        label )
+
+  let lower_instr (i : Vir.Lang.instr) : Vir.Lower.item list =
+    match i with
+    | Label l -> [ Mark l ]
+    | Li (d, v) -> li32 ~rd:(r d) v
+    | Mv (d, s) -> [ w (mr ~rd:(r d) ~rs:(r s)) ]
+    | Add (d, a, b) -> [ w (add ~rd:(r d) ~ra:(r a) ~rb:(r b) ()) ]
+    | Sub (d, a, b) -> [ w (subf ~rd:(r d) ~ra:(r b) ~rb:(r a) ()) ]
+    | Mul (d, a, b) -> [ w (mullw ~rd:(r d) ~ra:(r a) ~rb:(r b) ()) ]
+    | And_ (d, a, b) -> [ w (and_ ~ra:(r d) ~rs:(r a) ~rb:(r b) ()) ]
+    | Or_ (d, a, b) -> [ w (or_ ~ra:(r d) ~rs:(r a) ~rb:(r b) ()) ]
+    | Xor_ (d, a, b) -> [ w (xor_ ~ra:(r d) ~rs:(r a) ~rb:(r b) ()) ]
+    | Addi (d, a, imm) -> [ w (addi ~rd:(r d) ~ra:(r a) ~imm) ]
+    | Andi (d, a, imm) -> [ w (andi_rec ~ra:(r d) ~rs:(r a) ~imm) ]
+    | Shli (d, a, sh) ->
+      if sh = 0 then [ w (mr ~rd:(r d) ~rs:(r a)) ]
+      else [ w (slwi ~ra:(r d) ~rs:(r a) ~sh) ]
+    | Shri (d, a, sh) ->
+      if sh = 0 then [ w (mr ~rd:(r d) ~rs:(r a)) ]
+      else [ w (srwi ~ra:(r d) ~rs:(r a) ~sh) ]
+    | Sari (d, a, sh) -> [ w (srawi ~ra:(r d) ~rs:(r a) ~sh ()) ]
+    | Ldw (d, a, imm) -> [ w (lwz ~rd:(r d) ~ra:(r a) ~imm) ]
+    | Stw (s, a, imm) -> [ w (stw ~rs:(r s) ~ra:(r a) ~imm) ]
+    | Ldb (d, a, imm) -> [ w (lbz ~rd:(r d) ~ra:(r a) ~imm) ]
+    | Stb (s, a, imm) -> [ w (stb ~rs:(r s) ~ra:(r a) ~imm) ]
+    | Bcond (c, a, b, l) ->
+      (* cr0 bits: LT=0, GT=1, EQ=2; bo 12 = branch if true, 4 = if false *)
+      let compare, bo, bi =
+        match c with
+        | Vir.Lang.Eq -> (cmp ~crf:0 ~ra:(r a) ~rb:(r b), 12, 2)
+        | Ne -> (cmp ~crf:0 ~ra:(r a) ~rb:(r b), 4, 2)
+        | Lt -> (cmp ~crf:0 ~ra:(r a) ~rb:(r b), 12, 0)
+        | Ge -> (cmp ~crf:0 ~ra:(r a) ~rb:(r b), 4, 0)
+        | Ltu -> (cmpl ~crf:0 ~ra:(r a) ~rb:(r b), 12, 0)
+        | Geu -> (cmpl ~crf:0 ~ra:(r a) ~rb:(r b), 4, 0)
+      in
+      [ w compare; branch ~bo_bi:(Some (bo, bi)) l ]
+    | Jmp l -> [ branch l ]
+    | Sys ->
+      [
+        w (mr ~rd:0 ~rs:(r 0));
+        w (mr ~rd:3 ~rs:(r 1));
+        w (mr ~rd:4 ~rs:(r 2));
+        w (mr ~rd:5 ~rs:(r 3));
+        w sc;
+        w (mr ~rd:(r 0) ~rs:3);
+      ]
+
+  let lower (p : Vir.Lang.program) = List.concat_map lower_instr p
+end
+
+let encode ~base p = Vir.Lower.encode (module Target) ~base p

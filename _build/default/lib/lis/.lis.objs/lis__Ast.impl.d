@@ -1,0 +1,1 @@
+lib/lis/ast.ml: Loc Machine Semir

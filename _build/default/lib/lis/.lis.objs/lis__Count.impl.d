@@ -1,0 +1,1 @@
+lib/lis/count.ml: Array Ast Lexer List Loc String

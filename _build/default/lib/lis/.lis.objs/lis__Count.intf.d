@@ -1,0 +1,1 @@
+lib/lis/count.mli: Ast

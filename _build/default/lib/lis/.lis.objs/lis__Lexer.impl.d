@@ -1,0 +1,1 @@
+lib/lis/lexer.ml: Array Buffer Int64 List Loc String Token

@@ -1,0 +1,1 @@
+lib/lis/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/lis/loc.ml: Format

@@ -1,0 +1,1 @@
+lib/lis/parser.ml: Array Ast Int64 Lexer List Loc Machine Semir String Token

@@ -1,0 +1,1 @@
+lib/lis/parser.mli: Ast

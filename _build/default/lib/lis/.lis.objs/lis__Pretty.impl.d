@@ -1,0 +1,1 @@
+lib/lis/pretty.ml: Ast Buffer Int64 List Machine Printf Semir String

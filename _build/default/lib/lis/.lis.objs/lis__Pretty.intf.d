@@ -1,0 +1,1 @@
+lib/lis/pretty.mli: Ast

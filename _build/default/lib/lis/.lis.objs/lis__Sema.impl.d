@@ -1,0 +1,1 @@
+lib/lis/sema.ml: Array Ast Count Hashtbl Int64 List Loc Machine Option Parser Semir Spec String

@@ -1,0 +1,1 @@
+lib/lis/sema.mli: Ast Count Spec

@@ -1,0 +1,1 @@
+lib/lis/spec.ml: Array Count List Machine Printf Semir String

@@ -1,0 +1,1 @@
+lib/lis/token.ml: Int64 Printf

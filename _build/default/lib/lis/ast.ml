@@ -1,0 +1,148 @@
+(** Surface abstract syntax of LIS descriptions.
+
+    The AST mirrors the source closely; name resolution, cell-id assignment
+    and translation of action bodies to {!Semir.Ir} happen in {!Sema}. *)
+
+type ident = { id : string; span : Loc.span }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and statements of action bodies                         *)
+(* ------------------------------------------------------------------ *)
+
+type expr = { e : expr_desc; espan : Loc.span }
+
+and expr_desc =
+  | E_int of int64
+  | E_var of string  (** field, operand value, or operand id cell *)
+  | E_bits of { lo : expr; len : expr; signed : bool }
+      (** [bits(lo,len)] / [sbits(lo,len)] — encoding bitfields; arguments
+          must fold to constants *)
+  | E_pc
+  | E_next_pc
+  | E_bin of Semir.Ir.binop * expr * expr
+  | E_log_and of expr * expr  (** short-circuit [&&] (both sides pure) *)
+  | E_log_or of expr * expr
+  | E_un of Semir.Ir.unop * expr
+  | E_call of string * expr list
+      (** builtin functions: sext, zext, asr, ror, udiv, urem, ltu, leu,
+          gtu, geu, popcount, clz, ctz *)
+  | E_ite of expr * expr * expr
+  | E_load of { width : Semir.Ir.width; signed : bool; addr : expr }
+  | E_reg of string * expr  (** [reg.CLASS\[e\]] raw register read *)
+
+type stmt = { s : stmt_desc; sspan : Loc.span }
+
+and stmt_desc =
+  | S_set of string * expr  (** [name = e;] *)
+  | S_set_next_pc of expr
+  | S_store of { width : Semir.Ir.width; addr : expr; value : expr }
+  | S_set_reg of string * expr * expr  (** [reg.CLASS\[i\] = e;] *)
+  | S_if of expr * stmt list * stmt list
+  | S_fault_illegal
+  | S_fault_unaligned of expr
+  | S_fault_arith of string
+  | S_syscall
+  | S_halt
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type isa_props = {
+  p_name : string;
+  p_endian : Machine.Memory.endian;
+  p_wordsize : int;
+  p_instr_bytes : int;
+  p_decode_lo : int;
+  p_decode_len : int;
+  p_span : Loc.span;
+}
+
+type regclass = {
+  r_name : ident;
+  r_count : int;
+  r_width : int;
+  r_zero : int option;
+}
+
+type field_decl = {
+  f_name : ident;
+  f_decode_info : bool;
+      (** marked [decode]: included in the Decode informational level *)
+}
+
+(** Operand access kinds. A destination operand's value cell is staged by
+    user actions and committed to architectural state by the generated
+    writeback action. *)
+type operand_decl = {
+  o_name : ident;
+  o_class : ident;  (** register class *)
+  o_lo : int;  (** encoding bitfield of the register number *)
+  o_len : int;
+  o_read : bool;
+  o_write : bool;
+}
+
+type action_def = { a_name : ident; a_body : stmt list }
+
+type instr_like = {
+  d_operands : operand_decl list;
+  d_actions : action_def list;
+}
+
+type class_decl = { c_name : ident; c_body : instr_like }
+
+type instr_decl = {
+  i_name : ident;
+  i_classes : ident list;  (** inherited instruction classes, in order *)
+  i_match : int64;
+  i_mask : int64;
+  i_body : instr_like;
+}
+
+type override_decl = {
+  ov_instr : ident;
+  ov_action : ident;
+  ov_body : stmt list;
+}
+
+type visibility =
+  | V_all
+  | V_min
+  | V_decode
+  | V_show of ident list
+  | V_hide of ident list
+
+type entrypoint = { ep_name : ident; ep_actions : ident list }
+
+type buildset_decl = {
+  b_name : ident;
+  b_speculation : bool;
+  b_block : bool;
+  b_visibility : visibility;
+  b_entrypoints : entrypoint list;
+}
+
+type abi_decl = {
+  abi_nr : ident * int;
+  abi_args : (ident * int) list;
+  abi_ret : ident * int;
+}
+
+type decl =
+  | D_isa of isa_props
+  | D_regclass of regclass
+  | D_field of field_decl
+  | D_sequence of ident list
+  | D_class of class_decl
+  | D_instr of instr_decl
+  | D_override of override_decl
+  | D_buildset of buildset_decl
+  | D_abi of abi_decl
+
+(** The role of a source file, used for the Table I line statistics. *)
+type role = Isa_description | Os_support | Buildset_file
+
+type source = { src_role : role; src_name : string; src_text : string }
+
+type t = decl list

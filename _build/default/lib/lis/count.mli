@@ -1,0 +1,23 @@
+(** Source-line statistics for LIS description files (paper Table I):
+    non-blank, non-comment lines, classified by each file's role. *)
+
+type stats = {
+  isa_lines : int;
+  os_lines : int;
+  buildset_lines : int;
+  buildset_count : int;  (** number of [buildset] declarations seen *)
+}
+
+val zero : stats
+
+(** [code_lines text] counts lines that contain code after stripping
+    [//] and [/* */] comments. *)
+val code_lines : string -> int
+
+(** [count_buildsets text] counts [buildset] declarations (token-level). *)
+val count_buildsets : string -> int
+
+val of_sources : Ast.source list -> stats
+
+(** The paper's "lines per experimental buildset" statistic. *)
+val lines_per_buildset : stats -> float

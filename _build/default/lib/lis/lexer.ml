@@ -1,0 +1,211 @@
+(** Hand-written lexer for LIS.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal and
+    hexadecimal integer literals, string literals with the usual escapes,
+    and C-style operators. Produces the full token array up front so the
+    parser can look ahead freely. *)
+
+type lexed = { tok : Token.t; span : Loc.span }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let make_pos st : Loc.pos =
+  { file = st.file; line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let error st fmt =
+  let p = make_pos st in
+  Loc.error { start = p; stop = p } fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec close () =
+      match peek st with
+      | None -> error st "unterminated block comment"
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        close ()
+    in
+    close ();
+    skip_ws_and_comments st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while match peek st with Some c when is_ident_char c -> true | _ -> false do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start = st.pos in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    if not (match peek st with Some c -> is_hex_digit c | None -> false) then
+      error st "expected hexadecimal digits after 0x";
+    while
+      match peek st with
+      | Some c when is_hex_digit c || c = '_' -> true
+      | _ -> false
+    do
+      advance st
+    done
+  end
+  else
+    while
+      match peek st with Some c when is_digit c || c = '_' -> true | _ -> false
+    do
+      advance st
+    done;
+  let text = String.sub st.src start (st.pos - start) in
+  let text = String.concat "" (String.split_on_char '_' text) in
+  (* Use unsigned parsing so 0xFFFFFFFFFFFFFFFF is accepted. *)
+  match Int64.of_string_opt (if hex then text else "0u" ^ text) with
+  | Some v -> v
+  | None -> (
+    match Int64.of_string_opt text with
+    | Some v -> v
+    | None -> error st "invalid integer literal %s" text)
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        go ()
+      | Some (('"' | '\\') as c) ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      | Some c -> error st "unknown escape \\%c" c
+      | None -> error st "unterminated string literal")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st : lexed =
+  skip_ws_and_comments st;
+  let start = make_pos st in
+  let simple (tok : Token.t) =
+    advance st;
+    tok
+  in
+  let two (tok : Token.t) =
+    advance st;
+    advance st;
+    tok
+  in
+  let tok : Token.t =
+    match peek st with
+    | None -> Eof
+    | Some c when is_ident_start c -> Ident (lex_ident st)
+    | Some c when is_digit c -> Int (lex_number st)
+    | Some '"' -> String (lex_string st)
+    | Some '(' -> simple Lparen
+    | Some ')' -> simple Rparen
+    | Some '{' -> simple Lbrace
+    | Some '}' -> simple Rbrace
+    | Some '[' -> simple Lbracket
+    | Some ']' -> simple Rbracket
+    | Some ',' -> simple Comma
+    | Some ';' -> simple Semi
+    | Some ':' -> simple Colon
+    | Some '.' -> simple Dot
+    | Some '?' -> simple Question
+    | Some '+' -> simple Plus
+    | Some '-' -> simple Minus
+    | Some '*' -> simple Star
+    | Some '/' -> simple Slash
+    | Some '%' -> simple Percent
+    | Some '^' -> simple Caret
+    | Some '~' -> simple Tilde
+    | Some '&' -> if peek2 st = Some '&' then two AmpAmp else simple Amp
+    | Some '|' -> if peek2 st = Some '|' then two BarBar else simple Bar
+    | Some '=' -> if peek2 st = Some '=' then two EqEq else simple Assign
+    | Some '!' -> if peek2 st = Some '=' then two NotEq else simple Bang
+    | Some '<' ->
+      if peek2 st = Some '<' then two Shl
+      else if peek2 st = Some '=' then two Le
+      else simple Lt
+    | Some '>' ->
+      if peek2 st = Some '>' then two Shr
+      else if peek2 st = Some '=' then two Ge
+      else simple Gt
+    | Some c -> error st "unexpected character %C" c
+  in
+  let stop = make_pos st in
+  { tok; span = { start; stop } }
+
+(** [tokenize ~file src] lexes the whole source. The returned array always
+    ends with an [Eof] token. @raise Loc.Error on lexical errors. *)
+let tokenize ~file src : lexed array =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let toks = ref [] in
+  let rec go () =
+    let t = next_token st in
+    toks := t :: !toks;
+    if t.tok <> Eof then go ()
+  in
+  go ();
+  Array.of_list (List.rev !toks)

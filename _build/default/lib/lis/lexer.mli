@@ -1,0 +1,9 @@
+(** Hand-written lexer for LIS. Supports [//] and [/* */] comments,
+    decimal/hexadecimal integers, string literals, and C-style operators. *)
+
+type lexed = { tok : Token.t; span : Loc.span }
+
+(** [tokenize ~file src] lexes the whole source up front (the parser looks
+    ahead freely). The returned array always ends with [Eof].
+    @raise Loc.Error on lexical errors. *)
+val tokenize : file:string -> string -> lexed array

@@ -1,0 +1,21 @@
+(** Source positions and spans for LIS descriptions. *)
+
+type pos = { file : string; line : int; col : int }
+
+type span = { start : pos; stop : pos }
+
+let dummy_pos = { file = "<none>"; line = 0; col = 0 }
+let dummy = { start = dummy_pos; stop = dummy_pos }
+
+let pp_pos ppf p = Format.fprintf ppf "%s:%d:%d" p.file p.line p.col
+let pp ppf s = pp_pos ppf s.start
+
+(** Errors raised by the LIS front end carry a span and a message. *)
+exception Error of span * string
+
+let error span fmt = Format.kasprintf (fun m -> raise (Error (span, m))) fmt
+
+let error_to_string (span, msg) = Format.asprintf "%a: %s" pp span msg
+
+(** [pp_error ppf (span, msg)] prints a compiler-style error message. *)
+let pp_error ppf (span, msg) = Format.fprintf ppf "%a: error: %s" pp span msg

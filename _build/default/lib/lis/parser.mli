@@ -1,0 +1,10 @@
+(** Recursive-descent parser for LIS (LL(2); expressions by precedence
+    climbing). All errors are reported through {!Loc.Error} with the
+    offending span. *)
+
+(** [parse ~file src] parses one LIS source file. *)
+val parse : file:string -> string -> Ast.t
+
+(** [parse_sources srcs] parses and concatenates several description files
+    (ISA description, OS support, buildsets — the paper's file layout). *)
+val parse_sources : Ast.source list -> Ast.t

@@ -1,0 +1,294 @@
+(** LIS pretty-printer: renders a surface AST back to concrete syntax.
+
+    Round-trip property: parsing the printed text must yield a
+    specification equivalent to the original (the test suite checks this
+    for every shipped ISA). Expressions are fully parenthesized, so no
+    precedence reasoning is needed. *)
+
+open Ast
+
+let binop_token : Semir.Ir.binop -> string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Divs -> "/"
+  | Rems -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Lshr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lts -> "<"
+  | Les -> "<="
+  | Mulhs | Mulhu | Divu | Remu | Ashr | Ror | Ltu | Leu ->
+    (* these reach the AST only through calls; handled in emit_expr *)
+    assert false
+
+let call_of_binop : Semir.Ir.binop -> string option = function
+  | Mulhs -> Some "mulhs"
+  | Mulhu -> Some "mulhu"
+  | Divu -> Some "udiv"
+  | Remu -> Some "urem"
+  | Ashr -> Some "asr"
+  | Ror -> Some "ror"
+  | Ltu -> Some "ltu"
+  | Leu -> Some "leu"
+  | _ -> None
+
+let width_name (w : Semir.Ir.width) signed =
+  Printf.sprintf "%s%d" (if signed then "s" else "u") (8 * Semir.Ir.bytes_of_width w)
+
+let rec emit_expr b (e : expr) =
+  let add = Buffer.add_string b in
+  match e.e with
+  | E_int v ->
+    if Int64.compare v 0L < 0 then add (Printf.sprintf "0x%Lx" v)
+    else add (Int64.to_string v)
+  | E_var name -> add name
+  | E_bits { lo; len; signed } ->
+    add (if signed then "sbits(" else "bits(");
+    emit_expr b lo;
+    add ", ";
+    emit_expr b len;
+    add ")"
+  | E_pc -> add "pc"
+  | E_next_pc -> add "next_pc"
+  | E_bin (op, x, y) -> (
+    match call_of_binop op with
+    | Some f ->
+      add f;
+      add "(";
+      emit_expr b x;
+      add ", ";
+      emit_expr b y;
+      add ")"
+    | None ->
+      add "(";
+      emit_expr b x;
+      add " ";
+      add (binop_token op);
+      add " ";
+      emit_expr b y;
+      add ")")
+  | E_log_and (x, y) ->
+    add "(";
+    emit_expr b x;
+    add " && ";
+    emit_expr b y;
+    add ")"
+  | E_log_or (x, y) ->
+    add "(";
+    emit_expr b x;
+    add " || ";
+    emit_expr b y;
+    add ")"
+  | E_un (Neg, x) ->
+    add "(0 - ";
+    emit_expr b x;
+    add ")"
+  | E_un (Not, x) ->
+    add "(~";
+    emit_expr b x;
+    add ")"
+  | E_un (Bool_not, x) ->
+    add "(!";
+    emit_expr b x;
+    add ")"
+  | E_un (Sext n, x) ->
+    add "sext(";
+    emit_expr b x;
+    add (Printf.sprintf ", %d)" n)
+  | E_un (Zext n, x) ->
+    add "zext(";
+    emit_expr b x;
+    add (Printf.sprintf ", %d)" n)
+  | E_un (Popcount, x) ->
+    add "popcount(";
+    emit_expr b x;
+    add ")"
+  | E_un (Clz, x) ->
+    add "clz(";
+    emit_expr b x;
+    add ")"
+  | E_un (Ctz, x) ->
+    add "ctz(";
+    emit_expr b x;
+    add ")"
+  | E_call (f, args) ->
+    add f;
+    add "(";
+    List.iteri
+      (fun i a ->
+        if i > 0 then add ", ";
+        emit_expr b a)
+      args;
+    add ")"
+  | E_ite (c, x, y) ->
+    add "(";
+    emit_expr b c;
+    add " ? ";
+    emit_expr b x;
+    add " : ";
+    emit_expr b y;
+    add ")"
+  | E_load { width; signed; addr } ->
+    add (Printf.sprintf "load.%s(" (width_name width signed));
+    emit_expr b addr;
+    add ")"
+  | E_reg (cls, idx) ->
+    add (Printf.sprintf "reg.%s[" cls);
+    emit_expr b idx;
+    add "]"
+
+let rec emit_stmt b ~indent (s : stmt) =
+  let add = Buffer.add_string b in
+  let pad = String.make indent ' ' in
+  add pad;
+  (match s.s with
+  | S_set (name, e) ->
+    add name;
+    add " = ";
+    emit_expr b e;
+    add ";"
+  | S_set_next_pc e ->
+    add "next_pc = ";
+    emit_expr b e;
+    add ";"
+  | S_store { width; addr; value } ->
+    add (Printf.sprintf "store.%s(" (width_name width false));
+    emit_expr b addr;
+    add ", ";
+    emit_expr b value;
+    add ");"
+  | S_set_reg (cls, idx, v) ->
+    add (Printf.sprintf "reg.%s[" cls);
+    emit_expr b idx;
+    add "] = ";
+    emit_expr b v;
+    add ";"
+  | S_if (c, t, f) ->
+    add "if (";
+    emit_expr b c;
+    add ") {\n";
+    List.iter (emit_stmt b ~indent:(indent + 2)) t;
+    add pad;
+    (match f with
+    | [] -> add "}"
+    | _ ->
+      add "} else {\n";
+      List.iter (emit_stmt b ~indent:(indent + 2)) f;
+      add pad;
+      add "}")
+  | S_fault_illegal -> add "fault illegal;"
+  | S_fault_unaligned e ->
+    add "fault unaligned(";
+    emit_expr b e;
+    add ");"
+  | S_fault_arith m -> add (Printf.sprintf "fault arith(%S);" m)
+  | S_syscall -> add "syscall;"
+  | S_halt -> add "halt;");
+  add "\n"
+
+let emit_operand b ~indent (o : operand_decl) =
+  Buffer.add_string b
+    (Printf.sprintf "%soperand %s : %s[bits(%d,%d)]%s%s;\n"
+       (String.make indent ' ') o.o_name.id o.o_class.id o.o_lo o.o_len
+       (if o.o_read then " read" else "")
+       (if o.o_write then " write" else ""))
+
+let emit_action b ~indent (a : action_def) =
+  Buffer.add_string b
+    (Printf.sprintf "%saction %s {\n" (String.make indent ' ') a.a_name.id);
+  List.iter (emit_stmt b ~indent:(indent + 2)) a.a_body;
+  Buffer.add_string b (Printf.sprintf "%s}\n" (String.make indent ' '))
+
+let emit_instr_like b (il : instr_like) =
+  List.iter (emit_operand b ~indent:2) il.d_operands;
+  List.iter (emit_action b ~indent:2) il.d_actions
+
+let emit_decl b (d : decl) =
+  let add = Buffer.add_string b in
+  match d with
+  | D_isa p ->
+    add (Printf.sprintf "isa %S {\n" p.p_name);
+    add
+      (Printf.sprintf "  endian %s;\n"
+         (match p.p_endian with Machine.Memory.Little -> "little" | Big -> "big"));
+    add (Printf.sprintf "  wordsize %d;\n" p.p_wordsize);
+    add (Printf.sprintf "  instrsize %d;\n" p.p_instr_bytes);
+    add (Printf.sprintf "  decodekey %d %d;\n" p.p_decode_lo p.p_decode_len);
+    add "}\n\n"
+  | D_regclass r ->
+    add
+      (Printf.sprintf "regclass %s %d width %d%s;\n" r.r_name.id r.r_count
+         r.r_width
+         (match r.r_zero with Some z -> Printf.sprintf " zero %d" z | None -> ""))
+  | D_field f ->
+    add
+      (Printf.sprintf "field %s : u64%s;\n" f.f_name.id
+         (if f.f_decode_info then " decode" else ""))
+  | D_sequence ids ->
+    add
+      (Printf.sprintf "sequence %s;\n"
+         (String.concat ", " (List.map (fun i -> i.id) ids)))
+  | D_class c ->
+    add (Printf.sprintf "class %s {\n" c.c_name.id);
+    emit_instr_like b c.c_body;
+    add "}\n\n"
+  | D_instr i ->
+    add
+      (Printf.sprintf "instr %s%s match 0x%08Lx mask 0x%08Lx" i.i_name.id
+         (match i.i_classes with
+         | [] -> ""
+         | cs -> " : " ^ String.concat ", " (List.map (fun c -> c.id) cs))
+         i.i_match i.i_mask);
+    if i.i_body.d_operands = [] && i.i_body.d_actions = [] then add ";\n"
+    else begin
+      add " {\n";
+      emit_instr_like b i.i_body;
+      add "}\n"
+    end
+  | D_override o ->
+    add (Printf.sprintf "override %s action %s {\n" o.ov_instr.id o.ov_action.id);
+    List.iter (emit_stmt b ~indent:2) o.ov_body;
+    add "}\n\n"
+  | D_buildset bs ->
+    add (Printf.sprintf "buildset %s {\n" bs.b_name.id);
+    add (Printf.sprintf "  speculation %s;\n" (if bs.b_speculation then "on" else "off"));
+    if bs.b_block then add "  semantic block;\n";
+    (match bs.b_visibility with
+    | V_all -> add "  visibility all;\n"
+    | V_min -> add "  visibility min;\n"
+    | V_decode -> add "  visibility decode;\n"
+    | V_show ids ->
+      add
+        (Printf.sprintf "  visibility show %s;\n"
+           (String.concat ", " (List.map (fun i -> i.id) ids)))
+    | V_hide ids ->
+      add
+        (Printf.sprintf "  visibility hide %s;\n"
+           (String.concat ", " (List.map (fun i -> i.id) ids))));
+    List.iter
+      (fun (ep : entrypoint) ->
+        add
+          (Printf.sprintf "  entrypoint %s = %s;\n" ep.ep_name.id
+             (String.concat ", " (List.map (fun a -> a.id) ep.ep_actions))))
+      bs.b_entrypoints;
+    add "}\n\n"
+  | D_abi a ->
+    add "abi {\n";
+    let item name (cls, idx) =
+      add (Printf.sprintf "  %s = %s[%d];\n" name cls.id idx)
+    in
+    item "nr" a.abi_nr;
+    List.iteri (fun i arg -> item (Printf.sprintf "arg%d" i) arg) a.abi_args;
+    item "ret" a.abi_ret;
+    add "}\n\n"
+
+(** [to_string decls] renders a whole description. *)
+let to_string (decls : Ast.t) : string =
+  let b = Buffer.create 16384 in
+  List.iter (emit_decl b) decls;
+  Buffer.contents b

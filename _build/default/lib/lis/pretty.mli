@@ -1,0 +1,6 @@
+(** LIS pretty-printer: renders a surface AST back to concrete syntax.
+    Round-trip property (checked by the test suite for every shipped ISA):
+    parsing the printed text yields an equivalent resolved specification. *)
+
+(** [to_string decls] renders a whole description. *)
+val to_string : Ast.t -> string

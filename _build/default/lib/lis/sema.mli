@@ -1,0 +1,24 @@
+(** Semantic analysis: surface AST -> resolved {!Spec.t}.
+
+    Name resolution (cells, register classes, actions), cell-id
+    assignment, operand merging across instruction classes, translation of
+    action bodies to {!Semir.Ir}, generation of the builtin decode /
+    operand-fetch / writeback programs, and buildset entrypoint and
+    visibility resolution. All errors raise {!Loc.Error}. *)
+
+(** The default per-instruction action sequence used when a description
+    has no [sequence] declaration: fetch, decode, read_operands, address,
+    evaluate, memory, writeback, exception. *)
+val default_sequence : string list
+
+(** Names of the four builtin actions (their semantics are generated). *)
+val builtin_action_names : string list
+
+val sym_of_name : string -> Spec.action_sym
+
+(** [analyze ?line_stats decls] resolves a parsed description. *)
+val analyze : ?line_stats:Count.stats -> Ast.t -> Spec.t
+
+(** [load sources] parses and analyzes a list of description files,
+    attaching their line statistics (paper Table I). *)
+val load : Ast.source list -> Spec.t

@@ -1,0 +1,79 @@
+(** Tokens of the LIS language. *)
+
+type t =
+  | Ident of string
+  | Int of int64
+  | String of string
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Colon
+  | Dot
+  | Question
+  (* operators *)
+  | Assign  (** [=] *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Bar
+  | Caret
+  | Tilde
+  | Bang
+  | Shl  (** [<<] *)
+  | Shr  (** [>>] (logical) *)
+  | EqEq
+  | NotEq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | AmpAmp
+  | BarBar
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Int v -> Int64.to_string v
+  | String s -> Printf.sprintf "%S" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semi -> ";"
+  | Colon -> ":"
+  | Dot -> "."
+  | Question -> "?"
+  | Assign -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Bar -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | EqEq -> "=="
+  | NotEq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | AmpAmp -> "&&"
+  | BarBar -> "||"
+  | Eof -> "<eof>"

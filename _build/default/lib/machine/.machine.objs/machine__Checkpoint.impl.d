@@ -1,0 +1,1 @@
+lib/machine/checkpoint.ml: Buffer Bytes Fault Int64 Memory Regfile State String

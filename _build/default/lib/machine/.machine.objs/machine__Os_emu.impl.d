@@ -1,0 +1,1 @@
+lib/machine/os_emu.ml: Array Buffer Char Fault Int64 Memory Regfile State String

@@ -1,0 +1,1 @@
+lib/machine/os_emu.mli: State

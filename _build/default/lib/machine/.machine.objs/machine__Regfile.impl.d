@@ -1,0 +1,1 @@
+lib/machine/regfile.ml: Array Format Hashtbl Int64 Printf String

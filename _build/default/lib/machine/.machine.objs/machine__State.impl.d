@@ -1,0 +1,1 @@
+lib/machine/state.ml: Fault Int64 Memory Regfile

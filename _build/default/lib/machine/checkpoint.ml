@@ -1,0 +1,144 @@
+(** Whole-machine checkpointing: serialize the complete architectural
+    state (registers, allocated memory pages, control state) to a byte
+    string and restore it into a compatible machine.
+
+    This is the substrate for checkpoint-based sampling methodologies
+    (SMARTS-style simulation points): capture the state once, then replay
+    measurement intervals from it under different timing models. The
+    format is versioned and self-describing enough to reject restores
+    into machines with a different register layout or endianness. *)
+
+let magic = "LISIMCK1"
+
+let add_i64 b (v : int64) =
+  let tmp = Bytes.create 8 in
+  Bytes.set_int64_le tmp 0 v;
+  Buffer.add_bytes b tmp
+
+let add_int b v = add_i64 b (Int64.of_int v)
+
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let read_i64 r =
+  if r.pos + 8 > String.length r.data then raise (Corrupt "truncated");
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_int r = Int64.to_int (read_i64 r)
+
+(** [save st] serializes the machine's architectural state. The syscall
+    handler and any attached OS-emulator state are not captured (an OS
+    emulator has its own buffers; re-install it after restore). *)
+let save (st : State.t) : string =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b magic;
+  Buffer.add_char b (match Memory.endian st.mem with Little -> 'L' | Big -> 'B');
+  (* register classes: layout fingerprint + contents *)
+  let n_classes = Regfile.class_count st.regs in
+  add_int b n_classes;
+  for c = 0 to n_classes - 1 do
+    let def = Regfile.class_def st.regs c in
+    add_int b (String.length def.cname);
+    Buffer.add_string b def.cname;
+    add_int b def.count;
+    add_int b def.width;
+    add_int b (match def.hardwired_zero with Some z -> z | None -> -1);
+    for i = 0 to def.count - 1 do
+      add_i64 b (Regfile.read st.regs ~cls:c ~idx:i)
+    done
+  done;
+  (* control state *)
+  add_i64 b st.pc;
+  add_i64 b st.next_pc;
+  add_i64 b st.instr_count;
+  add_int b (if st.halted then 1 else 0);
+  (match st.fault with
+  | None -> add_int b 0
+  | Some (Fault.Illegal_instruction e) ->
+    add_int b 1;
+    add_i64 b e
+  | Some (Fault.Unaligned_access a) ->
+    add_int b 2;
+    add_i64 b a
+  | Some (Fault.Arith m) ->
+    add_int b 3;
+    add_int b (String.length m);
+    Buffer.add_string b m
+  | Some (Fault.Exit c) ->
+    add_int b 4;
+    add_int b c);
+  (* memory pages *)
+  let n_pages = Memory.page_count st.mem in
+  add_int b n_pages;
+  Memory.fold_pages st.mem ~init:() ~f:(fun () idx page ->
+      add_int b idx;
+      Buffer.add_bytes b page);
+  Buffer.contents b
+
+(** [restore st data] overwrites [st] with the checkpointed state.
+    @raise Corrupt if the data is malformed or the register layout,
+    endianness or class shapes do not match [st]. *)
+let restore (st : State.t) (data : string) : unit =
+  let r = { data; pos = 0 } in
+  let expect_str s =
+    let n = String.length s in
+    if r.pos + n > String.length data || String.sub data r.pos n <> s then
+      raise (Corrupt ("expected " ^ s));
+    r.pos <- r.pos + n
+  in
+  expect_str magic;
+  let e = data.[r.pos] in
+  r.pos <- r.pos + 1;
+  let expected_endian = match Memory.endian st.mem with Little -> 'L' | Big -> 'B' in
+  if e <> expected_endian then raise (Corrupt "endianness mismatch");
+  let n_classes = read_int r in
+  if n_classes <> Regfile.class_count st.regs then
+    raise (Corrupt "register class count mismatch");
+  for c = 0 to n_classes - 1 do
+    let def = Regfile.class_def st.regs c in
+    let name_len = read_int r in
+    if r.pos + name_len > String.length data then raise (Corrupt "truncated");
+    let name = String.sub data r.pos name_len in
+    r.pos <- r.pos + name_len;
+    let count = read_int r in
+    let width = read_int r in
+    let hz = read_int r in
+    if
+      name <> def.cname || count <> def.count || width <> def.width
+      || hz <> (match def.hardwired_zero with Some z -> z | None -> -1)
+    then raise (Corrupt ("register class mismatch: " ^ name));
+    for i = 0 to count - 1 do
+      Regfile.write st.regs ~cls:c ~idx:i (read_i64 r)
+    done
+  done;
+  st.pc <- read_i64 r;
+  st.next_pc <- read_i64 r;
+  st.instr_count <- read_i64 r;
+  st.halted <- read_int r <> 0;
+  (st.fault <-
+     (match read_int r with
+     | 0 -> None
+     | 1 -> Some (Fault.Illegal_instruction (read_i64 r))
+     | 2 -> Some (Fault.Unaligned_access (read_i64 r))
+     | 3 ->
+       let n = read_int r in
+       if r.pos + n > String.length data then raise (Corrupt "truncated");
+       let m = String.sub data r.pos n in
+       r.pos <- r.pos + n;
+       Some (Fault.Arith m)
+     | 4 -> Some (Fault.Exit (read_int r))
+     | _ -> raise (Corrupt "unknown fault tag")));
+  Memory.clear st.mem;
+  let n_pages = read_int r in
+  for _ = 1 to n_pages do
+    let idx = read_int r in
+    if r.pos + Memory.page_size > String.length data then
+      raise (Corrupt "truncated page");
+    Memory.load_bytes st.mem
+      (Int64.of_int (idx * Memory.page_size))
+      (Bytes.of_string (String.sub data r.pos Memory.page_size));
+    r.pos <- r.pos + Memory.page_size
+  done

@@ -1,0 +1,28 @@
+(** Architectural faults raised by instruction execution.
+
+    Faults are reported through the functional-to-timing interface (the
+    paper's "faults" item in the minimal informational detail level), not
+    as OCaml exceptions, so a timing simulator can observe and act on them. *)
+
+type t =
+  | Illegal_instruction of int64  (** encoding that failed to decode *)
+  | Unaligned_access of int64  (** effective address *)
+  | Arith of string  (** e.g. division by zero when the ISA traps *)
+  | Exit of int  (** program requested termination with a status code *)
+
+let equal a b =
+  match (a, b) with
+  | Illegal_instruction x, Illegal_instruction y -> Int64.equal x y
+  | Unaligned_access x, Unaligned_access y -> Int64.equal x y
+  | Arith x, Arith y -> String.equal x y
+  | Exit x, Exit y -> Int.equal x y
+  | (Illegal_instruction _ | Unaligned_access _ | Arith _ | Exit _), _ -> false
+
+let pp ppf = function
+  | Illegal_instruction enc ->
+    Format.fprintf ppf "illegal instruction (encoding 0x%Lx)" enc
+  | Unaligned_access a -> Format.fprintf ppf "unaligned access at 0x%Lx" a
+  | Arith s -> Format.fprintf ppf "arithmetic fault: %s" s
+  | Exit c -> Format.fprintf ppf "exit(%d)" c
+
+let to_string t = Format.asprintf "%a" pp t

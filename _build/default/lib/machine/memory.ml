@@ -1,0 +1,159 @@
+type endian = Little | Big
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = {
+  endian : endian;
+  pages : (int, Bytes.t) Hashtbl.t;
+  (* One-entry cache of the most recently touched page: instruction fetch
+     and stack traffic hit the same page repeatedly. *)
+  mutable last_index : int;
+  mutable last_page : Bytes.t;
+}
+
+let no_page = Bytes.create 0
+
+let create endian =
+  { endian; pages = Hashtbl.create 64; last_index = -1; last_page = no_page }
+
+let endian t = t.endian
+let page_count t = Hashtbl.length t.pages
+
+let clear t =
+  Hashtbl.reset t.pages;
+  t.last_index <- -1;
+  t.last_page <- no_page
+
+(* Addresses are truncated to the native-int range; programs in this
+   simulator live far below 2^62 so the truncation is lossless. *)
+let to_int (a : int64) = Int64.to_int a land max_int
+
+let page t index =
+  if index = t.last_index then t.last_page
+  else
+    let p =
+      match Hashtbl.find_opt t.pages index with
+      | Some p -> p
+      | None ->
+        let p = Bytes.make page_size '\000' in
+        Hashtbl.add t.pages index p;
+        p
+    in
+    t.last_index <- index;
+    t.last_page <- p;
+    p
+
+let read_byte t addr =
+  let a = to_int addr in
+  Bytes.unsafe_get (page t (a lsr page_bits)) (a land page_mask) |> Char.code
+
+let write_byte t addr v =
+  let a = to_int addr in
+  Bytes.unsafe_set
+    (page t (a lsr page_bits))
+    (a land page_mask)
+    (Char.unsafe_chr (v land 0xff))
+
+let check_width width =
+  match width with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg (Printf.sprintf "Memory: unsupported width %d" width)
+
+(* Slow path: assemble bytes one at a time (page-spanning or odd widths). *)
+let read_bytes_slow t a width =
+  let v = ref 0L in
+  (match t.endian with
+  | Little ->
+    for i = width - 1 downto 0 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (read_byte t (Int64.of_int (a + i))))
+    done
+  | Big ->
+    for i = 0 to width - 1 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (read_byte t (Int64.of_int (a + i))))
+    done);
+  !v
+
+let write_bytes_slow t a width v =
+  match t.endian with
+  | Little ->
+    for i = 0 to width - 1 do
+      write_byte t
+        (Int64.of_int (a + i))
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+  | Big ->
+    for i = 0 to width - 1 do
+      write_byte t
+        (Int64.of_int (a + i))
+        (Int64.to_int (Int64.shift_right_logical v (8 * (width - 1 - i)))
+        land 0xff)
+    done
+
+let read t ~addr ~width =
+  check_width width;
+  let a = to_int addr in
+  let off = a land page_mask in
+  if off + width <= page_size then begin
+    let p = page t (a lsr page_bits) in
+    match (width, t.endian) with
+    | 1, _ -> Int64.of_int (Char.code (Bytes.unsafe_get p off))
+    | 2, Little -> Int64.of_int (Bytes.get_uint16_le p off)
+    | 2, Big -> Int64.of_int (Bytes.get_uint16_be p off)
+    | 4, Little -> Int64.of_int32 (Bytes.get_int32_le p off) |> Int64.logand 0xFFFFFFFFL
+    | 4, Big -> Int64.of_int32 (Bytes.get_int32_be p off) |> Int64.logand 0xFFFFFFFFL
+    | 8, Little -> Bytes.get_int64_le p off
+    | 8, Big -> Bytes.get_int64_be p off
+    | _ -> assert false
+  end
+  else read_bytes_slow t a width
+
+let sign_extend v width =
+  let bits = 64 - (8 * width) in
+  Int64.shift_right (Int64.shift_left v bits) bits
+
+let read_signed t ~addr ~width = sign_extend (read t ~addr ~width) width
+
+let write t ~addr ~width v =
+  check_width width;
+  let a = to_int addr in
+  let off = a land page_mask in
+  if off + width <= page_size then begin
+    let p = page t (a lsr page_bits) in
+    match (width, t.endian) with
+    | 1, _ -> Bytes.unsafe_set p off (Char.unsafe_chr (Int64.to_int v land 0xff))
+    | 2, Little -> Bytes.set_uint16_le p off (Int64.to_int v land 0xffff)
+    | 2, Big -> Bytes.set_uint16_be p off (Int64.to_int v land 0xffff)
+    | 4, Little -> Bytes.set_int32_le p off (Int64.to_int32 v)
+    | 4, Big -> Bytes.set_int32_be p off (Int64.to_int32 v)
+    | 8, Little -> Bytes.set_int64_le p off v
+    | 8, Big -> Bytes.set_int64_be p off v
+    | _ -> assert false
+  end
+  else write_bytes_slow t a width v
+
+let load_bytes t addr b =
+  for i = 0 to Bytes.length b - 1 do
+    write_byte t (Int64.add addr (Int64.of_int i)) (Char.code (Bytes.get b i))
+  done
+
+(* Iterate allocated pages in increasing index order (stable output for
+   serialization). *)
+let fold_pages t ~init ~f =
+  Hashtbl.fold (fun idx page acc -> (idx, page) :: acc) t.pages []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.fold_left (fun acc (idx, page) -> f acc idx page) init
+
+let dump_bytes t addr len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (read_byte t (Int64.add addr (Int64.of_int i))))
+  done;
+  b

@@ -1,0 +1,50 @@
+(** Sparse, paged byte-addressable memory.
+
+    Pages are allocated on demand, so the full 64-bit address space is
+    usable without preallocation. Reads of never-written locations return
+    zero. Multi-byte accesses honour the endianness chosen at creation
+    time and may span page boundaries. *)
+
+type endian = Little | Big
+
+type t
+
+(** [create endian] returns an empty memory. *)
+val create : endian -> t
+
+val endian : t -> endian
+
+(** Number of pages currently allocated (for tests and statistics). *)
+val page_count : t -> int
+
+(** [read mem ~addr ~width] reads [width] bytes (1, 2, 4 or 8) at [addr]
+    and returns them zero-extended to 64 bits.
+    @raise Invalid_argument on an unsupported width. *)
+val read : t -> addr:int64 -> width:int -> int64
+
+(** [read_signed] is [read] followed by sign extension from [width] bytes. *)
+val read_signed : t -> addr:int64 -> width:int -> int64
+
+(** [write mem ~addr ~width v] stores the low [width] bytes of [v] at [addr].
+    @raise Invalid_argument on an unsupported width. *)
+val write : t -> addr:int64 -> width:int -> int64 -> unit
+
+val read_byte : t -> int64 -> int
+val write_byte : t -> int64 -> int -> unit
+
+(** [load_bytes mem addr b] copies the whole of [b] into memory at [addr]. *)
+val load_bytes : t -> int64 -> bytes -> unit
+
+(** [dump_bytes mem addr len] reads [len] bytes starting at [addr]. *)
+val dump_bytes : t -> int64 -> int -> bytes
+
+(** [clear mem] drops every page, returning the memory to its initial state. *)
+val clear : t -> unit
+
+(** [fold_pages mem ~init ~f] folds over allocated pages in increasing
+    page-index order; each page is 4096 bytes. The callback must not
+    mutate the memory. Used by {!Checkpoint}. *)
+val fold_pages : t -> init:'a -> f:('a -> int -> bytes -> 'a) -> 'a
+
+(** Page size in bytes (4096). *)
+val page_size : int

@@ -1,0 +1,1 @@
+lib/manual/manual_sim.ml: Fault Int64 Machine Memory Regfile Semir State

@@ -1,0 +1,232 @@
+(** Manual practice of the single-specification principle (paper §IV-A,
+    Figs. 2-4), hand-written for the demo ISA.
+
+    The highest-detail interface functions take every piece of information
+    by reference (here: they return values / take them as arguments), and
+    the lower-detail interfaces are built by calling them:
+
+    - {!Fig2}: the dynamic-instruction structure with every field — the
+      high informational detail interface of Fig. 2.
+    - {!do_in_one}: one call per instruction, all information recorded in
+      the structure (Fig. 3).
+    - {!do_in_one_less_info}: one call per instruction, with the effective
+      address and opcode kept in locals that never reach the structure
+      (Fig. 4) — the hand-derived lower informational detail.
+
+    This module is the paper's baseline: deriving even one extra interface
+    by hand means writing and maintaining functions like these for every
+    instruction step, which is exactly the tedium the LIS buildsets
+    eliminate. The test suite checks both manual interfaces against the
+    synthesized simulator instruction by instruction. *)
+
+open Machine
+
+(* The demo ISA's opcodes (see Demo_isa for the encodings). *)
+type opcode =
+  | Add
+  | Sub
+  | Mul
+  | Cmplt
+  | Addi
+  | Ldq
+  | Stq
+  | Beqz
+  | Br
+  | Sys
+  | Illegal
+
+(** Fig. 2: the dynamic-instruction structure of the high-detail interface. *)
+module Fig2 = struct
+  type dynamic_instr = {
+    mutable pc : int64;
+    mutable instr_bits : int64;
+    mutable opcode : opcode;
+    mutable src_operand_1 : int64;
+    mutable src_operand_2 : int64;
+    mutable dest_operand : int64;
+    mutable dest_reg : int;
+    mutable effective_addr : int64;
+    mutable alu_out : int64;
+    mutable next_pc : int64;
+  }
+
+  let create () =
+    {
+      pc = 0L;
+      instr_bits = 0L;
+      opcode = Illegal;
+      src_operand_1 = 0L;
+      src_operand_2 = 0L;
+      dest_operand = 0L;
+      dest_reg = 31;
+      effective_addr = 0L;
+      alu_out = 0L;
+      next_pc = 0L;
+    }
+end
+
+let field enc lo len =
+  Int64.to_int (Semir.Value.enc_bits enc ~lo ~len ~signed:false)
+
+let sfield enc lo len = Semir.Value.enc_bits enc ~lo ~len ~signed:true
+
+(* ------------------------------------------------------------------ *)
+(* Highest-detail interface functions: each step of instruction        *)
+(* execution is a separate call, all information passed explicitly     *)
+(* (the reference-parameter style of Fig. 4).                          *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_instruction (st : State.t) ~pc = Memory.read st.mem ~addr:pc ~width:4
+
+let decode_instruction instr_bits : opcode =
+  match field instr_bits 26 6 with
+  | 0x10 -> (
+    match field instr_bits 0 11 with
+    | 0 -> Add
+    | 1 -> Sub
+    | 2 -> Mul
+    | 3 -> Cmplt
+    | _ -> Illegal)
+  | 0x11 -> Addi
+  | 0x12 -> Ldq
+  | 0x13 -> Stq
+  | 0x14 -> Beqz
+  | 0x15 -> Br
+  | 0x16 -> Sys
+  | _ -> Illegal
+
+let read_src_operand_1 (st : State.t) instr_bits =
+  Regfile.read st.regs ~cls:0 ~idx:(field instr_bits 21 5)
+
+let read_src_operand_2 (st : State.t) opcode instr_bits =
+  match opcode with
+  | Add | Sub | Mul | Cmplt | Stq -> Regfile.read st.regs ~cls:0 ~idx:(field instr_bits 16 5)
+  | Addi | Ldq | Beqz | Br | Sys | Illegal -> 0L
+
+let decode_dest_reg opcode instr_bits =
+  match opcode with
+  | Add | Sub | Mul | Cmplt -> field instr_bits 11 5
+  | Addi | Ldq -> field instr_bits 16 5
+  | Stq | Beqz | Br | Sys | Illegal -> 31
+
+let compute_effective_addr opcode ~src_operand_1 ~instr_bits =
+  match opcode with
+  | Ldq | Stq -> Int64.add src_operand_1 (sfield instr_bits 0 16)
+  | Add | Sub | Mul | Cmplt | Addi | Beqz | Br | Sys | Illegal -> 0L
+
+let evaluate_alu opcode ~pc ~instr_bits ~src_operand_1 ~src_operand_2 =
+  (* returns (alu_out, next_pc) *)
+  let fallthrough = Int64.add pc 4L in
+  match opcode with
+  | Add -> (Int64.add src_operand_1 src_operand_2, fallthrough)
+  | Sub -> (Int64.sub src_operand_1 src_operand_2, fallthrough)
+  | Mul -> (Int64.mul src_operand_1 src_operand_2, fallthrough)
+  | Cmplt ->
+    ((if Int64.compare src_operand_1 src_operand_2 < 0 then 1L else 0L), fallthrough)
+  | Addi -> (Int64.add src_operand_1 (sfield instr_bits 0 16), fallthrough)
+  | Beqz ->
+    ( 0L,
+      if Int64.equal src_operand_1 0L then
+        Int64.add fallthrough (Int64.shift_left (sfield instr_bits 0 16) 2)
+      else fallthrough )
+  | Br -> (0L, Int64.add fallthrough (Int64.shift_left (sfield instr_bits 0 26) 2))
+  | Ldq | Stq | Sys | Illegal -> (0L, fallthrough)
+
+let do_load (st : State.t) opcode ~effective_addr =
+  match opcode with
+  | Ldq -> Memory.read st.mem ~addr:effective_addr ~width:8
+  | _ -> 0L
+
+let do_store (st : State.t) opcode ~effective_addr ~src_operand_2 =
+  match opcode with
+  | Stq -> Memory.write st.mem ~addr:effective_addr ~width:8 src_operand_2
+  | _ -> ()
+
+let writeback_dest (st : State.t) opcode ~dest_reg ~value =
+  match opcode with
+  | Add | Sub | Mul | Cmplt | Addi | Ldq ->
+    Regfile.write st.regs ~cls:0 ~idx:dest_reg value
+  | Stq | Beqz | Br | Sys | Illegal -> ()
+
+let do_exception (st : State.t) opcode ~instr_bits =
+  match opcode with
+  | Sys -> st.syscall_handler st
+  | Illegal -> State.raise_fault st (Fault.Illegal_instruction instr_bits)
+  | Add | Sub | Mul | Cmplt | Addi | Ldq | Stq | Beqz | Br -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: one call per instruction, high informational detail — every *)
+(* value is stored into the dynamic-instruction structure.             *)
+(* ------------------------------------------------------------------ *)
+
+let do_in_one (st : State.t) (di : Fig2.dynamic_instr) =
+  di.pc <- st.pc;
+  di.instr_bits <- fetch_instruction st ~pc:di.pc;
+  di.opcode <- decode_instruction di.instr_bits;
+  di.src_operand_1 <- read_src_operand_1 st di.instr_bits;
+  di.src_operand_2 <- read_src_operand_2 st di.opcode di.instr_bits;
+  di.dest_reg <- decode_dest_reg di.opcode di.instr_bits;
+  di.effective_addr <-
+    compute_effective_addr di.opcode ~src_operand_1:di.src_operand_1
+      ~instr_bits:di.instr_bits;
+  let alu_out, next_pc =
+    evaluate_alu di.opcode ~pc:di.pc ~instr_bits:di.instr_bits
+      ~src_operand_1:di.src_operand_1 ~src_operand_2:di.src_operand_2
+  in
+  di.alu_out <- alu_out;
+  di.next_pc <- next_pc;
+  let loaded = do_load st di.opcode ~effective_addr:di.effective_addr in
+  di.dest_operand <- (match di.opcode with Ldq -> loaded | _ -> di.alu_out);
+  writeback_dest st di.opcode ~dest_reg:di.dest_reg ~value:di.dest_operand;
+  do_store st di.opcode ~effective_addr:di.effective_addr
+    ~src_operand_2:di.src_operand_2;
+  do_exception st di.opcode ~instr_bits:di.instr_bits;
+  if not st.halted then begin
+    st.pc <- di.next_pc;
+    st.instr_count <- Int64.add st.instr_count 1L
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: the lower-informational-detail derivation — the effective   *)
+(* address and opcode live in locals and are never reported.           *)
+(* ------------------------------------------------------------------ *)
+
+type min_di = {
+  mutable m_pc : int64;
+  mutable m_instr_bits : int64;
+  mutable m_next_pc : int64;
+}
+
+let min_di () = { m_pc = 0L; m_instr_bits = 0L; m_next_pc = 0L }
+
+let do_in_one_less_info (st : State.t) (di : min_di) =
+  di.m_pc <- st.pc;
+  di.m_instr_bits <- fetch_instruction st ~pc:di.m_pc;
+  (* locals: not part of the interface *)
+  let opcode = decode_instruction di.m_instr_bits in
+  let src1 = read_src_operand_1 st di.m_instr_bits in
+  let src2 = read_src_operand_2 st opcode di.m_instr_bits in
+  let dest_reg = decode_dest_reg opcode di.m_instr_bits in
+  let effective_addr =
+    compute_effective_addr opcode ~src_operand_1:src1 ~instr_bits:di.m_instr_bits
+  in
+  let alu_out, next_pc =
+    evaluate_alu opcode ~pc:di.m_pc ~instr_bits:di.m_instr_bits
+      ~src_operand_1:src1 ~src_operand_2:src2
+  in
+  di.m_next_pc <- next_pc;
+  let value =
+    match opcode with Ldq -> do_load st opcode ~effective_addr | _ -> alu_out
+  in
+  writeback_dest st opcode ~dest_reg ~value;
+  do_store st opcode ~effective_addr ~src_operand_2:src2;
+  do_exception st opcode ~instr_bits:di.m_instr_bits;
+  if not st.halted then begin
+    st.pc <- di.m_next_pc;
+    st.instr_count <- Int64.add st.instr_count 1L
+  end
+
+(** Fresh machine with the demo ISA's register layout. *)
+let make_machine () =
+  State.create ~endian:Memory.Little
+    [ { Regfile.cname = "GPR"; count = 32; width = 64; hardwired_zero = Some 31 } ]

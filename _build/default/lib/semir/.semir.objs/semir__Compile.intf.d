@@ -1,0 +1,1 @@
+lib/semir/compile.mli: Frame Hooks Ir Machine

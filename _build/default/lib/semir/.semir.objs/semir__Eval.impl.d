@@ -1,0 +1,1 @@
+lib/semir/eval.ml: Array Fault Frame Hooks Int64 Ir List Machine Memory Regaccess Regfile State Value

@@ -1,0 +1,1 @@
+lib/semir/eval.mli: Frame Hooks Ir Machine

@@ -1,0 +1,1 @@
+lib/semir/frame.ml: Array

@@ -1,0 +1,1 @@
+lib/semir/hooks.ml: Machine

@@ -1,0 +1,1 @@
+lib/semir/ir.ml: Format List Printf

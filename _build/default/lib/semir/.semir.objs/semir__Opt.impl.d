@@ -1,0 +1,1 @@
+lib/semir/opt.ml: Int Ir List Map Set Value

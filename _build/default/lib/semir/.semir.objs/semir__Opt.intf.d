@@ -1,0 +1,1 @@
+lib/semir/opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/semir/regaccess.ml: Int64 Machine Printf

@@ -1,0 +1,1 @@
+lib/semir/regaccess.mli: Machine

@@ -1,0 +1,1 @@
+lib/semir/value.ml: Int64 Ir

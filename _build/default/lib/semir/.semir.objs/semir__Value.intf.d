@@ -1,0 +1,1 @@
+lib/semir/value.mli: Ir

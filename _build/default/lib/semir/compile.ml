@@ -1,0 +1,207 @@
+(** Closure compiler for {!Ir}.
+
+    The paper's synthesizer emits C++ specialized per interface; our analog
+    compiles each action to OCaml closures once, at synthesis time, with
+    every cell location, register class base, memory width and constant
+    resolved statically. Execution then runs no IR dispatch at all — this
+    plays the role of the paper's binary-translated execution substrate. *)
+
+open Machine
+
+type ecode = State.t -> Frame.t -> int64
+type code = State.t -> Frame.t -> unit
+
+let nop : code = fun _ _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* When the register-file layout is known at synthesis time, static
+   register numbers resolve to flat indices with no per-access lookup. *)
+let layout : Machine.Regfile.t option ref = ref None
+
+let rec expr (loc : Frame.location array) (e : Ir.expr) : ecode =
+  match e with
+  | Const v -> fun _ _ -> v
+  | Cell c -> (
+    match loc.(c) with
+    | In_di i -> fun _ fr -> Array.unsafe_get fr.Frame.di i
+    | In_scratch i -> fun _ fr -> Array.unsafe_get fr.Frame.scratch i)
+  | Enc { lo; len; signed } ->
+    if signed then fun _ fr -> Value.enc_bits fr.enc ~lo ~len ~signed:true
+    else if lo + len >= 64 then fun _ fr ->
+      Int64.shift_right_logical fr.enc lo
+    else
+      let mask = Int64.sub (Int64.shift_left 1L len) 1L in
+      fun _ fr -> Int64.logand (Int64.shift_right_logical fr.enc lo) mask
+  | Pc -> fun _ fr -> fr.pc
+  | Next_pc -> fun _ fr -> fr.next_pc
+  | Bin (op, a, b) -> binop loc op a b
+  | Un (op, a) ->
+    let f = Value.unop op in
+    let ca = expr loc a in
+    fun st fr -> f (ca st fr)
+  | Ite (c, a, b) ->
+    let cc = expr loc c and ca = expr loc a and cb = expr loc b in
+    fun st fr -> if Int64.equal (cc st fr) 0L then cb st fr else ca st fr
+  | Load { width; signed; addr } ->
+    let ca = expr loc addr in
+    let w = Ir.bytes_of_width width in
+    if signed then fun st fr ->
+      Memory.read_signed st.mem ~addr:(ca st fr) ~width:w
+    else fun st fr -> Memory.read st.mem ~addr:(ca st fr) ~width:w
+  | Reg_read { cls; index } -> (
+    match (index, !layout) with
+    | Const i, Some l ->
+      (* Static register number against a known layout: one array read. *)
+      let flat = Regaccess.flat l ~cls i in
+      fun st _ -> Regfile.read_flat st.regs flat
+    | Const i, None ->
+      fun st _ ->
+        let regs = st.regs in
+        let count = (Regfile.class_def regs cls).count in
+        Regfile.read_flat regs
+          (Regfile.base regs cls + Regaccess.clamp ~count i)
+    | _ ->
+      let ci = expr loc index in
+      fun st fr -> Regaccess.read st.regs ~cls (ci st fr))
+
+and binop loc (op : Ir.binop) (a : Ir.expr) (b : Ir.expr) : ecode =
+  let ca = expr loc a in
+  match (op, b) with
+  (* Specialize the very common reg+constant / masked patterns. *)
+  | Add, Const k -> fun st fr -> Int64.add (ca st fr) k
+  | And, Const k -> fun st fr -> Int64.logand (ca st fr) k
+  | Shl, Const k ->
+    let s = Int64.to_int k land 63 in
+    fun st fr -> Int64.shift_left (ca st fr) s
+  | Lshr, Const k ->
+    let s = Int64.to_int k land 63 in
+    fun st fr -> Int64.shift_right_logical (ca st fr) s
+  | Ashr, Const k ->
+    let s = Int64.to_int k land 63 in
+    fun st fr -> Int64.shift_right (ca st fr) s
+  | Eq, Const k -> fun st fr -> if Int64.equal (ca st fr) k then 1L else 0L
+  | _ ->
+    let f = Value.binop op in
+    let cb = expr loc b in
+    fun st fr -> f (ca st fr) (cb st fr)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt (hooks : Hooks.t option) (loc : Frame.location array)
+    (s : Ir.stmt) : code =
+  match s with
+  | Set_cell (c, e) -> (
+    let ce = expr loc e in
+    match loc.(c) with
+    | In_di i -> fun st fr -> Array.unsafe_set fr.Frame.di i (ce st fr)
+    | In_scratch i ->
+      fun st fr -> Array.unsafe_set fr.Frame.scratch i (ce st fr))
+  | Store { width; addr; value } -> (
+    let ca = expr loc addr and cv = expr loc value in
+    let w = Ir.bytes_of_width width in
+    match hooks with
+    | None ->
+      fun st fr -> Memory.write st.mem ~addr:(ca st fr) ~width:w (cv st fr)
+    | Some h ->
+      fun st fr ->
+        let a = ca st fr in
+        h.on_store st a w;
+        Memory.write st.mem ~addr:a ~width:w (cv st fr))
+  | Set_next_pc e ->
+    let ce = expr loc e in
+    fun st fr -> fr.next_pc <- ce st fr
+  | Reg_write { cls; index; value } -> (
+    let cv = expr loc value in
+    let ci =
+      match index with
+      | Const i -> fun _ _ -> i
+      | _ -> expr loc index
+    in
+    match hooks with
+    | None -> (
+      match (index, !layout) with
+      | Const i, Some l ->
+        let flat = Regaccess.flat l ~cls i in
+        fun st fr -> Regfile.write_flat st.regs flat (cv st fr)
+      | Const i, None ->
+        fun st fr ->
+          let regs = st.regs in
+          let count = (Regfile.class_def regs cls).count in
+          Regfile.write_flat regs
+            (Regfile.base regs cls + Regaccess.clamp ~count i)
+            (cv st fr)
+      | _ -> fun st fr -> Regaccess.write st.regs ~cls (ci st fr) (cv st fr))
+    | Some h -> (
+      match (index, !layout) with
+      | Const i, Some l ->
+        let flat = Regaccess.flat l ~cls i in
+        fun st fr ->
+          h.on_reg_write st flat;
+          Regfile.write_flat st.regs flat (cv st fr)
+      | _ ->
+        fun st fr ->
+          let flat = Regaccess.flat st.regs ~cls (ci st fr) in
+          h.on_reg_write st flat;
+          Regfile.write_flat st.regs flat (cv st fr)))
+  | If (c, t, f) -> (
+    let cc = expr loc c in
+    let ct = block hooks loc t and cf = block hooks loc f in
+    match f with
+    | [] -> fun st fr -> if not (Int64.equal (cc st fr) 0L) then ct st fr
+    | _ ->
+      fun st fr ->
+        if Int64.equal (cc st fr) 0L then cf st fr else ct st fr)
+  | Fault_illegal ->
+    fun st fr -> State.raise_fault st (Fault.Illegal_instruction fr.enc)
+  | Fault_unaligned e ->
+    let ce = expr loc e in
+    fun st fr -> State.raise_fault st (Fault.Unaligned_access (ce st fr))
+  | Fault_arith msg -> fun st _ -> State.raise_fault st (Fault.Arith msg)
+  | Syscall -> fun st _ -> st.syscall_handler st
+  | Halt -> fun st _ -> st.halted <- true
+
+(** [block hooks loc stmts] fuses a statement list into one closure. *)
+and block hooks (loc : Frame.location array) (stmts : Ir.stmt list) : code =
+  match stmts with
+  | [] -> nop
+  | [ s ] -> stmt hooks loc s
+  | [ s1; s2 ] ->
+    let c1 = stmt hooks loc s1 and c2 = stmt hooks loc s2 in
+    fun st fr ->
+      c1 st fr;
+      c2 st fr
+  | s1 :: s2 :: rest ->
+    let c1 = stmt hooks loc s1 and c2 = stmt hooks loc s2 in
+    let crest = block hooks loc rest in
+    fun st fr ->
+      c1 st fr;
+      c2 st fr;
+      crest st fr
+
+(** [program ~loc p] compiles a whole action body. [hooks] intercept
+    architectural writes for speculation journaling; [layout], when given,
+    lets static register numbers compile to single array accesses. *)
+let program ?hooks ?layout:l ~loc (p : Ir.program) : code =
+  layout := l;
+  let c = block hooks loc p in
+  layout := None;
+  c
+
+(** [sequence codes] fuses already-compiled codes (used when fusing several
+    actions into one entrypoint, or several instructions into one block). *)
+let sequence (codes : code list) : code =
+  match codes with
+  | [] -> nop
+  | [ c ] -> c
+  | c :: rest ->
+    List.fold_left
+      (fun acc c ->
+        fun st fr ->
+         acc st fr;
+         c st fr)
+      c rest

@@ -1,0 +1,31 @@
+(** Closure compiler for {!Ir} — the execution substrate of synthesized
+    simulators (the analog of the paper's LLVM-based binary translation).
+    Compilation happens once, at synthesis time; execution runs no IR
+    dispatch at all. *)
+
+(** A compiled expression: evaluates against the machine and the frame. *)
+type ecode = Machine.State.t -> Frame.t -> int64
+
+(** A compiled statement sequence. *)
+type code = Machine.State.t -> Frame.t -> unit
+
+val nop : code
+
+(** [expr loc e] compiles one expression under the cell-location map. *)
+val expr : Frame.location array -> Ir.expr -> ecode
+
+(** [program ?hooks ?layout ~loc p] compiles a whole action body.
+    [hooks] intercept architectural writes for speculation journaling;
+    [layout], when given, lets static register numbers compile to single
+    array accesses (it must match the register file of every machine the
+    code will run against). *)
+val program :
+  ?hooks:Hooks.t ->
+  ?layout:Machine.Regfile.t ->
+  loc:Frame.location array ->
+  Ir.program ->
+  code
+
+(** [sequence codes] fuses already-compiled codes into one (used when
+    fusing actions into an entrypoint or instructions into a block). *)
+val sequence : code list -> code

@@ -1,0 +1,18 @@
+(** Reference AST interpreter for {!Ir} — the unspecialized baseline of the
+    paper's footnote 5 and the oracle against which {!Compile} is
+    property-tested. *)
+
+(** [expr loc st fr e] evaluates [e] against frame [fr]; cell ids resolve
+    through the location map [loc]. *)
+val expr :
+  Frame.location array -> Machine.State.t -> Frame.t -> Ir.expr -> int64
+
+(** [exec ?hooks ~loc st fr p] interprets program [p] against frame [fr].
+    [hooks] intercept architectural writes (speculation journaling). *)
+val exec :
+  ?hooks:Hooks.t ->
+  loc:Frame.location array ->
+  Machine.State.t ->
+  Frame.t ->
+  Ir.program ->
+  unit

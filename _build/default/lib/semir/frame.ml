@@ -1,0 +1,42 @@
+(** Per-instruction execution frame.
+
+    The frame is the runtime view of one dynamic instruction while its
+    actions run: its pc, its encoding, its computed next pc, and the two
+    cell stores — [di], the interface-visible information array retained in
+    the dynamic-instruction record handed to the timing simulator, and
+    [scratch], the hidden store that is reused from instruction to
+    instruction and never escapes the functional simulator. Which cell
+    lives where is the buildset's informational-detail decision. *)
+
+(** Storage assignment for one cell, fixed at synthesis time. *)
+type location =
+  | In_di of int  (** visible: slot in the retained DI information array *)
+  | In_scratch of int  (** hidden: slot in the reused scratch array *)
+
+type t = {
+  mutable pc : int64;
+  mutable enc : int64;
+  mutable next_pc : int64;
+  mutable di : int64 array;
+  scratch : int64 array;
+}
+
+let create ~di_slots ~scratch_slots =
+  {
+    pc = 0L;
+    enc = 0L;
+    next_pc = 0L;
+    di = Array.make (max di_slots 1) 0L;
+    scratch = Array.make (max scratch_slots 1) 0L;
+  }
+
+(** [read fr loc] and [write fr loc v] are the slow-path accessors used by
+    the reference interpreter; compiled code resolves locations statically. *)
+let read fr = function
+  | In_di i -> fr.di.(i)
+  | In_scratch i -> fr.scratch.(i)
+
+let write fr loc v =
+  match loc with
+  | In_di i -> fr.di.(i) <- v
+  | In_scratch i -> fr.scratch.(i) <- v

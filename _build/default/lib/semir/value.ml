@@ -1,0 +1,120 @@
+(** Scalar operation semantics shared by the reference interpreter and the
+    closure compiler, so the two backends agree by construction. *)
+
+let bool_ b = if b then 1L else 0L
+
+let shift_amount v = Int64.to_int v land 63
+
+let sext v n =
+  if n >= 64 then v
+  else
+    let s = 64 - n in
+    Int64.shift_right (Int64.shift_left v s) s
+
+let zext v n =
+  if n >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L n) 1L)
+
+let ror v amount =
+  let a = amount land 63 in
+  if a = 0 then v
+  else
+    Int64.logor (Int64.shift_right_logical v a) (Int64.shift_left v (64 - a))
+
+(* High half of the 128-bit product, via 32-bit limbs. *)
+let mulhu a b =
+  let lo32 x = Int64.logand x 0xFFFFFFFFL in
+  let hi32 x = Int64.shift_right_logical x 32 in
+  let a0 = lo32 a and a1 = hi32 a and b0 = lo32 b and b1 = hi32 b in
+  let ll = Int64.mul a0 b0 in
+  let lh = Int64.mul a0 b1 in
+  let hl = Int64.mul a1 b0 in
+  let hh = Int64.mul a1 b1 in
+  let mid = Int64.add (Int64.add (hi32 ll) (lo32 lh)) (lo32 hl) in
+  Int64.add (Int64.add hh (hi32 mid)) (Int64.add (hi32 lh) (hi32 hl))
+
+let mulhs a b =
+  (* mulhs = mulhu adjusted for the signs of the operands *)
+  let h = mulhu a b in
+  let h = if Int64.compare a 0L < 0 then Int64.sub h b else h in
+  if Int64.compare b 0L < 0 then Int64.sub h a else h
+
+let divs a b =
+  if Int64.equal b 0L then 0L
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then Int64.min_int
+  else Int64.div a b
+
+let divu a b = if Int64.equal b 0L then 0L else Int64.unsigned_div a b
+
+let rems a b =
+  if Int64.equal b 0L then 0L
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then 0L
+  else Int64.rem a b
+
+let remu a b = if Int64.equal b 0L then 0L else Int64.unsigned_rem a b
+
+let popcount v =
+  let rec go acc v =
+    if Int64.equal v 0L then acc
+    else go (acc + 1) (Int64.logand v (Int64.sub v 1L))
+  in
+  Int64.of_int (go 0 v)
+
+let clz v =
+  if Int64.equal v 0L then 64L
+  else
+    let rec go n v =
+      if Int64.compare (Int64.logand v 0x8000000000000000L) 0L <> 0 then n
+      else go (Int64.add n 1L) (Int64.shift_left v 1)
+    in
+    go 0L v
+
+let ctz v =
+  if Int64.equal v 0L then 64L
+  else
+    let rec go n v =
+      if Int64.equal (Int64.logand v 1L) 1L then n
+      else go (Int64.add n 1L) (Int64.shift_right_logical v 1)
+    in
+    go 0L v
+
+let binop (op : Ir.binop) : int64 -> int64 -> int64 =
+  match op with
+  | Add -> Int64.add
+  | Sub -> Int64.sub
+  | Mul -> Int64.mul
+  | Mulhs -> mulhs
+  | Mulhu -> mulhu
+  | Divs -> divs
+  | Divu -> divu
+  | Rems -> rems
+  | Remu -> remu
+  | And -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Shl -> fun a b -> Int64.shift_left a (shift_amount b)
+  | Lshr -> fun a b -> Int64.shift_right_logical a (shift_amount b)
+  | Ashr -> fun a b -> Int64.shift_right a (shift_amount b)
+  | Ror -> fun a b -> ror a (Int64.to_int b)
+  | Eq -> fun a b -> bool_ (Int64.equal a b)
+  | Ne -> fun a b -> bool_ (not (Int64.equal a b))
+  | Lts -> fun a b -> bool_ (Int64.compare a b < 0)
+  | Ltu -> fun a b -> bool_ (Int64.unsigned_compare a b < 0)
+  | Les -> fun a b -> bool_ (Int64.compare a b <= 0)
+  | Leu -> fun a b -> bool_ (Int64.unsigned_compare a b <= 0)
+
+let unop (op : Ir.unop) : int64 -> int64 =
+  match op with
+  | Neg -> Int64.neg
+  | Not -> Int64.lognot
+  | Bool_not -> fun v -> bool_ (Int64.equal v 0L)
+  | Sext n -> fun v -> sext v n
+  | Zext n -> fun v -> zext v n
+  | Popcount -> popcount
+  | Clz -> clz
+  | Ctz -> ctz
+
+(** Extract encoding bits [lo, lo+len-1], optionally sign-extended. *)
+let enc_bits enc ~lo ~len ~signed =
+  let v = zext (Int64.shift_right_logical enc lo) len in
+  if signed then sext v len else v

@@ -1,0 +1,48 @@
+(** Scalar operation semantics shared by the reference interpreter
+    ({!Eval}) and the closure compiler ({!Compile}), so the two backends
+    agree by construction. All values are 64-bit; narrower behaviour is
+    expressed by explicit extension/masking. *)
+
+(** [bool_ b] is [1L] for [true], [0L] for [false]. *)
+val bool_ : bool -> int64
+
+(** Shift amounts are taken modulo 64, like most 64-bit ISAs. *)
+val shift_amount : int64 -> int
+
+(** [sext v n] sign-extends [v] from its low [n] bits (1..64). *)
+val sext : int64 -> int -> int64
+
+(** [zext v n] keeps only the low [n] bits of [v]. *)
+val zext : int64 -> int -> int64
+
+(** [ror v n] rotates the 64-bit value right by [n] (mod 64). *)
+val ror : int64 -> int -> int64
+
+(** High 64 bits of the unsigned / signed 128-bit product. *)
+val mulhu : int64 -> int64 -> int64
+
+val mulhs : int64 -> int64 -> int64
+
+(** Division and remainder define the division-by-zero result as [0L] and
+    [min_int / -1] as [min_int] (no trap) — ISA descriptions that trap
+    express the check explicitly. *)
+val divs : int64 -> int64 -> int64
+
+val divu : int64 -> int64 -> int64
+val rems : int64 -> int64 -> int64
+val remu : int64 -> int64 -> int64
+val popcount : int64 -> int64
+
+(** [clz 0L] and [ctz 0L] are [64L]. *)
+val clz : int64 -> int64
+
+val ctz : int64 -> int64
+
+(** [binop op] is the total function implementing the binary operator. *)
+val binop : Ir.binop -> int64 -> int64 -> int64
+
+val unop : Ir.unop -> int64 -> int64
+
+(** [enc_bits enc ~lo ~len ~signed] extracts encoding bits
+    [lo .. lo+len-1], optionally sign-extended from [len] bits. *)
+val enc_bits : int64 -> lo:int -> len:int -> signed:bool -> int64

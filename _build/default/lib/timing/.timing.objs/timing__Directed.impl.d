@@ -1,0 +1,1 @@
+lib/timing/directed.ml: Array Cache Int64 List Machine Specsim

@@ -1,0 +1,1 @@
+lib/timing/funcfirst.ml: Array Cache Int64 Predictor Specsim

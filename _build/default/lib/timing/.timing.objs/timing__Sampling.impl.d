@@ -1,0 +1,1 @@
+lib/timing/sampling.ml: Funcfirst Int64 Specsim

@@ -1,0 +1,1 @@
+lib/timing/specff.ml: Array Funcfirst Int64 Machine Queue Specsim

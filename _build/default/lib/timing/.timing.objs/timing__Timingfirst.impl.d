@@ -1,0 +1,1 @@
+lib/timing/timingfirst.ml: Funcfirst Int64 Machine Specsim

@@ -1,0 +1,97 @@
+(** Set-associative cache model with true-LRU replacement.
+
+    Timing simulators attach one per level; only hit/miss behaviour and
+    occupancy are modelled (no data — the functional simulator owns data). *)
+
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+  miss_penalty : int;
+}
+
+let l1i_default =
+  { size_bytes = 16 * 1024; ways = 2; line_bytes = 64; hit_latency = 1; miss_penalty = 12 }
+
+let l1d_default =
+  { size_bytes = 16 * 1024; ways = 4; line_bytes = 64; hit_latency = 1; miss_penalty = 12 }
+
+let l2_default =
+  { size_bytes = 256 * 1024; ways = 8; line_bytes = 64; hit_latency = 6; miss_penalty = 80 }
+
+type t = {
+  config : config;
+  sets : int;
+  line_bits : int;
+  tags : int64 array;  (** sets * ways; -1 = invalid *)
+  lru : int array;  (** age per way; 0 = most recent *)
+  mutable accesses : int64;
+  mutable misses : int64;
+}
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let create (config : config) =
+  let sets = config.size_bytes / (config.ways * config.line_bytes) in
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: set count must be a positive power of two";
+  {
+    config;
+    sets;
+    line_bits = log2 config.line_bytes;
+    tags = Array.make (sets * config.ways) (-1L);
+    lru = Array.init (sets * config.ways) (fun i -> i mod config.ways);
+    accesses = 0L;
+    misses = 0L;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1L);
+  Array.iteri (fun i _ -> t.lru.(i) <- i mod t.config.ways) t.lru;
+  t.accesses <- 0L;
+  t.misses <- 0L
+
+(** [access t addr] returns [true] on hit, updating LRU and statistics. *)
+let access t (addr : int64) : bool =
+  t.accesses <- Int64.add t.accesses 1L;
+  let line = Int64.shift_right_logical addr t.line_bits in
+  let set = Int64.to_int line land (t.sets - 1) in
+  let base = set * t.config.ways in
+  let hit_way = ref (-1) in
+  for w = 0 to t.config.ways - 1 do
+    if Int64.equal t.tags.(base + w) line then hit_way := w
+  done;
+  let touch way =
+    let age = t.lru.(base + way) in
+    for w = 0 to t.config.ways - 1 do
+      if t.lru.(base + w) < age then t.lru.(base + w) <- t.lru.(base + w) + 1
+    done;
+    t.lru.(base + way) <- 0
+  in
+  if !hit_way >= 0 then begin
+    touch !hit_way;
+    true
+  end
+  else begin
+    t.misses <- Int64.add t.misses 1L;
+    (* evict the oldest way *)
+    let victim = ref 0 in
+    for w = 0 to t.config.ways - 1 do
+      if t.lru.(base + w) > t.lru.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- line;
+    touch !victim;
+    false
+  end
+
+(** [latency t addr] combines access with the configured latencies. *)
+let latency t addr =
+  if access t addr then t.config.hit_latency
+  else t.config.hit_latency + t.config.miss_penalty
+
+let miss_rate t =
+  if Int64.equal t.accesses 0L then 0.
+  else Int64.to_float t.misses /. Int64.to_float t.accesses

@@ -1,0 +1,32 @@
+(** Set-associative cache model with true-LRU replacement. Only hit/miss
+    behaviour and latency are modelled — the functional simulator owns all
+    data. *)
+
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+  miss_penalty : int;
+}
+
+(** 16 KiB 2-way / 16 KiB 4-way / 256 KiB 8-way, 64-byte lines. *)
+val l1i_default : config
+
+val l1d_default : config
+val l2_default : config
+
+type t
+
+(** @raise Invalid_argument unless the set count is a power of two. *)
+val create : config -> t
+
+val reset : t -> unit
+
+(** [access t addr] is [true] on hit; updates LRU state and statistics. *)
+val access : t -> int64 -> bool
+
+(** [latency t addr] combines an access with the configured latencies. *)
+val latency : t -> int64 -> int
+
+val miss_rate : t -> float

@@ -1,0 +1,21 @@
+(** Branch direction predictors: static, bimodal (2-bit counters) and
+    gshare. Targets come from the interface's decode information, so no
+    BTB is modelled. *)
+
+type kind =
+  | Static_taken
+  | Static_not_taken
+  | Bimodal of int  (** log2 of the counter-table size *)
+  | Gshare of int
+
+type t
+
+val create : kind -> t
+
+val predict : t -> pc:int64 -> bool
+
+(** [update t ~pc ~taken] trains the predictor, records accuracy, and
+    returns the direction that was predicted before training. *)
+val update : t -> pc:int64 -> taken:bool -> bool
+
+val misprediction_rate : t -> float

@@ -1,0 +1,64 @@
+(** Sampling microarchitectural simulation (SMARTS-style, paper §II-C's
+    fast-forward discussion).
+
+    Two interfaces over the *same* machine: a detailed one (Decode-level,
+    one call per instruction) driving the timing model during measurement
+    intervals, and a low-detail Block/Min interface used to fast-forward
+    between intervals. This is the paper's motivating case for multiple
+    interface levels in one simulator: during fast-forward "the timing
+    simulator needs very little information from … the functional
+    simulator", and the speed of the whole run is dominated by the
+    fast-forward interface. *)
+
+type config = {
+  measure : int;  (** instructions per detailed interval *)
+  fastforward : int;  (** instructions skipped between intervals *)
+  timing_model : Funcfirst.config;
+}
+
+let default_config =
+  {
+    measure = 1_000;
+    fastforward = 9_000;
+    timing_model = Funcfirst.default_config;
+  }
+
+type result = {
+  instructions : int64;  (** total retired, measured + fast-forwarded *)
+  measured_instructions : int64;
+  measured_cycles : int64;
+  estimated_ipc : float;
+  sampled_fraction : float;
+}
+
+(** [run ~detailed ~fast ~budget] — both interfaces must share one machine
+    (synthesize them with the same [?st]). *)
+let run ?(config = default_config) ~(detailed : Specsim.Iface.t)
+    ~(fast : Specsim.Iface.t) ~budget () : result =
+  if detailed.st != fast.st then
+    invalid_arg "Sampling.run: interfaces must share one machine";
+  let st = detailed.st in
+  let ff = Funcfirst.create ~config:config.timing_model detailed in
+  let measured = ref 0L in
+  let start = st.instr_count in
+  let total () = Int64.to_int (Int64.sub st.instr_count start) in
+  while (not st.halted) && total () < budget do
+    (* measurement interval through the detailed interface *)
+    let r = Funcfirst.run ff ~budget:config.measure in
+    measured := Int64.add !measured r.instructions;
+    (* fast-forward through the low-detail interface *)
+    if not st.halted then ignore (Specsim.Iface.run_n fast config.fastforward)
+  done;
+  let cycles = Funcfirst.current_cycles ff in
+  let instructions = Int64.sub st.instr_count start in
+  {
+    instructions;
+    measured_instructions = !measured;
+    measured_cycles = cycles;
+    estimated_ipc =
+      (if Int64.equal cycles 0L then 0.
+       else Int64.to_float !measured /. Int64.to_float cycles);
+    sampled_fraction =
+      (if Int64.equal instructions 0L then 0.
+       else Int64.to_float !measured /. Int64.to_float instructions);
+  }

@@ -1,0 +1,109 @@
+(** Speculative functional-first simulator (paper §II-E).
+
+    The functional simulator runs ahead of the timing simulator, every
+    instruction considered speculative; the timing simulator consumes the
+    stream with a delay. When it discovers that the functional execution
+    used a timing-dependent value that turns out wrong — here, loads from
+    a memory-mapped "timer" whose correct value depends on the simulated
+    cycle — it commands the functional simulator to undo back to that
+    instruction, overrides the memory value, and lets it re-execute down
+    the corrected path (as UTFast/FastSim do for mis-speculated memory
+    values).
+
+    Requires a speculative interface with Decode-level information (the
+    effective address identifies timer loads). *)
+
+type config = {
+  window : int;  (** how far the functional simulator runs ahead *)
+  timer_addr : int64;  (** MMIO address whose value is cycle-dependent *)
+  timing_model : Funcfirst.config;
+}
+
+let default_config =
+  {
+    window = 32;
+    timer_addr = 0x000F_0000L;
+    timing_model = Funcfirst.default_config;
+  }
+
+type result = {
+  instructions : int64;
+  rollbacks : int64;
+  cycles : int64;
+  ipc : float;
+}
+
+let run ?(config = default_config) (iface : Specsim.Iface.t) ~budget : result =
+  if iface.journal = None then
+    invalid_arg "Specff.run: needs a speculative interface (…_spec buildset)";
+  let ea_slot =
+    match Specsim.Iface.slot_of iface "effective_addr" with
+    | Some s -> s
+    | None ->
+      invalid_arg "Specff.run: interface must expose effective_addr (Decode)"
+  in
+  let st = iface.st in
+  let kinds = Specsim.Classify.of_spec iface.spec in
+  let ff = Funcfirst.create ~config:config.timing_model iface in
+  let scratch = Specsim.Di.create ~info_slots:iface.slots.di_size in
+  let queue : Specsim.Di.t Queue.t = Queue.create () in
+  let rollbacks = ref 0L in
+  let retired = ref 0L in
+  (* The "correct" timer value as a function of simulated time. *)
+  (* Coarse enough that the value is stable across one speculative window,
+     so divergences settle after a single rollback. *)
+  let timer_now () =
+    Int64.logand (Int64.shift_right_logical (Funcfirst.current_cycles ff) 10) 0xFFL
+  in
+  let budget64 = Int64.of_int budget in
+  let speculation_stopped = ref false in
+  while
+    (Int64.compare !retired budget64 < 0)
+    && not (Queue.is_empty queue && (st.halted || !speculation_stopped))
+  do
+    (* fill the speculative window *)
+    while Queue.length queue < config.window && not st.halted do
+      iface.run_one scratch;
+      if scratch.fault = None || st.halted then ();
+      if Queue.length queue < config.window then
+        Queue.add (Specsim.Di.copy scratch) queue
+    done;
+    speculation_stopped := st.halted;
+    (* timing simulator consumes the oldest instruction *)
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some di ->
+      Funcfirst.consume ff di;
+      let is_timer_load =
+        di.instr_index >= 0
+        && kinds.(di.instr_index).is_load
+        && Int64.equal (Specsim.Di.get di ea_slot) config.timer_addr
+      in
+      let diverged =
+        is_timer_load
+        && not
+             (Int64.equal
+                (Machine.Memory.read st.mem ~addr:config.timer_addr ~width:4)
+                (timer_now ()))
+      in
+      if diverged then begin
+        (* undo this instruction and everything younger, fix the value,
+           re-execute *)
+        rollbacks := Int64.add !rollbacks 1L;
+        Specsim.Iface.rollback_di iface di;
+        Machine.Memory.write st.mem ~addr:config.timer_addr ~width:4
+          (timer_now ());
+        Queue.clear queue;
+        speculation_stopped := false
+      end
+      else retired := Int64.add !retired 1L
+  done;
+  let cycles = Funcfirst.current_cycles ff in
+  {
+    instructions = !retired;
+    rollbacks = !rollbacks;
+    cycles;
+    ipc =
+      (if Int64.equal cycles 0L then 0.
+       else Int64.to_float !retired /. Int64.to_float cycles);
+  }

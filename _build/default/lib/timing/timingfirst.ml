@@ -1,0 +1,67 @@
+(** Timing-first simulator (paper §II-D).
+
+    An integrated timing simulator executes instructions itself (here: a
+    synthesized One-detail simulator standing in for the timing model's
+    own functional code, with an optional injected bug to demonstrate the
+    methodology); after every instruction a separate functional simulator
+    executes the same instruction and the architectural states are
+    compared. On a mismatch the timing simulator's state is reloaded from
+    the functional simulator, and the mismatch is counted — the paper's
+    argument is that a low mismatch count justifies trusting the timing
+    model's functional behaviour.
+
+    The interface needs only low semantic and informational detail: one
+    call per instruction, no per-instruction information (state is
+    compared directly), exactly as TFsim does. *)
+
+type result = {
+  instructions : int64;
+  mismatches : int64;
+  cycles : int64;
+  ipc : float;
+}
+
+(** [run ~timing ~checker ~budget] — [timing] and [checker] are interfaces
+    over two different machines loaded with the same program. [bug], if
+    given, corrupts the timing machine after each instruction with some
+    probability (deterministic in the instruction count), to exercise the
+    checking machinery. *)
+let run ?(bug = fun (_ : Machine.State.t) (_ : Specsim.Di.t) -> ())
+    ?(timing_model = Funcfirst.default_config) ~(timing : Specsim.Iface.t)
+    ~(checker : Specsim.Iface.t) ~budget () : result =
+  if timing.st == checker.st then
+    invalid_arg "Timingfirst.run: timing and checker must be separate machines";
+  let ff = Funcfirst.create ~config:timing_model timing in
+  let t_di = Specsim.Di.create ~info_slots:timing.slots.di_size in
+  let c_di = Specsim.Di.create ~info_slots:checker.slots.di_size in
+  let mismatches = ref 0L in
+  let retired = ref 0 in
+  let tst = timing.st and cst = checker.st in
+  while (not tst.halted) && (not cst.halted) && !retired < budget do
+    timing.run_one t_di;
+    bug tst t_di;
+    Funcfirst.consume ff t_di;
+    checker.run_one c_di;
+    incr retired;
+    (* compare architectural state: registers and next fetch pc *)
+    let agree =
+      Machine.Regfile.equal tst.regs cst.regs && Int64.equal tst.pc cst.pc
+    in
+    if not agree then begin
+      mismatches := Int64.add !mismatches 1L;
+      (* flush the pipeline and reload architectural state from the
+         functional simulator *)
+      Machine.Regfile.blit ~src:cst.regs ~dst:tst.regs;
+      tst.pc <- cst.pc;
+      timing.flush_code_cache ()
+    end
+  done;
+  let cycles = Funcfirst.current_cycles ff in
+  {
+    instructions = Int64.of_int !retired;
+    mismatches = !mismatches;
+    cycles;
+    ipc =
+      (if Int64.equal cycles 0L then 0.
+       else Int64.to_float (Int64.of_int !retired) /. Int64.to_float cycles);
+  }

@@ -1,0 +1,1 @@
+lib/vir/kernels.ml: Int32 Lang

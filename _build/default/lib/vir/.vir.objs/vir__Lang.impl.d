@@ -1,0 +1,1 @@
+lib/vir/lang.ml: Array Buffer Char Format Hashtbl Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/vir/lower.ml: Hashtbl Int64 Lang List

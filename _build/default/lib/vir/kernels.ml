@@ -1,0 +1,437 @@
+(** The benchmark kernels — SPEC CPU2000int / MediaBench stand-ins.
+
+    Each kernel initializes its own data deterministically, computes a
+    checksum, writes it through the emulated OS (observable output) and
+    exits with the low checksum byte. They are chosen to reproduce the
+    dynamic instruction mixes the paper's workloads exercise:
+
+    - [vec_sum]    streaming arithmetic (art/equake-like regular loops)
+    - [list_chase] dependent loads (mcf-like pointer chasing)
+    - [matmul]     nested loops, dense address arithmetic
+    - [sort]       branchy data-dependent control flow (gcc/crafty-like)
+    - [hash_loop]  bit manipulation, shifts and xors (crafty-like)
+    - [str_ops]    byte loads/stores and comparisons (gzip/perl-like)
+    - [crc32]      branchy bit manipulation (pegwit/gzip-like)
+    - [saturate]   clamping filter over bytes (MediaBench image/audio-like)
+
+    All data lives below 0x4000_0000 so 32- and 64-bit targets agree
+    (see {!Vir} on the 32-bit word model). *)
+
+open Lang
+
+let data_base = 0x0010_0000l
+let out_buf = 0x0008_0000
+
+(* Common epilogue: v4 holds the checksum. Writes it via the OS (byte by
+   byte, so big- and little-endian targets emit identical output), then
+   exits with its low byte. *)
+let epilogue =
+  [
+    Li (5, Int32.of_int out_buf);
+    Stb (4, 5, 0);
+    Shri (6, 4, 8);
+    Stb (6, 5, 1);
+    Shri (6, 4, 16);
+    Stb (6, 5, 2);
+    Shri (6, 4, 24);
+    Stb (6, 5, 3);
+    Li (0, 1l) (* sys_write *);
+    Li (1, 1l) (* fd *);
+    Li (2, Int32.of_int out_buf);
+    Li (3, 4l) (* len *);
+    Sys;
+    Andi (4, 4, 0xff);
+    Li (0, 0l) (* sys_exit *);
+    Mv (1, 4);
+    Sys;
+  ]
+
+(* Simple multiplicative generator: v_dst = v_seed * 1103515245 + 12345 *)
+let lcg ~seed ~dst ~tmp =
+  [ Li (tmp, 1103515245l); Mul (dst, seed, tmp); Addi (dst, dst, 12345) ]
+
+(** Streaming sum over [n] 32-bit elements, initialized in a first pass. *)
+let vec_sum ~n =
+  [
+    Li (8, data_base);
+    Li (9, Int32.of_int n) (* counter *);
+    Li (10, 0l) (* index/seed *);
+    Mv (6, 8) (* cursor *);
+    Label "init";
+  ]
+  @ lcg ~seed:10 ~dst:11 ~tmp:12
+  @ [
+      Stw (11, 6, 0);
+      Addi (6, 6, 4);
+      Addi (10, 10, 1);
+      Bcond (Ne, 10, 9, "init");
+      (* sum pass *)
+      Li (4, 0l);
+      Li (10, 0l);
+      Mv (6, 8);
+      Label "sum";
+      Ldw (11, 6, 0);
+      Add (4, 4, 11);
+      Addi (6, 6, 4);
+      Addi (10, 10, 1);
+      Bcond (Ne, 10, 9, "sum");
+    ]
+  @ epilogue
+
+(** Pointer chasing: [n] nodes of 8 bytes (next, payload), permuted with a
+    stride co-prime to [n]; then [steps] dependent loads. *)
+let list_chase ~n ~steps =
+  (* node i at data_base + 8*i; next(i) = (i*5 + 1) mod n *)
+  [
+    Li (8, data_base);
+    Li (9, Int32.of_int n);
+    Li (10, 0l) (* i *);
+    Label "build";
+    (* t11 = (i*5+1) mod n — avoid div: j += 5; if j >= n then j -= n (works for stride 5) *)
+    Shli (11, 10, 2);
+    Add (11, 11, 10);
+    Addi (11, 11, 1);
+    Label "mod";
+    Bcond (Lt, 11, 9, "modok");
+    Sub (11, 11, 9);
+    Jmp "mod";
+    Label "modok";
+    (* addr of node i: v12 = base + 8*i *)
+    Shli (12, 10, 3);
+    Add (12, 12, 8);
+    (* next pointer value: base + 8*j *)
+    Shli (13, 11, 3);
+    Add (13, 13, 8);
+    Stw (13, 12, 0);
+    (* payload = i ^ 0x5a5a *)
+    Li (14, 0x5a5al);
+    Xor_ (14, 14, 10);
+    Stw (14, 12, 4);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "build");
+    (* chase *)
+    Li (4, 0l);
+    Mv (6, 8) (* current node *);
+    Li (10, Int32.of_int steps);
+    Li (11, 0l);
+    Label "chase";
+    Ldw (12, 6, 4) (* payload *);
+    Add (4, 4, 12);
+    Ldw (6, 6, 0) (* follow next *);
+    Addi (11, 11, 1);
+    Bcond (Ne, 11, 10, "chase");
+  ]
+  @ epilogue
+
+(** Dense [n]x[n] 32-bit matrix multiply; checksum is the sum of C. *)
+let matmul ~n =
+  let a = data_base in
+  let b = Int32.add data_base (Int32.of_int (4 * n * n)) in
+  let c = Int32.add b (Int32.of_int (4 * n * n)) in
+  [
+    (* init A and B with small values *)
+    Li (8, a);
+    Li (9, Int32.of_int (2 * n * n)) (* elements of A and B together *);
+    Li (10, 0l);
+    Label "init";
+    Andi (11, 10, 63);
+    Addi (11, 11, 1);
+    Stw (11, 8, 0);
+    Addi (8, 8, 4);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "init");
+    (* triple loop *)
+    Li (4, 0l) (* checksum *);
+    Li (10, 0l) (* i *);
+    Li (14, Int32.of_int n);
+    Label "iloop";
+    Li (11, 0l) (* j *);
+    Label "jloop";
+    Li (12, 0l) (* k *);
+    Li (5, 0l) (* acc *);
+    Label "kloop";
+    (* A[i][k]: a + 4*(i*n + k) *)
+    Mul (6, 10, 14);
+    Add (6, 6, 12);
+    Shli (6, 6, 2);
+    Li (7, a);
+    Add (6, 6, 7);
+    Ldw (6, 6, 0);
+    (* B[k][j] *)
+    Mul (7, 12, 14);
+    Add (7, 7, 11);
+    Shli (7, 7, 2);
+    Li (13, b);
+    Add (7, 7, 13);
+    Ldw (7, 7, 0);
+    Mul (6, 6, 7);
+    Add (5, 5, 6);
+    Addi (12, 12, 1);
+    Bcond (Ne, 12, 14, "kloop");
+    (* C[i][j] = acc *)
+    Mul (6, 10, 14);
+    Add (6, 6, 11);
+    Shli (6, 6, 2);
+    Li (7, c);
+    Add (6, 6, 7);
+    Stw (5, 6, 0);
+    Add (4, 4, 5);
+    Addi (11, 11, 1);
+    Bcond (Ne, 11, 14, "jloop");
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 14, "iloop");
+  ]
+  @ epilogue
+
+(** Bubble sort of [n] pseudo-random elements; checksum mixes the sorted
+    array so ordering errors are observable. *)
+let sort ~n =
+  [
+    Li (8, data_base);
+    Li (9, Int32.of_int n);
+    Li (10, 0l);
+    Mv (6, 8);
+    Label "init";
+  ]
+  @ lcg ~seed:10 ~dst:11 ~tmp:12
+  @ [
+      Andi (11, 11, 255);
+      Stw (11, 6, 0);
+      Addi (6, 6, 4);
+      Addi (10, 10, 1);
+      Bcond (Ne, 10, 9, "init");
+      (* outer: n-1 passes *)
+      Li (10, 0l) (* pass *);
+      Addi (13, 9, -1) (* n-1 *);
+      Label "outer";
+      Li (11, 0l) (* index *);
+      Mv (6, 8);
+      Label "inner";
+      Ldw (12, 6, 0);
+      Ldw (14, 6, 4);
+      Bcond (Ge, 14, 12, "noswap");
+      Stw (14, 6, 0);
+      Stw (12, 6, 4);
+      Label "noswap";
+      Addi (6, 6, 4);
+      Addi (11, 11, 1);
+      Bcond (Ne, 11, 13, "inner");
+      Addi (10, 10, 1);
+      Bcond (Ne, 10, 13, "outer");
+      (* checksum: sum of a[i] * (i+1) *)
+      Li (4, 0l);
+      Li (10, 0l);
+      Mv (6, 8);
+      Label "ck";
+      Ldw (11, 6, 0);
+      Addi (12, 10, 1);
+      Mul (11, 11, 12);
+      Add (4, 4, 11);
+      Addi (6, 6, 4);
+      Addi (10, 10, 1);
+      Bcond (Ne, 10, 9, "ck");
+    ]
+  @ epilogue
+
+(** FNV-1a-style hash over a [len]-byte buffer, repeated [rounds] times. *)
+let hash_loop ~len ~rounds =
+  [
+    (* fill buffer with bytes *)
+    Li (8, data_base);
+    Li (9, Int32.of_int len);
+    Li (10, 0l);
+    Label "fill";
+    Andi (11, 10, 255);
+    Stb (11, 8, 0);
+    Addi (8, 8, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "fill");
+    Li (4, 0x1505l) (* hash state *);
+    Li (13, Int32.of_int rounds);
+    Li (14, 0l) (* round *);
+    Label "round";
+    Li (8, data_base);
+    Li (10, 0l);
+    Label "byte";
+    Ldb (11, 8, 0);
+    Xor_ (4, 4, 11);
+    (* hash = hash * 33 (shift+add) *)
+    Shli (12, 4, 5);
+    Add (4, 4, 12);
+    Addi (8, 8, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "byte");
+    Addi (14, 14, 1);
+    Bcond (Ne, 14, 13, "round");
+  ]
+  @ epilogue
+
+(** Byte-wise copy + compare over [len] bytes, [rounds] times. *)
+let str_ops ~len ~rounds =
+  let src = data_base in
+  let dst = Int32.add data_base (Int32.of_int (len + 64)) in
+  [
+    Li (8, src);
+    Li (9, Int32.of_int len);
+    Li (10, 0l);
+    Label "fill";
+    Andi (11, 10, 127);
+    Addi (11, 11, 32);
+    Stb (11, 8, 0);
+    Addi (8, 8, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "fill");
+    Li (4, 0l);
+    Li (13, Int32.of_int rounds);
+    Li (14, 0l);
+    Label "round";
+    (* memcpy *)
+    Li (8, src);
+    Li (7, dst);
+    Li (10, 0l);
+    Label "copy";
+    Ldb (11, 8, 0);
+    Stb (11, 7, 0);
+    Addi (8, 8, 1);
+    Addi (7, 7, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "copy");
+    (* compare and count matches of a needle byte *)
+    Li (7, dst);
+    Li (10, 0l);
+    Li (12, 65l) (* needle 'A' *);
+    Label "scan";
+    Ldb (11, 7, 0);
+    Bcond (Ne, 11, 12, "nomatch");
+    Addi (4, 4, 1);
+    Label "nomatch";
+    Add (4, 4, 11);
+    Addi (7, 7, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "scan");
+    Addi (14, 14, 1);
+    Bcond (Ne, 14, 13, "round");
+  ]
+  @ epilogue
+
+(** Bitwise CRC-32 over a [len]-byte buffer, [rounds] times — branchy bit
+    manipulation in the style of MediaBench's pegwit/gzip inner loops. *)
+let crc32 ~len ~rounds =
+  [
+    Li (8, data_base);
+    Li (9, Int32.of_int len);
+    Li (10, 0l);
+    Label "fill";
+    Andi (11, 10, 255);
+    Xor_ (11, 11, 10);
+    Andi (11, 11, 255);
+    Stb (11, 8, 0);
+    Addi (8, 8, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "fill");
+    Li (4, -1l) (* crc state *);
+    Li (13, Int32.of_int rounds);
+    Li (14, 0l);
+    Label "round";
+    Li (8, data_base);
+    Li (10, 0l);
+    Label "byte";
+    Ldb (11, 8, 0);
+    Xor_ (4, 4, 11);
+    (* 8 bit steps: crc = (crc >> 1) ^ (crc & 1 ? 0xEDB88320 : 0) *)
+    Li (12, 8l);
+    Label "bit";
+    Andi (11, 4, 1);
+    Shri (4, 4, 1);
+    Bcond (Eq, 11, 0, "nopoly");
+    Li (7, 0xEDB88320l);
+    Xor_ (4, 4, 7);
+    Label "nopoly";
+    Addi (12, 12, -1);
+    Bcond (Ne, 12, 0, "bit");
+    Addi (8, 8, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "byte");
+    Addi (14, 14, 1);
+    Bcond (Ne, 14, 13, "round");
+  ]
+  @ epilogue
+
+(** Saturating 8-bit filter over a byte buffer — the clamping branches of
+    MediaBench's image/audio kernels. out[i] = clamp(a[i] + a[i+1] - 96). *)
+let saturate ~len ~rounds =
+  let src = data_base in
+  let dst = Int32.add data_base (Int32.of_int (len + 64)) in
+  [
+    Li (8, src);
+    Li (9, Int32.of_int len);
+    Li (10, 0l);
+    Label "fill";
+    Li (12, 37l);
+    Mul (11, 10, 12);
+    Addi (11, 11, 11);
+    Andi (11, 11, 255);
+    Stb (11, 8, 0);
+    Addi (8, 8, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "fill");
+    Li (4, 0l);
+    Li (13, Int32.of_int rounds);
+    Li (14, 0l);
+    Label "round";
+    Li (8, src);
+    Li (7, dst);
+    Li (10, 1l);
+    Label "elem";
+    Ldb (11, 8, 0);
+    Ldb (12, 8, 1);
+    Add (11, 11, 12);
+    Addi (11, 11, -96);
+    (* clamp to [0, 255] *)
+    Li (12, 0l);
+    Bcond (Ge, 11, 12, "notlow");
+    Li (11, 0l);
+    Label "notlow";
+    Li (12, 255l);
+    Bcond (Lt, 11, 12, "nothigh");
+    Li (11, 255l);
+    Label "nothigh";
+    Stb (11, 7, 0);
+    Add (4, 4, 11);
+    Addi (8, 8, 1);
+    Addi (7, 7, 1);
+    Addi (10, 10, 1);
+    Bcond (Ne, 10, 9, "elem");
+    Addi (14, 14, 1);
+    Bcond (Ne, 14, 13, "round");
+  ]
+  @ epilogue
+
+(** Named kernels at test scale (fast) and bench scale (the paper's runs
+    use billions of instructions; we use ~1-2M dynamic instructions per
+    kernel so the whole Table II sweep stays in CI time). *)
+type sized = { kname : string; program : program }
+
+let test_suite =
+  [
+    { kname = "vec_sum"; program = vec_sum ~n:256 };
+    { kname = "list_chase"; program = list_chase ~n:64 ~steps:512 };
+    { kname = "matmul"; program = matmul ~n:8 };
+    { kname = "sort"; program = sort ~n:48 };
+    { kname = "hash_loop"; program = hash_loop ~len:128 ~rounds:4 };
+    { kname = "str_ops"; program = str_ops ~len:96 ~rounds:4 };
+    { kname = "crc32"; program = crc32 ~len:64 ~rounds:2 };
+    { kname = "saturate"; program = saturate ~len:96 ~rounds:3 };
+  ]
+
+let bench_suite =
+  [
+    { kname = "vec_sum"; program = vec_sum ~n:20_000 };
+    { kname = "list_chase"; program = list_chase ~n:1024 ~steps:60_000 };
+    { kname = "matmul"; program = matmul ~n:28 };
+    { kname = "sort"; program = sort ~n:300 };
+    { kname = "hash_loop"; program = hash_loop ~len:4096 ~rounds:8 };
+    { kname = "str_ops"; program = str_ops ~len:4096 ~rounds:6 };
+    { kname = "crc32"; program = crc32 ~len:2048 ~rounds:2 };
+    { kname = "saturate"; program = saturate ~len:4096 ~rounds:4 };
+  ]

@@ -1,0 +1,246 @@
+(** VIR — a tiny portable virtual RISC used to write benchmark kernels once
+    and lower them onto every simulated ISA.
+
+    The paper validates with SPEC CPU2000 and MediaBench binaries; inside a
+    sealed container we have no such binaries or cross-compilers, so the
+    workload library writes each kernel in VIR and each ISA provides a
+    lowering. Because the same kernel must produce bit-identical observable
+    output on a 64-bit ISA (Alpha) and 32-bit ISAs (ARM, PowerPC), VIR has
+    32-bit word semantics: registers hold values that every target keeps
+    congruent modulo 2^32, memory words are 4 bytes, and comparisons are on
+    the 32-bit value.
+
+    Sixteen virtual registers v0..v15. Calling convention for the emulated
+    OS: syscall number in v0, arguments in v1..v3, result in v0. *)
+
+type reg = int (* 0..15 *)
+
+type cond = Eq | Ne | Lt | Ge | Ltu | Geu
+
+type instr =
+  | Label of string
+  | Li of reg * int32  (** load a 32-bit immediate *)
+  | Mv of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Addi of reg * reg * int  (** -32768..32767 *)
+  | Andi of reg * reg * int  (** 0..255 (encodable everywhere) *)
+  | Shli of reg * reg * int  (** shift by 0..31 *)
+  | Shri of reg * reg * int  (** logical *)
+  | Sari of reg * reg * int  (** arithmetic *)
+  | Ldw of reg * reg * int  (** rd = mem32[rs + imm] (zero-extended) *)
+  | Stw of reg * reg * int  (** mem32[rs + imm] = rd *)
+  | Ldb of reg * reg * int  (** rd = mem8[rs + imm] (zero-extended) *)
+  | Stb of reg * reg * int
+  | Bcond of cond * reg * reg * string  (** compare-and-branch *)
+  | Jmp of string
+  | Sys  (** emulated OS call *)
+
+type program = instr list
+
+let cond_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Ltu -> "ltu"
+  | Geu -> "geu"
+
+let pp_instr ppf (i : instr) =
+  let r n = Printf.sprintf "v%d" n in
+  match i with
+  | Label l -> Format.fprintf ppf "%s:" l
+  | Li (d, v) -> Format.fprintf ppf "  li %s, %ld" (r d) v
+  | Mv (d, s) -> Format.fprintf ppf "  mv %s, %s" (r d) (r s)
+  | Add (d, a, b) -> Format.fprintf ppf "  add %s, %s, %s" (r d) (r a) (r b)
+  | Sub (d, a, b) -> Format.fprintf ppf "  sub %s, %s, %s" (r d) (r a) (r b)
+  | Mul (d, a, b) -> Format.fprintf ppf "  mul %s, %s, %s" (r d) (r a) (r b)
+  | And_ (d, a, b) -> Format.fprintf ppf "  and %s, %s, %s" (r d) (r a) (r b)
+  | Or_ (d, a, b) -> Format.fprintf ppf "  or %s, %s, %s" (r d) (r a) (r b)
+  | Xor_ (d, a, b) -> Format.fprintf ppf "  xor %s, %s, %s" (r d) (r a) (r b)
+  | Addi (d, a, i) -> Format.fprintf ppf "  addi %s, %s, %d" (r d) (r a) i
+  | Andi (d, a, i) -> Format.fprintf ppf "  andi %s, %s, %d" (r d) (r a) i
+  | Shli (d, a, i) -> Format.fprintf ppf "  shli %s, %s, %d" (r d) (r a) i
+  | Shri (d, a, i) -> Format.fprintf ppf "  shri %s, %s, %d" (r d) (r a) i
+  | Sari (d, a, i) -> Format.fprintf ppf "  sari %s, %s, %d" (r d) (r a) i
+  | Ldw (d, a, i) -> Format.fprintf ppf "  ldw %s, %d(%s)" (r d) i (r a)
+  | Stw (s, a, i) -> Format.fprintf ppf "  stw %s, %d(%s)" (r s) i (r a)
+  | Ldb (d, a, i) -> Format.fprintf ppf "  ldb %s, %d(%s)" (r d) i (r a)
+  | Stb (s, a, i) -> Format.fprintf ppf "  stb %s, %d(%s)" (r s) i (r a)
+  | Bcond (c, a, b, l) ->
+    Format.fprintf ppf "  b%s %s, %s, %s" (cond_to_string c) (r a) (r b) l
+  | Jmp l -> Format.fprintf ppf "  jmp %s" l
+  | Sys -> Format.fprintf ppf "  sys"
+
+let pp ppf (p : program) =
+  List.iter (fun i -> Format.fprintf ppf "%a@\n" pp_instr i) p
+
+(** Well-formedness: register ranges, immediate ranges, label resolution. *)
+let validate (p : program) =
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Label l ->
+        if Hashtbl.mem labels l then failwith ("VIR: duplicate label " ^ l);
+        Hashtbl.add labels l ()
+      | _ -> ())
+    p;
+  let reg n = if n < 0 || n > 15 then failwith "VIR: register out of range" in
+  let imm16 i =
+    if i < -32768 || i > 32767 then failwith "VIR: immediate out of range"
+  in
+  let imm8 i = if i < 0 || i > 255 then failwith "VIR: andi immediate out of range" in
+  let sh i = if i < 0 || i > 31 then failwith "VIR: shift out of range" in
+  let lbl l = if not (Hashtbl.mem labels l) then failwith ("VIR: unknown label " ^ l) in
+  List.iter
+    (function
+      | Label _ -> ()
+      | Li (d, _) -> reg d
+      | Mv (d, s) ->
+        reg d;
+        reg s
+      | Add (d, a, b) | Sub (d, a, b) | Mul (d, a, b) | And_ (d, a, b)
+      | Or_ (d, a, b) | Xor_ (d, a, b) ->
+        reg d;
+        reg a;
+        reg b
+      | Addi (d, a, i) ->
+        reg d;
+        reg a;
+        imm16 i
+      | Andi (d, a, i) ->
+        reg d;
+        reg a;
+        imm8 i
+      | Shli (d, a, i) | Shri (d, a, i) | Sari (d, a, i) ->
+        reg d;
+        reg a;
+        sh i
+      | Ldw (d, a, i) | Stw (d, a, i) | Ldb (d, a, i) | Stb (d, a, i) ->
+        reg d;
+        reg a;
+        imm16 i
+      | Bcond (_, a, b, l) ->
+        reg a;
+        reg b;
+        lbl l
+      | Jmp l -> lbl l
+      | Sys -> ())
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Reference executor                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Observable result of running a VIR program on the reference executor:
+    what every ISA lowering must reproduce. *)
+type result = { exit_status : int; output : string; dyn_instrs : int }
+
+(** [run ?input ?fuel p] interprets the program directly (no ISA involved).
+    Used as the oracle in cross-ISA differential tests. *)
+let run ?(input = "") ?(fuel = 100_000_000) (p : program) : result =
+  validate p;
+  let prog = Array.of_list p in
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr -> match instr with Label l -> Hashtbl.add labels l i | _ -> ())
+    prog;
+  let regs = Array.make 16 0l in
+  let mem : (int32, int) Hashtbl.t = Hashtbl.create 4096 in
+  let out = Buffer.create 64 in
+  let in_pos = ref 0 in
+  let mem_get a = match Hashtbl.find_opt mem a with Some v -> v | None -> 0 in
+  let ldb a = mem_get a in
+  let stb a v = Hashtbl.replace mem a (v land 0xff) in
+  let ldw a =
+    let b i = ldb (Int32.add a (Int32.of_int i)) in
+    Int32.logor
+      (Int32.of_int (b 0))
+      (Int32.logor
+         (Int32.shift_left (Int32.of_int (b 1)) 8)
+         (Int32.logor
+            (Int32.shift_left (Int32.of_int (b 2)) 16)
+            (Int32.shift_left (Int32.of_int (b 3)) 24)))
+  in
+  let stw a v =
+    for i = 0 to 3 do
+      stb
+        (Int32.add a (Int32.of_int i))
+        (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff)
+    done
+  in
+  let unsigned_lt a b =
+    (* unsigned 32-bit compare *)
+    Int32.unsigned_compare a b < 0
+  in
+  let count = ref 0 in
+  let status = ref None in
+  let pc = ref 0 in
+  while !status = None && !pc < Array.length prog && !count < fuel do
+    incr count;
+    let next = ref (!pc + 1) in
+    (match prog.(!pc) with
+    | Label _ -> ()
+    | Li (d, v) -> regs.(d) <- v
+    | Mv (d, s) -> regs.(d) <- regs.(s)
+    | Add (d, a, b) -> regs.(d) <- Int32.add regs.(a) regs.(b)
+    | Sub (d, a, b) -> regs.(d) <- Int32.sub regs.(a) regs.(b)
+    | Mul (d, a, b) -> regs.(d) <- Int32.mul regs.(a) regs.(b)
+    | And_ (d, a, b) -> regs.(d) <- Int32.logand regs.(a) regs.(b)
+    | Or_ (d, a, b) -> regs.(d) <- Int32.logor regs.(a) regs.(b)
+    | Xor_ (d, a, b) -> regs.(d) <- Int32.logxor regs.(a) regs.(b)
+    | Addi (d, a, i) -> regs.(d) <- Int32.add regs.(a) (Int32.of_int i)
+    | Andi (d, a, i) -> regs.(d) <- Int32.logand regs.(a) (Int32.of_int i)
+    | Shli (d, a, i) -> regs.(d) <- Int32.shift_left regs.(a) i
+    | Shri (d, a, i) -> regs.(d) <- Int32.shift_right_logical regs.(a) i
+    | Sari (d, a, i) -> regs.(d) <- Int32.shift_right regs.(a) i
+    | Ldw (d, a, i) -> regs.(d) <- ldw (Int32.add regs.(a) (Int32.of_int i))
+    | Stw (s, a, i) -> stw (Int32.add regs.(a) (Int32.of_int i)) regs.(s)
+    | Ldb (d, a, i) ->
+      regs.(d) <- Int32.of_int (ldb (Int32.add regs.(a) (Int32.of_int i)))
+    | Stb (s, a, i) ->
+      stb (Int32.add regs.(a) (Int32.of_int i)) (Int32.to_int regs.(s) land 0xff)
+    | Bcond (c, a, b, l) ->
+      let va = regs.(a) and vb = regs.(b) in
+      let taken =
+        match c with
+        | Eq -> Int32.equal va vb
+        | Ne -> not (Int32.equal va vb)
+        | Lt -> Int32.compare va vb < 0
+        | Ge -> Int32.compare va vb >= 0
+        | Ltu -> unsigned_lt va vb
+        | Geu -> not (unsigned_lt va vb)
+      in
+      if taken then next := Hashtbl.find labels l
+    | Jmp l -> next := Hashtbl.find labels l
+    | Sys -> (
+      let nr = Int32.to_int regs.(0) in
+      match nr with
+      | 0 -> status := Some (Int32.to_int regs.(1) land 0xff)
+      | 1 ->
+        (* write(fd=v1, buf=v2, len=v3) *)
+        let buf = regs.(2) and len = Int32.to_int regs.(3) in
+        for i = 0 to len - 1 do
+          Buffer.add_char out (Char.chr (ldb (Int32.add buf (Int32.of_int i))))
+        done;
+        regs.(0) <- Int32.of_int len
+      | 2 ->
+        let buf = regs.(2) and len = Int32.to_int regs.(3) in
+        let avail = String.length input - !in_pos in
+        let n = min len avail in
+        for i = 0 to n - 1 do
+          stb (Int32.add buf (Int32.of_int i)) (Char.code input.[!in_pos + i])
+        done;
+        in_pos := !in_pos + n;
+        regs.(0) <- Int32.of_int n
+      | 5 -> regs.(0) <- 42l
+      | _ -> regs.(0) <- -1l));
+    pc := !next
+  done;
+  match !status with
+  | Some s -> { exit_status = s; output = Buffer.contents out; dyn_instrs = !count }
+  | None -> failwith "VIR reference executor: program did not exit"

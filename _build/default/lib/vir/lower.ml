@@ -1,0 +1,56 @@
+(** Generic assembly support for VIR lowerings.
+
+    A lowering expands each VIR instruction into target instructions; since
+    branch displacements depend on final addresses, branch words are emitted
+    as fixups resolved in a second pass. All supported targets use fixed
+    4-byte instructions, so addresses are known as soon as the item list is. *)
+
+type item =
+  | Word of int64  (** a fully-encoded instruction *)
+  | Fix of (self_pc:int64 -> target_pc:int64 -> int64) * string
+      (** an instruction whose encoding needs the label's address *)
+  | Mark of string  (** defines a label at the current position *)
+
+(** [assemble ~base items] resolves labels and returns encoded words. *)
+let assemble ~base (items : item list) : int64 list =
+  let labels = Hashtbl.create 64 in
+  let pc = ref base in
+  List.iter
+    (fun it ->
+      match it with
+      | Mark l ->
+        if Hashtbl.mem labels l then failwith ("assemble: duplicate label " ^ l);
+        Hashtbl.add labels l !pc
+      | Word _ | Fix _ -> pc := Int64.add !pc 4L)
+    items;
+  let pc = ref base in
+  List.filter_map
+    (fun it ->
+      match it with
+      | Mark _ -> None
+      | Word w ->
+        pc := Int64.add !pc 4L;
+        Some w
+      | Fix (f, l) ->
+        let target =
+          match Hashtbl.find_opt labels l with
+          | Some t -> t
+          | None -> failwith ("assemble: unknown label " ^ l)
+        in
+        let w = f ~self_pc:!pc ~target_pc:target in
+        pc := Int64.add !pc 4L;
+        Some w)
+    items
+
+(** Interface each ISA implements to run VIR workloads. *)
+module type TARGET = sig
+  val name : string
+
+  (** [lower p] expands a validated VIR program. *)
+  val lower : Lang.program -> item list
+end
+
+(** [encode (module T) ~base p] lowers and assembles in one step. *)
+let encode (module T : TARGET) ~base (p : Lang.program) : int64 list =
+  Lang.validate p;
+  assemble ~base (T.lower p)

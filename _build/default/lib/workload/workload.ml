@@ -1,0 +1,186 @@
+(** Workload harness: builds program images for every simulated ISA and
+    runs them through synthesized interfaces.
+
+    This is the "benchmark programs" layer of the paper's validation
+    (§V-D): the same kernels run on every ISA and every interface, and the
+    observable behaviour (exit status, emulated-OS output) must agree with
+    the VIR reference executor. *)
+
+let code_base = 0x1000L
+
+type target = {
+  tname : string;
+  spec : Lis.Spec.t Lazy.t;
+  encode : base:int64 -> Vir.Lang.program -> int64 list;
+}
+
+let alpha =
+  {
+    tname = "alpha";
+    spec = Isa_alpha.Alpha.spec;
+    encode = Isa_alpha.Alpha_asm.encode;
+  }
+
+let arm =
+  { tname = "arm"; spec = Isa_arm.Arm.spec; encode = Isa_arm.Arm_asm.encode }
+
+let ppc =
+  { tname = "ppc"; spec = Isa_ppc.Ppc.spec; encode = Isa_ppc.Ppc_asm.encode }
+
+let targets = [ alpha; arm; ppc ]
+
+let find_target name =
+  match List.find_opt (fun t -> String.equal t.tname name) targets with
+  | Some t -> t
+  | None -> invalid_arg ("Workload.find_target: unknown ISA " ^ name)
+
+(** A machine loaded with a program and connected to a fresh OS emulator,
+    ready to run. *)
+type loaded = {
+  iface : Specsim.Iface.t;
+  os : Machine.Os_emu.t;
+  image_words : int;
+}
+
+(** [load target ~buildset kernel] synthesizes the interface, assembles the
+    kernel and installs it at the code base with the OS emulator hooked up. *)
+let load ?(backend = Specsim.Synth.Compiled) ?input (t : target) ~buildset
+    (program : Vir.Lang.program) : loaded =
+  let spec = Lazy.force t.spec in
+  let iface = Specsim.Synth.make ~backend spec buildset in
+  let st = iface.st in
+  let os = Machine.Os_emu.create ?input () in
+  (match spec.abi with
+  | Some abi -> Machine.Os_emu.install os abi st
+  | None -> invalid_arg ("ISA " ^ t.tname ^ " has no abi declaration"));
+  let words = t.encode ~base:code_base program in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add code_base (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:code_base;
+  { iface; os; image_words = List.length words }
+
+type outcome = {
+  exit_status : int;  (** low byte, as in the VIR reference *)
+  output : string;
+  instructions : int64;
+}
+
+exception Did_not_terminate of string
+
+(** [run_to_completion ?budget loaded] drives the interface until the
+    program exits. *)
+let run_to_completion ?(budget = 1_000_000_000) (l : loaded) : outcome =
+  let st = l.iface.st in
+  let _ = Specsim.Iface.run_n l.iface budget in
+  if not st.halted then raise (Did_not_terminate "instruction budget exhausted");
+  match Machine.State.exit_status st with
+  | Some s ->
+    {
+      exit_status = s land 0xff;
+      output = Machine.Os_emu.output l.os;
+      instructions = st.instr_count;
+    }
+  | None ->
+    raise
+      (Did_not_terminate
+         (match st.fault with
+         | Some f -> "faulted: " ^ Machine.Fault.to_string f
+         | None -> "halted without exit status"))
+
+(** [run target ~buildset kernel] — load and run in one step. *)
+let run ?backend ?input ?budget (t : target) ~buildset program : outcome =
+  run_to_completion ?budget (load ?backend ?input t ~buildset program)
+
+(** [reference kernel] runs the VIR reference executor. *)
+let reference ?input (program : Vir.Lang.program) : outcome =
+  let r = Vir.Lang.run ?input program in
+  {
+    exit_status = r.exit_status;
+    output = r.output;
+    instructions = Int64.of_int r.dyn_instrs;
+  }
+
+(** [agrees a b] compares the observable behaviour (not instruction counts,
+    which legitimately differ between ISAs). *)
+let agrees (a : outcome) (b : outcome) =
+  a.exit_status = b.exit_status && String.equal a.output b.output
+
+(* ------------------------------------------------------------------ *)
+(* Rotating-interface validation (paper §V-D)                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [run_rotating target ~buildsets kernel] validates all the interfaces at
+    once the way the paper does: every dynamic instruction (or basic
+    block, for block-semantic interfaces) is executed through a different
+    interface than the previous one, all interfaces sharing one machine.
+    This "ensures the validity of all of the interfaces without requiring
+    a complete validation run per interface". *)
+let run_rotating ?input ?(budget = 100_000_000) (t : target) ~buildsets
+    (program : Vir.Lang.program) : outcome =
+  let spec = Lazy.force t.spec in
+  let st = Lis.Spec.make_machine spec in
+  let ifaces =
+    List.map (fun bs -> Specsim.Synth.make ~st spec bs) buildsets
+  in
+  let ifaces = Array.of_list ifaces in
+  if Array.length ifaces = 0 then invalid_arg "run_rotating: no buildsets";
+  let os = Machine.Os_emu.create ?input () in
+  (match spec.abi with
+  | Some abi -> Machine.Os_emu.install os abi st
+  | None -> invalid_arg ("ISA " ^ t.tname ^ " has no abi declaration"));
+  let words = t.encode ~base:code_base program in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add code_base (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:code_base;
+  let dis =
+    Array.map
+      (fun (i : Specsim.Iface.t) ->
+        Specsim.Di.create ~info_slots:i.slots.di_size)
+      ifaces
+  in
+  let k = ref 0 in
+  let steps = ref 0 in
+  while (not st.halted) && Int64.to_int st.instr_count < budget do
+    let i = !k mod Array.length ifaces in
+    let iface = ifaces.(i) in
+    (* Block-semantic interfaces advance by a whole basic block; the
+       others by one instruction — exactly the paper's procedure. *)
+    if iface.bs.bs_block then ignore (iface.run_block ())
+    else begin
+      (* A Step interface is driven through all its entrypoints. *)
+      let n = Specsim.Iface.n_entrypoints iface in
+      if n = 1 then iface.run_one dis.(i)
+      else begin
+        let di = dis.(i) in
+        di.pc <- st.pc;
+        di.instr_index <- -1;
+        di.fault <- None;
+        let e = ref 0 in
+        while !e < n && not st.halted do
+          iface.step di !e;
+          incr e
+        done;
+        if not st.halted then iface.retire di
+      end
+    end;
+    incr k;
+    incr steps;
+    if !steps > budget then st.halted <- true
+  done;
+  if not st.halted then raise (Did_not_terminate "rotating budget exhausted");
+  match Machine.State.exit_status st with
+  | Some s ->
+    {
+      exit_status = s land 0xff;
+      output = Machine.Os_emu.output os;
+      instructions = st.instr_count;
+    }
+  | None -> raise (Did_not_terminate "halted without exit status")

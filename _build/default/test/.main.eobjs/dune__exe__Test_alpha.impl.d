@@ -1,0 +1,1 @@
+test/test_alpha.ml: Alcotest Int64 Isa_alpha Lazy List Machine Semir Specsim Vir

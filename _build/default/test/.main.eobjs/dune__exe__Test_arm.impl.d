@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Int64 Isa_arm Lazy List Machine Specsim Vir

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Lazy List Machine Option Printf Specsim Vir Workload

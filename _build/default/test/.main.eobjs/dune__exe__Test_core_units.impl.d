@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array Demo_isa Int64 Isa_alpha Isa_arm Isa_ppc Lazy Lis List Printf QCheck QCheck_alcotest Specsim String Workload

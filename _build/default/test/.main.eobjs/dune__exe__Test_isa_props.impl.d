@@ -1,0 +1,1 @@
+test/test_isa_props.ml: Int32 Int64 Isa_alpha Isa_arm Isa_ppc Lazy Machine QCheck QCheck_alcotest Semir Specsim

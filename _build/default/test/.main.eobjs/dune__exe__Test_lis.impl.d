@@ -1,0 +1,1 @@
+test/test_lis.ml: Alcotest Array Demo_isa Int64 Lazy Lis List Machine Printf Semir Specsim String

@@ -1,0 +1,1 @@
+test/test_manual.ml: Alcotest Demo_isa Int64 Lazy List Machine Manual Specsim

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Bytes Int64 Machine Memory QCheck QCheck_alcotest Semir

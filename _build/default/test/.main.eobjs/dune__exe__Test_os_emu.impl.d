@@ -1,0 +1,1 @@
+test/test_os_emu.ml: Alcotest Bytes Int64 Machine Memory Os_emu Regfile State

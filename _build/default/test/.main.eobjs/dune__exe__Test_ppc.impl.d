@@ -1,0 +1,1 @@
+test/test_ppc.ml: Alcotest Int64 Isa_ppc Lazy List Machine Specsim Vir

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Array Demo_isa Int64 Isa_alpha Isa_arm Isa_ppc Lis List Machine Option Specsim Vir

@@ -1,0 +1,1 @@
+test/test_regfile.ml: Alcotest Int64 Machine QCheck QCheck_alcotest Regfile

@@ -1,0 +1,1 @@
+test/test_semir.ml: Alcotest Array Compile Eval Format Frame Int64 Ir List Machine Opt QCheck QCheck_alcotest Semir Value

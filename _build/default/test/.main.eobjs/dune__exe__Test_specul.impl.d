@@ -1,0 +1,1 @@
+test/test_specul.ml: Alcotest Array Fault Int64 List Machine Memory QCheck QCheck_alcotest Regfile Specsim State

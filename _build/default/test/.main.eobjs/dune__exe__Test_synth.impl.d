@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Demo_isa Int64 Lazy Lis List Machine Printf Specsim String

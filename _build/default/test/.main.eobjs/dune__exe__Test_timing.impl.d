@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Int64 Isa_alpha Lazy Lis List Machine Specsim Timing Vir Workload

@@ -1,0 +1,1 @@
+test/test_vir.ml: Alcotest Int64 Kernels Lang List Lower Printf String Vir Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Format Int32 Lazy Lis List QCheck QCheck_alcotest Specsim Vir Workload

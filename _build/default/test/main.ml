@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "lisim"
+    [
+      ("memory", Test_memory.suite);
+      ("regfile", Test_regfile.suite);
+      ("semir", Test_semir.suite);
+      ("lis", Test_lis.suite);
+      ("synth", Test_synth.suite);
+      ("alpha", Test_alpha.suite);
+      ("arm", Test_arm.suite);
+      ("ppc", Test_ppc.suite);
+      ("workload", Test_workload.suite);
+      ("timing", Test_timing.suite);
+      ("manual", Test_manual.suite);
+      ("specul", Test_specul.suite);
+      ("os_emu", Test_os_emu.suite);
+      ("core_units", Test_core_units.suite);
+      ("vir", Test_vir.suite);
+      ("pretty", Test_pretty.suite);
+      ("isa_props", Test_isa_props.suite);
+      ("checkpoint", Test_checkpoint.suite);
+    ]

@@ -1,0 +1,200 @@
+(** Alpha ISA tests: per-instruction semantics via hand-assembled snippets,
+    and differential validation of every kernel against the VIR reference
+    executor. *)
+
+let spec () = Lazy.force Isa_alpha.Alpha.spec
+
+(* ----------------------------------------------------------------- *)
+(* Snippet harness: run a few hand-encoded instructions, inspect regs  *)
+(* ----------------------------------------------------------------- *)
+
+let run_snippet ?(setup = fun _ -> ()) words =
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec "one_all" in
+  let st = iface.st in
+  setup st;
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
+  let n = List.length words in
+  for _ = 1 to n do
+    if not st.halted then iface.run_one di
+  done;
+  st
+
+let reg st i = Machine.Regfile.read st.Machine.State.regs ~cls:0 ~idx:i
+
+let set_reg st i v = Machine.Regfile.write st.Machine.State.regs ~cls:0 ~idx:i v
+
+let check_alu name words expected () =
+  (* convention: result in R1; R2=7, R3=-3, R4=0x123456789A as inputs *)
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 2 7L;
+        set_reg st 3 (-3L);
+        set_reg st 4 0x123456789AL)
+      words
+  in
+  Alcotest.(check int64) name expected (reg st 1)
+
+open Isa_alpha.Alpha_asm
+
+let alu_cases =
+  [
+    ("addq", [ addq ~ra:2 ~rb:3 ~rc:1 ], 4L);
+    ("addq_lit", [ addq_lit ~ra:2 ~lit:200 ~rc:1 ], 207L);
+    ("subq", [ subq ~ra:2 ~rb:3 ~rc:1 ], 10L);
+    ("addl wraps+sext", [ addl ~ra:4 ~rb:2 ~rc:1 ], Semir.Value.sext 0x345678A1L 32);
+    ("subl", [ subl ~ra:3 ~rb:2 ~rc:1 ], -10L);
+    ("mull", [ mull ~ra:2 ~rb:3 ~rc:1 ], -21L);
+    ("mulq", [ mulq ~ra:2 ~rb:3 ~rc:1 ], -21L);
+    ("umulh", [ umulh ~ra:3 ~rb:2 ~rc:1 ], 6L);
+    (* (2^64-3) * 7 = 7*2^64 - 21 -> high = 6 *)
+    ("cmpeq false", [ cmpeq ~ra:2 ~rb:3 ~rc:1 ], 0L);
+    ("cmplt", [ cmplt ~ra:3 ~rb:2 ~rc:1 ], 1L);
+    ("cmple", [ cmple ~ra:2 ~rb:2 ~rc:1 ], 1L);
+    ("cmpult on negative", [ cmpult ~ra:3 ~rb:2 ~rc:1 ], 0L);
+    ("cmpule", [ cmpule ~ra:2 ~rb:3 ~rc:1 ], 1L);
+    ("and", [ and_ ~ra:2 ~rb:3 ~rc:1 ], 5L);
+    ("and_lit", [ and_lit ~ra:4 ~lit:0xFF ~rc:1 ], 0x9AL);
+    ("bis", [ bis ~ra:2 ~rb:3 ~rc:1 ], -1L);
+    ("xor", [ xor ~ra:2 ~rb:2 ~rc:1 ], 0L);
+    ("sll_lit", [ sll_lit ~ra:2 ~lit:4 ~rc:1 ], 112L);
+    ("srl_lit", [ srl_lit ~ra:3 ~lit:60 ~rc:1 ], 15L);
+    ("sra_lit", [ sra_lit ~ra:3 ~lit:1 ~rc:1 ], -2L);
+    ("zapnot low 4 bytes", [ zapnot_lit ~ra:4 ~lit:0x0F ~rc:1 ], 0x3456789AL);
+    ("cmoveq not taken", [ cmoveq ~ra:2 ~rb:3 ~rc:1 ], 0L);
+    ("s4addq", [ opr 0x10 0x22 ~ra:2 ~rb:3 ~rc:1 ], 25L);
+    ("s8subq", [ opr 0x10 0x3B ~ra:2 ~rb:3 ~rc:1 ], 59L);
+    ("s4addl wraps", [ opr 0x10 0x02 ~ra:4 ~rb:2 ~rc:1 ],
+      Semir.Value.sext (Int64.add (Int64.shift_left 0x123456789AL 2) 7L) 32);
+    ("insbl", [ opl 0x12 0x0B ~ra:2 ~lit:2 ~rc:1 ], 0x070000L);
+    ("inswl", [ opr 0x12 0x1B ~ra:4 ~rb:2 ~rc:1 ],
+      Int64.shift_left 0x789AL 56 |> fun _ -> 0x9A00000000000000L |> fun _ ->
+      Int64.shift_left (Int64.logand 0x123456789AL 0xFFFFL) 56);
+    ("mskbl", [ opr 0x12 0x02 ~ra:4 ~rb:31 ~rc:1 ], 0x1234567800L);
+    ("mskql clears all", [ opr 0x12 0x32 ~ra:4 ~rb:31 ~rc:1 ], 0L);
+    ("ctpop", [ opr 0x1C 0x30 ~ra:31 ~rb:2 ~rc:1 ], 3L);
+    ("ctlz", [ opr 0x1C 0x32 ~ra:31 ~rb:2 ~rc:1 ], 61L);
+    ("cttz", [ opr 0x1C 0x33 ~ra:31 ~rb:2 ~rc:1 ], 0L);
+    ("extwl_lit", [ opl 0x12 0x16 ~ra:4 ~lit:1 ~rc:1 ], 0x5678L);
+    ("cmovlbs_lit taken", [ opl 0x11 0x14 ~ra:2 ~lit:9 ~rc:1 ], 9L);
+    ("lda", [ lda ~ra:1 ~rb:2 ~disp:(-7) ], 0L);
+    ("ldah", [ ldah ~ra:1 ~rb:31 ~disp:2 ], 0x20000L);
+  ]
+
+let test_hardwired_r31 () =
+  let st = run_snippet [ addq_lit ~ra:31 ~lit:5 ~rc:31 ] in
+  Alcotest.(check int64) "R31 still zero" 0L (reg st 31)
+
+let test_memory_roundtrip () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 2 0x2000L)
+      [
+        lda ~ra:3 ~rb:31 ~disp:(-256);
+        stq ~ra:3 ~rb:2 ~disp:16;
+        ldq ~ra:1 ~rb:2 ~disp:16;
+        ldl ~ra:4 ~rb:2 ~disp:16;
+        ldbu ~ra:5 ~rb:2 ~disp:17;
+        ldwu ~ra:6 ~rb:2 ~disp:16;
+      ]
+  in
+  Alcotest.(check int64) "ldq" (-256L) (reg st 1);
+  Alcotest.(check int64) "ldl sign-extends" (-256L) (reg st 4);
+  Alcotest.(check int64) "ldbu" 0xFFL (reg st 5);
+  Alcotest.(check int64) "ldwu" 0xFF00L (reg st 6)
+
+let test_branches () =
+  (* beq taken skips the poison instruction *)
+  let beq_taken =
+    [
+      br_raw 0x39 ~ra:31 ~disp21:1 (* beq r31 (+1): always taken *);
+      addq_lit ~ra:31 ~lit:99 ~rc:1 (* skipped *);
+      addq_lit ~ra:31 ~lit:5 ~rc:2;
+    ]
+  in
+  let st = run_snippet beq_taken in
+  Alcotest.(check int64) "skipped" 0L (reg st 1);
+  Alcotest.(check int64) "landed" 5L (reg st 2)
+
+let test_jmp_and_link () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 2 0x100CL)
+      [
+        jmp ~ra:1 ~rb:2 (* at 0x1000: r1 = 0x1004, jump to 0x100C *);
+        addq_lit ~ra:31 ~lit:99 ~rc:3 (* 0x1004: skipped *);
+        addq_lit ~ra:31 ~lit:98 ~rc:4 (* 0x1008: skipped *);
+        addq_lit ~ra:31 ~lit:1 ~rc:5 (* 0x100C: executed *);
+      ]
+  in
+  Alcotest.(check int64) "link" 0x1004L (reg st 1);
+  Alcotest.(check int64) "skipped" 0L (reg st 3);
+  Alcotest.(check int64) "landed" 1L (reg st 5)
+
+(* ----------------------------------------------------------------- *)
+(* Differential: kernels vs the VIR reference                          *)
+(* ----------------------------------------------------------------- *)
+
+let run_kernel bs (k : Vir.Kernels.sized) =
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec bs in
+  let st = iface.st in
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with Some abi -> Machine.Os_emu.install os abi st | None -> ());
+  let words = Isa_alpha.Alpha_asm.encode ~base:0x1000L k.program in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let budget = 50_000_000 in
+  let _ = Specsim.Iface.run_n iface budget in
+  if not st.halted then Alcotest.failf "kernel %s did not terminate" k.kname;
+  ( (match Machine.State.exit_status st with
+    | Some s -> s land 0xff
+    | None -> Alcotest.failf "kernel %s: no exit status" k.kname),
+    Machine.Os_emu.output os )
+
+let check_kernel (k : Vir.Kernels.sized) () =
+  let expected = Vir.Lang.run k.program in
+  let status, output = run_kernel "one_all" k in
+  Alcotest.(check int) (k.kname ^ " exit") expected.exit_status status;
+  Alcotest.(check string) (k.kname ^ " output") expected.output output
+
+let check_kernel_block (k : Vir.Kernels.sized) () =
+  let expected = Vir.Lang.run k.program in
+  let status, output = run_kernel "block_min" k in
+  Alcotest.(check int) (k.kname ^ " exit") expected.exit_status status;
+  Alcotest.(check string) (k.kname ^ " output") expected.output output
+
+let suite =
+  List.map
+    (fun (name, words, expected) ->
+      Alcotest.test_case name `Quick (check_alu name words expected))
+    alu_cases
+  @ [
+      Alcotest.test_case "hardwired R31" `Quick test_hardwired_r31;
+      Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+      Alcotest.test_case "branches" `Quick test_branches;
+      Alcotest.test_case "jmp and link" `Quick test_jmp_and_link;
+    ]
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel k))
+      Vir.Kernels.test_suite
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel (block) " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel_block k))
+      Vir.Kernels.test_suite

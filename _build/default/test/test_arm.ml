@@ -1,0 +1,242 @@
+(** ARM ISA tests: flags, conditional execution, shifter operand, and
+    differential kernel validation against the VIR reference. *)
+
+let spec () = Lazy.force Isa_arm.Arm.spec
+
+let run_snippet ?(setup = fun _ -> ()) words =
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec "one_all" in
+  let st = iface.st in
+  setup st;
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
+  for _ = 1 to List.length words do
+    if not st.halted then iface.run_one di
+  done;
+  st
+
+let reg st i = Machine.Regfile.read st.Machine.State.regs ~cls:0 ~idx:i
+let flag st i = Machine.Regfile.read st.Machine.State.regs ~cls:1 ~idx:i
+let set_reg st i v = Machine.Regfile.write st.Machine.State.regs ~cls:0 ~idx:i v
+
+open Isa_arm.Arm_asm
+
+let test_mov_imm () =
+  let st = run_snippet [ dp_imm ~op:13 ~rn:0 ~rd:1 ~imm8:0xFF ~rot:14 () ] in
+  (* 0xFF ror 28 = 0xFF0 *)
+  Alcotest.(check int64) "rotated immediate" 0xFF0L (reg st 1)
+
+let test_add_sub_flags () =
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 2 0xFFFFFFFFL;
+        set_reg st 3 1L)
+      [ dp_reg ~s:true ~op:4 ~rn:2 ~rd:1 ~rm:3 () ]
+  in
+  Alcotest.(check int64) "wraps to zero" 0L (reg st 1);
+  Alcotest.(check int64) "Z set" 1L (flag st 1);
+  Alcotest.(check int64) "C set" 1L (flag st 2);
+  Alcotest.(check int64) "V clear" 0L (flag st 3)
+
+let test_overflow () =
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 2 0x7FFFFFFFL;
+        set_reg st 3 1L)
+      [ dp_reg ~s:true ~op:4 ~rn:2 ~rd:1 ~rm:3 () ]
+  in
+  Alcotest.(check int64) "sum" 0x80000000L (reg st 1);
+  Alcotest.(check int64) "V set" 1L (flag st 3);
+  Alcotest.(check int64) "N set" 1L (flag st 0)
+
+let test_conditional_execution () =
+  (* cmp r2, r3 (equal); addeq r1, r1, #5 executes; addne r4, r4, #7 not *)
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 2 9L;
+        set_reg st 3 9L)
+      [
+        dp_reg ~s:true ~op:10 ~rn:2 ~rd:0 ~rm:3 ();
+        dp_imm ~cond:0x0 ~op:4 ~rn:1 ~rd:1 ~imm8:5 ~rot:0 ();
+        dp_imm ~cond:0x1 ~op:4 ~rn:4 ~rd:4 ~imm8:7 ~rot:0 ();
+      ]
+  in
+  Alcotest.(check int64) "eq executed" 5L (reg st 1);
+  Alcotest.(check int64) "ne skipped" 0L (reg st 4)
+
+let test_shifter_carry () =
+  (* movs r1, r2, lsl #1 with r2 bit31 set -> C = 1 *)
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 2 0x80000001L)
+      [ dp_reg ~s:true ~op:13 ~rn:0 ~rd:1 ~rm:2 ~shift_type:0 ~shift_imm:1 () ]
+  in
+  Alcotest.(check int64) "shifted" 2L (reg st 1);
+  Alcotest.(check int64) "carry out of shifter" 1L (flag st 2)
+
+let test_asr_special () =
+  (* mov r1, r2, asr #0 means asr #32 *)
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 2 0x80000000L)
+      [ dp_reg ~op:13 ~rn:0 ~rd:1 ~rm:2 ~shift_type:2 ~shift_imm:0 () ]
+  in
+  Alcotest.(check int64) "asr #32 of negative" 0xFFFFFFFFL (reg st 1)
+
+let test_rsr_shift () =
+  (* mov r1, r2, lsl r3 with r3 = 36 -> 0 *)
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 2 1L;
+        set_reg st 3 36L)
+      [ dp_rsr ~op:13 ~rn:0 ~rd:1 ~rm:2 ~shift_type:0 ~rs:3 () ]
+  in
+  Alcotest.(check int64) "lsl by 36 is 0" 0L (reg st 1)
+
+let test_mul_mla () =
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 2 7L;
+        set_reg st 3 6L;
+        set_reg st 4 100L)
+      [ mul ~rd:1 ~rm:2 ~rs:3 (); mla ~rd:5 ~rm:2 ~rs:3 ~ra:4 () ]
+  in
+  Alcotest.(check int64) "mul" 42L (reg st 1);
+  Alcotest.(check int64) "mla" 142L (reg st 5)
+
+let test_umull_smull () =
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 2 0xFFFFFFFFL;
+        set_reg st 3 2L)
+      [
+        Int64.of_int ((0xE lsl 28) lor 0x00800090 lor (5 lsl 16) lor (4 lsl 12) lor (3 lsl 8) lor 2)
+        (* umull r4(lo), r5(hi), r2, r3 *);
+        Int64.of_int ((0xE lsl 28) lor 0x00C00090 lor (7 lsl 16) lor (6 lsl 12) lor (3 lsl 8) lor 2)
+        (* smull r6(lo), r7(hi), r2, r3 *);
+      ]
+  in
+  (* 0xFFFFFFFF * 2 = 0x1FFFFFFFE *)
+  Alcotest.(check int64) "umull lo" 0xFFFFFFFEL (reg st 4);
+  Alcotest.(check int64) "umull hi" 1L (reg st 5);
+  (* -1 * 2 = -2 *)
+  Alcotest.(check int64) "smull lo" 0xFFFFFFFEL (reg st 6);
+  Alcotest.(check int64) "smull hi" 0xFFFFFFFFL (reg st 7)
+
+let test_clz_mrs_msr () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 2 0x00010000L)
+      [
+        Int64.of_int ((0xE lsl 28) lor 0x016F0F10 lor (1 lsl 12) lor 2)
+        (* clz r1, r2 *);
+        (* set flags from r3 = 0xF0000000 via msr, then read back via mrs *)
+        dp_imm ~op:13 ~rn:0 ~rd:3 ~imm8:0xF ~rot:2 () (* r3 = 0xF0000000 *);
+        Int64.of_int ((0xE lsl 28) lor 0x0128F000 lor 3) (* msr cpsr_f, r3 *);
+        Int64.of_int ((0xE lsl 28) lor 0x010F0000 lor (4 lsl 12)) (* mrs r4 *);
+      ]
+  in
+  Alcotest.(check int64) "clz" 15L (reg st 1);
+  Alcotest.(check int64) "NZCV set" 1L (flag st 0);
+  Alcotest.(check int64) "mrs reads flags back" 0xF0000000L (reg st 4)
+
+let test_memory () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 2 0x2000L)
+      [
+        dp_imm ~op:13 ~rn:0 ~rd:3 ~imm8:0xAB ~rot:0 ();
+        strb ~rn:2 ~rt:3 ~imm:1 ();
+        ldrb ~rn:2 ~rt:4 ~imm:1 ();
+        strh ~rn:2 ~rt:3 ~imm:4 ();
+        ldrh ~rn:2 ~rt:5 ~imm:4 ();
+        str ~rn:2 ~rt:3 ~imm:8 ();
+        ldr ~rn:2 ~rt:6 ~imm:8 ();
+        ldrsb ~rn:2 ~rt:7 ~imm:1 ();
+      ]
+  in
+  Alcotest.(check int64) "ldrb" 0xABL (reg st 4);
+  Alcotest.(check int64) "ldrh" 0xABL (reg st 5);
+  Alcotest.(check int64) "ldr" 0xABL (reg st 6);
+  Alcotest.(check int64) "ldrsb sign-extends to 32" 0xFFFFFFABL (reg st 7)
+
+let test_bl_bx () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 2 0L)
+      [
+        b_raw ~link:true ~off24:1 () (* bl +1: to 0x100C, lr = 0x1004 *);
+        dp_imm ~op:4 ~rn:2 ~rd:2 ~imm8:99 ~rot:0 () (* skipped *);
+        dp_imm ~op:4 ~rn:2 ~rd:2 ~imm8:1 ~rot:0 () (* 0x1008: ret lands here? no *);
+        dp_imm ~op:4 ~rn:2 ~rd:2 ~imm8:2 ~rot:0 () (* 0x100C: executed *);
+      ]
+  in
+  Alcotest.(check int64) "lr" 0x1004L (reg st 14);
+  Alcotest.(check int64) "branched over" 2L (reg st 2)
+
+(* ----------------------------------------------------------------- *)
+
+let run_kernel bs (k : Vir.Kernels.sized) =
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec bs in
+  let st = iface.st in
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with Some abi -> Machine.Os_emu.install os abi st | None -> ());
+  let words = Isa_arm.Arm_asm.encode ~base:0x1000L k.program in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let _ = Specsim.Iface.run_n iface 50_000_000 in
+  if not st.halted then Alcotest.failf "kernel %s did not terminate" k.kname;
+  ( (match Machine.State.exit_status st with
+    | Some s -> s land 0xff
+    | None -> Alcotest.failf "kernel %s: no exit status" k.kname),
+    Machine.Os_emu.output os )
+
+let check_kernel bs (k : Vir.Kernels.sized) () =
+  let expected = Vir.Lang.run k.program in
+  let status, output = run_kernel bs k in
+  Alcotest.(check int) (k.kname ^ " exit") expected.exit_status status;
+  Alcotest.(check string) (k.kname ^ " output") expected.output output
+
+let suite =
+  [
+    Alcotest.test_case "mov rotated imm" `Quick test_mov_imm;
+    Alcotest.test_case "add/sub flags" `Quick test_add_sub_flags;
+    Alcotest.test_case "overflow" `Quick test_overflow;
+    Alcotest.test_case "conditional execution" `Quick test_conditional_execution;
+    Alcotest.test_case "shifter carry" `Quick test_shifter_carry;
+    Alcotest.test_case "asr #32 special case" `Quick test_asr_special;
+    Alcotest.test_case "register shift saturation" `Quick test_rsr_shift;
+    Alcotest.test_case "mul/mla" `Quick test_mul_mla;
+    Alcotest.test_case "umull/smull" `Quick test_umull_smull;
+    Alcotest.test_case "clz/mrs/msr" `Quick test_clz_mrs_msr;
+    Alcotest.test_case "memory" `Quick test_memory;
+    Alcotest.test_case "bl" `Quick test_bl_bx;
+  ]
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel "one_all" k))
+      Vir.Kernels.test_suite
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel (block) " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel "block_min" k))
+      Vir.Kernels.test_suite

@@ -1,0 +1,110 @@
+(** Machine checkpointing: round trips, resume-equivalence (running from a
+    checkpoint gives the same result as running straight through), and
+    layout-mismatch rejection. *)
+
+let run_kernel_with_checkpoint (t : Workload.target) split =
+  (* run [split] instructions, checkpoint, keep going in a FRESH machine
+     restored from the checkpoint; return the final outcome *)
+  let k = List.nth Vir.Kernels.test_suite 3 in
+  let l = Workload.load t ~buildset:"one_all" k.program in
+  let _ = Specsim.Iface.run_n l.iface split in
+  let data = Machine.Checkpoint.save l.iface.st in
+  (* fresh machine + interface; OS emulator state (output so far) is
+     carried over manually since the checkpoint does not capture it *)
+  let output_so_far = Machine.Os_emu.output l.os in
+  let spec = Lazy.force t.spec in
+  let iface2 = Specsim.Synth.make spec "one_all" in
+  let os2 = Machine.Os_emu.create () in
+  (match spec.abi with
+  | Some abi -> Machine.Os_emu.install os2 abi iface2.st
+  | None -> ());
+  Machine.Checkpoint.restore iface2.st data;
+  let _ = Specsim.Iface.run_n iface2 50_000_000 in
+  ( Machine.State.exit_status iface2.st,
+    output_so_far ^ Machine.Os_emu.output os2,
+    iface2.st.instr_count )
+
+let test_resume_equivalence () =
+  let t = Workload.alpha in
+  let k = List.nth Vir.Kernels.test_suite 3 in
+  let straight = Workload.run t ~buildset:"one_all" k.program in
+  List.iter
+    (fun split ->
+      let status, output, count = run_kernel_with_checkpoint t split in
+      Alcotest.(check (option int))
+        (Printf.sprintf "exit after split at %d" split)
+        (Some straight.exit_status)
+        (Option.map (fun s -> s land 0xff) status);
+      Alcotest.(check string) "output" straight.output output;
+      Alcotest.(check int64) "instruction count preserved" straight.instructions
+        count)
+    [ 100; 5_000 ]
+
+let test_roundtrip_exact () =
+  let st =
+    Machine.State.create ~endian:Machine.Memory.Big
+      [
+        { Machine.Regfile.cname = "G"; count = 8; width = 32; hardwired_zero = Some 0 };
+        { Machine.Regfile.cname = "X"; count = 2; width = 64; hardwired_zero = None };
+      ]
+  in
+  Machine.Regfile.write st.regs ~cls:0 ~idx:3 0xDEADL;
+  Machine.Regfile.write st.regs ~cls:1 ~idx:1 0x123456789ABCDEFL;
+  Machine.Memory.write st.mem ~addr:0x4242L ~width:8 77L;
+  Machine.Memory.write st.mem ~addr:0x100000L ~width:4 88L;
+  st.pc <- 0x8000L;
+  st.instr_count <- 999L;
+  Machine.State.raise_fault st (Machine.Fault.Arith "checkpointed mid-fault");
+  let data = Machine.Checkpoint.save st in
+  let st2 =
+    Machine.State.create ~endian:Machine.Memory.Big
+      [
+        { Machine.Regfile.cname = "G"; count = 8; width = 32; hardwired_zero = Some 0 };
+        { Machine.Regfile.cname = "X"; count = 2; width = 64; hardwired_zero = None };
+      ]
+  in
+  Machine.Checkpoint.restore st2 data;
+  Alcotest.(check bool) "registers equal" true (Machine.Regfile.equal st.regs st2.regs);
+  Alcotest.(check int64) "pc" st.pc st2.pc;
+  Alcotest.(check int64) "count" st.instr_count st2.instr_count;
+  Alcotest.(check bool) "halted" st.halted st2.halted;
+  Alcotest.(check bool) "fault" true
+    (match (st.fault, st2.fault) with
+    | Some a, Some b -> Machine.Fault.equal a b
+    | None, None -> true
+    | _ -> false);
+  Alcotest.(check int64) "memory word" 77L
+    (Machine.Memory.read st2.mem ~addr:0x4242L ~width:8);
+  Alcotest.(check int64) "distant page" 88L
+    (Machine.Memory.read st2.mem ~addr:0x100000L ~width:4)
+
+let test_layout_mismatch_rejected () =
+  let st =
+    Machine.State.create ~endian:Machine.Memory.Little
+      [ { Machine.Regfile.cname = "G"; count = 8; width = 64; hardwired_zero = None } ]
+  in
+  let data = Machine.Checkpoint.save st in
+  let other =
+    Machine.State.create ~endian:Machine.Memory.Little
+      [ { Machine.Regfile.cname = "G"; count = 16; width = 64; hardwired_zero = None } ]
+  in
+  (match Machine.Checkpoint.restore other data with
+  | exception Machine.Checkpoint.Corrupt _ -> ()
+  | () -> Alcotest.fail "layout mismatch accepted");
+  let wrong_endian =
+    Machine.State.create ~endian:Machine.Memory.Big
+      [ { Machine.Regfile.cname = "G"; count = 8; width = 64; hardwired_zero = None } ]
+  in
+  (match Machine.Checkpoint.restore wrong_endian data with
+  | exception Machine.Checkpoint.Corrupt _ -> ()
+  | () -> Alcotest.fail "endian mismatch accepted");
+  match Machine.Checkpoint.restore st "garbage" with
+  | exception Machine.Checkpoint.Corrupt _ -> ()
+  | () -> Alcotest.fail "garbage accepted"
+
+let suite =
+  [
+    Alcotest.test_case "resume equivalence" `Quick test_resume_equivalence;
+    Alcotest.test_case "exact roundtrip" `Quick test_roundtrip_exact;
+    Alcotest.test_case "mismatch rejected" `Quick test_layout_mismatch_rejected;
+  ]

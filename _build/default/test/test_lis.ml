@@ -1,0 +1,248 @@
+(** Front-end tests: lexer, parser, semantic analysis, statistics. *)
+
+let spec () = Lazy.force Demo_isa.spec
+
+let parse_isa ?(extra = "") () =
+  Lis.Sema.load
+    [
+      {
+        Lis.Ast.src_role = Lis.Ast.Isa_description;
+        src_name = "demo.lis";
+        src_text = Demo_isa.isa_text ^ extra;
+      };
+      {
+        Lis.Ast.src_role = Lis.Ast.Buildset_file;
+        src_name = "bs.lis";
+        src_text = Demo_isa.buildsets_text;
+      };
+    ]
+
+let expect_error ~substring f =
+  match f () with
+  | exception Lis.Loc.Error (span, msg) ->
+    let text = Lis.Loc.error_to_string (span, msg) in
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    if not (contains text substring) then
+      Alcotest.failf "error %S does not mention %S" text substring
+  | _ -> Alcotest.fail "expected a front-end error"
+
+(* ------------------------------------------------------------------ *)
+
+let test_demo_shape () =
+  let s = spec () in
+  Alcotest.(check string) "name" "demo" s.name;
+  Alcotest.(check int) "instructions" 10 (Array.length s.instrs);
+  Alcotest.(check int) "buildsets" 12 (Array.length s.buildsets);
+  Alcotest.(check int) "register classes" 1 (Array.length s.reg_classes);
+  (* cells: effective_addr, alu_out, opclass, (ra,rb,rc) x (val,id) *)
+  Alcotest.(check int) "cells" 9 (Lis.Spec.n_cells s);
+  Alcotest.(check int) "wordsize" 64 s.wordsize;
+  Alcotest.(check bool) "abi present" true (s.abi <> None)
+
+let test_class_inheritance () =
+  let s = spec () in
+  let add = Lis.Spec.find_instr s "ADD" in
+  Alcotest.(check int) "ADD has 3 operands" 3 (Array.length add.i_operands);
+  let ldq = Lis.Spec.find_instr s "LDQ" in
+  (* ra from class 'mem', rc its own *)
+  Alcotest.(check int) "LDQ has 2 operands" 2 (Array.length ldq.i_operands);
+  Alcotest.(check bool) "LDQ has class action 'address'" true
+    (List.mem_assoc "address" ldq.i_user)
+
+let test_decoder () =
+  let s = spec () in
+  let d = Specsim.Decoder.make s in
+  let add = Lis.Spec.find_instr s "ADD" in
+  Alcotest.(check int) "ADD decodes" add.i_index
+    (Specsim.Decoder.decode d (Demo_isa.add ~ra:1 ~rb:2 ~rc:3));
+  let sub = Lis.Spec.find_instr s "SUB" in
+  Alcotest.(check int) "SUB decodes" sub.i_index
+    (Specsim.Decoder.decode d (Demo_isa.sub ~ra:1 ~rb:2 ~rc:3));
+  Alcotest.(check int) "garbage rejected" (-1) (Specsim.Decoder.decode d 0xFFFFFFFFL);
+  Alcotest.(check (list (pair string string))) "no ambiguous encodings" []
+    (Specsim.Decoder.overlaps s)
+
+let test_line_stats () =
+  let s = spec () in
+  let st = s.line_stats in
+  Alcotest.(check bool) "isa lines counted" true (st.isa_lines > 50);
+  Alcotest.(check int) "buildsets counted" 12 st.buildset_count;
+  let per = Lis.Count.lines_per_buildset st in
+  Alcotest.(check bool) "a buildset is a handful of lines" true
+    (per >= 4. && per <= 20.)
+
+let test_comment_counting () =
+  Alcotest.(check int) "comments and blanks ignored" 2
+    (Lis.Count.code_lines "// nothing\n\nfield a : u64;\n/* block\ncomment */\nfield b : u64;\n")
+
+(* ------------------------------------------------------------------ *)
+(* Error reporting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_syntax_error_position () =
+  expect_error ~substring:"bad.lis:3" (fun () ->
+      Lis.Parser.parse ~file:"bad.lis" "isa \"x\" {\n  endian little;\n  wordsize;\n}")
+
+let test_unknown_field () =
+  expect_error ~substring:"unknown field or operand 'bogus'" (fun () ->
+      parse_isa
+        ~extra:
+          {|
+instr BAD match 0x5C000000 mask 0xFC000000 {
+  action evaluate { bogus = 1; }
+}
+|}
+        ())
+
+let test_bad_partition () =
+  expect_error ~substring:"must partition the action sequence" (fun () ->
+      Lis.Sema.load
+        [
+          {
+            Lis.Ast.src_role = Lis.Ast.Isa_description;
+            src_name = "demo.lis";
+            src_text = Demo_isa.isa_text;
+          };
+          {
+            Lis.Ast.src_role = Lis.Ast.Buildset_file;
+            src_name = "bad_bs.lis";
+            src_text =
+              {|
+buildset broken {
+  visibility all;
+  entrypoint a = fetch, decode;
+  entrypoint b = read_operands, evaluate, address, memory, writeback, exception;
+}
+|};
+          };
+        ])
+
+let test_match_outside_mask () =
+  expect_error ~substring:"outside mask" (fun () ->
+      parse_isa
+        ~extra:
+          "\ninstr BAD2 match 0x5C000001 mask 0xFC000000 { action evaluate { alu_out = 1; } }\n"
+        ())
+
+let test_duplicate_instr () =
+  expect_error ~substring:"duplicate instruction" (fun () ->
+      parse_isa
+        ~extra:
+          "\ninstr ADD match 0x5C000000 mask 0xFC000000 { action evaluate { alu_out = 1; } }\n"
+        ())
+
+let test_unknown_action () =
+  expect_error ~substring:"not in the sequence" (fun () ->
+      parse_isa
+        ~extra:
+          "\ninstr BAD3 match 0x5C000000 mask 0xFC000000 { action frobnicate { alu_out = 1; } }\n"
+        ())
+
+let test_unterminated_comment () =
+  expect_error ~substring:"unterminated" (fun () ->
+      Lis.Parser.parse ~file:"c.lis" "/* oops")
+
+let test_override () =
+  let s =
+    parse_isa
+      ~extra:"\noverride SYS action exception { halt; }\n"
+      ()
+  in
+  let sys = Lis.Spec.find_instr s "SYS" in
+  match List.assoc "exception" sys.i_user with
+  | [ Semir.Ir.Halt ] -> ()
+  | p ->
+    Alcotest.failf "override not applied: %a" (Semir.Ir.pp_program ?cell_name:None) p
+
+(* ------------------------------------------------------------------ *)
+(* Expression translation fidelity (via a one-instruction ISA)          *)
+(* ------------------------------------------------------------------ *)
+
+let eval_expr_text text =
+  (* Wrap [text] as the evaluate action of a tiny ISA and execute it. *)
+  let isa =
+    Printf.sprintf
+      {|
+isa "x" { endian little; wordsize 64; instrsize 4; decodekey 26 6; }
+regclass G 4 width 64;
+field out : u64;
+instr T match 0 mask 0 {
+  action evaluate { out = %s; halt; }
+}
+buildset b {
+  visibility all;
+  entrypoint e = fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+}
+|}
+      text
+  in
+  let spec =
+    Lis.Sema.load
+      [ { Lis.Ast.src_role = Lis.Ast.Isa_description; src_name = "x.lis"; src_text = isa } ]
+  in
+  let iface = Specsim.Synth.make spec "b" in
+  Machine.Regfile.write iface.st.regs ~cls:0 ~idx:1 10L;
+  Machine.Regfile.write iface.st.regs ~cls:0 ~idx:2 (-3L);
+  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
+  iface.run_one di;
+  Specsim.Di.get di (Specsim.Iface.slot_of_exn iface "out")
+
+let check_expr text expected () =
+  Alcotest.(check int64) text expected (eval_expr_text text)
+
+let expr_cases =
+  [
+    ("1 + 2 * 3", 7L);
+    ("(1 + 2) * 3", 9L);
+    ("10 - 2 - 3", 5L);
+    ("1 << 4 | 2", 18L);
+    ("0xFF & 0x0F0", 0xF0L);
+    ("5 < 3", 0L);
+    ("3 < 5 ? 42 : 7", 42L);
+    ("-5 / 2", -2L);
+    ("udiv(0 - 1, 2)", 0x7FFFFFFFFFFFFFFFL);
+    ("sext(0xFF, 8)", -1L);
+    ("zext(0 - 1, 16)", 0xFFFFL);
+    ("asr(0 - 8, 1)", -4L);
+    ("ror(1, 1)", Int64.min_int);
+    ("ltu(0 - 1, 1)", 0L);
+    ("gtu(0 - 1, 1)", 1L);
+    ("popcount(0xFF)", 8L);
+    ("clz(1)", 63L);
+    ("1 && 2", 1L);
+    ("0 || 3", 1L);
+    ("!(5)", 0L);
+    ("~0", -1L);
+    ("reg.G[1]", 10L);
+    ("reg.G[1] + reg.G[2]", 7L);
+    ("reg.G[1] >= reg.G[2] ? 1 : 0", 1L);
+    ("5 % 3", 2L);
+    ("pc", 0L);
+    ("next_pc", 4L);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "demo spec shape" `Quick test_demo_shape;
+    Alcotest.test_case "class inheritance" `Quick test_class_inheritance;
+    Alcotest.test_case "decoder" `Quick test_decoder;
+    Alcotest.test_case "line statistics" `Quick test_line_stats;
+    Alcotest.test_case "comment counting" `Quick test_comment_counting;
+    Alcotest.test_case "syntax error position" `Quick test_syntax_error_position;
+    Alcotest.test_case "unknown field" `Quick test_unknown_field;
+    Alcotest.test_case "bad entrypoint partition" `Quick test_bad_partition;
+    Alcotest.test_case "match outside mask" `Quick test_match_outside_mask;
+    Alcotest.test_case "duplicate instruction" `Quick test_duplicate_instr;
+    Alcotest.test_case "unknown action" `Quick test_unknown_action;
+    Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+    Alcotest.test_case "override" `Quick test_override;
+  ]
+  @ List.map
+      (fun (text, expected) ->
+        Alcotest.test_case (Printf.sprintf "expr: %s" text) `Quick
+          (check_expr text expected))
+      expr_cases

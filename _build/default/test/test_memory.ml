@@ -1,0 +1,102 @@
+(** Unit and property tests for the paged memory. *)
+
+open Machine
+
+let test_zero_initial () =
+  let m = Memory.create Little in
+  Alcotest.(check int64) "fresh memory reads zero" 0L
+    (Memory.read m ~addr:0xDEAD_BEEFL ~width:8);
+  Alcotest.(check int) "reads allocate on demand" 1 (Memory.page_count m)
+
+let test_endianness () =
+  let little = Memory.create Little and big = Memory.create Big in
+  Memory.write little ~addr:0x100L ~width:4 0x11223344L;
+  Memory.write big ~addr:0x100L ~width:4 0x11223344L;
+  Alcotest.(check int) "little LSB first" 0x44 (Memory.read_byte little 0x100L);
+  Alcotest.(check int) "big MSB first" 0x11 (Memory.read_byte big 0x100L);
+  Alcotest.(check int64) "little readback" 0x11223344L
+    (Memory.read little ~addr:0x100L ~width:4);
+  Alcotest.(check int64) "big readback" 0x11223344L
+    (Memory.read big ~addr:0x100L ~width:4)
+
+let test_page_spanning () =
+  let m = Memory.create Little in
+  (* 4096-byte pages; write an 8-byte value across the boundary *)
+  Memory.write m ~addr:0xFFCL ~width:8 0x0102030405060708L;
+  Alcotest.(check int64) "read back across pages" 0x0102030405060708L
+    (Memory.read m ~addr:0xFFCL ~width:8);
+  Alcotest.(check int64) "partial low" 0x05060708L
+    (Memory.read m ~addr:0xFFCL ~width:4);
+  Alcotest.(check int64) "partial high" 0x01020304L
+    (Memory.read m ~addr:0x1000L ~width:4)
+
+let test_signed_reads () =
+  let m = Memory.create Little in
+  Memory.write m ~addr:0L ~width:1 0x80L;
+  Alcotest.(check int64) "sign-extended byte" (-128L)
+    (Memory.read_signed m ~addr:0L ~width:1);
+  Alcotest.(check int64) "zero-extended byte" 0x80L (Memory.read m ~addr:0L ~width:1);
+  Memory.write m ~addr:8L ~width:4 0xFFFFFFFFL;
+  Alcotest.(check int64) "sign-extended word" (-1L)
+    (Memory.read_signed m ~addr:8L ~width:4)
+
+let test_bad_width () =
+  let m = Memory.create Little in
+  Alcotest.check_raises "width 3 rejected"
+    (Invalid_argument "Memory: unsupported width 3") (fun () ->
+      ignore (Memory.read m ~addr:0L ~width:3))
+
+let test_load_dump () =
+  let m = Memory.create Big in
+  let b = Bytes.of_string "hello, memory" in
+  Memory.load_bytes m 0x4000L b;
+  Alcotest.(check string) "dump equals load" "hello, memory"
+    (Bytes.to_string (Memory.dump_bytes m 0x4000L (Bytes.length b)))
+
+let test_clear () =
+  let m = Memory.create Little in
+  Memory.write m ~addr:0x10L ~width:8 42L;
+  Memory.clear m;
+  Alcotest.(check int) "no pages" 0 (Memory.page_count m);
+  Alcotest.(check int64) "cleared" 0L (Memory.read m ~addr:0x10L ~width:8)
+
+(* Property: value round-trips through write/read at every width, under
+   both endiannesses, including page-spanning addresses. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"write/read round-trip" ~count:500
+    QCheck.(
+      triple (oneofl [ 1; 2; 4; 8 ]) (int_bound 0xFFFF) (map Int64.of_int int))
+    (fun (width, off, v) ->
+      let m =
+        Memory.create (if off land 1 = 0 then Memory.Little else Memory.Big)
+      in
+      let addr = Int64.of_int (0xF00 + off) in
+      Memory.write m ~addr ~width v;
+      let expect = Semir.Value.zext v (8 * width) in
+      Int64.equal (Memory.read m ~addr ~width) expect)
+
+(* Property: non-overlapping writes do not interfere. *)
+let prop_isolation =
+  QCheck.Test.make ~name:"disjoint writes do not interfere" ~count:300
+    QCheck.(triple (int_bound 1000) (int_bound 1000) (pair (map Int64.of_int int) (map Int64.of_int int)))
+    (fun (a, b, (va, vb)) ->
+      QCheck.assume (abs (a - b) >= 8);
+      let m = Memory.create Little in
+      let aa = Int64.of_int (0x1000 + a) and ab = Int64.of_int (0x1000 + b) in
+      Memory.write m ~addr:aa ~width:8 va;
+      Memory.write m ~addr:ab ~width:8 vb;
+      Int64.equal (Memory.read m ~addr:aa ~width:8) va
+      && Int64.equal (Memory.read m ~addr:ab ~width:8) vb)
+
+let suite =
+  [
+    Alcotest.test_case "zero initial" `Quick test_zero_initial;
+    Alcotest.test_case "endianness" `Quick test_endianness;
+    Alcotest.test_case "page spanning" `Quick test_page_spanning;
+    Alcotest.test_case "signed reads" `Quick test_signed_reads;
+    Alcotest.test_case "bad width" `Quick test_bad_width;
+    Alcotest.test_case "load/dump bytes" `Quick test_load_dump;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_isolation;
+  ]

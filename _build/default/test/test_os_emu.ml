@@ -1,0 +1,90 @@
+(** OS-emulation layer: deterministic syscalls through register ABIs. *)
+
+open Machine
+
+let abi : Os_emu.abi =
+  { nr = (0, 0); args = [| (0, 1); (0, 2); (0, 3) |]; ret = (0, 0) }
+
+let fresh ?input () =
+  let st =
+    State.create ~endian:Memory.Little
+      [ { Regfile.cname = "G"; count = 8; width = 64; hardwired_zero = None } ]
+  in
+  let os = Os_emu.create ?input () in
+  Os_emu.install os abi st;
+  (st, os)
+
+let syscall st n a b c =
+  Regfile.write st.State.regs ~cls:0 ~idx:0 n;
+  Regfile.write st.State.regs ~cls:0 ~idx:1 a;
+  Regfile.write st.State.regs ~cls:0 ~idx:2 b;
+  Regfile.write st.State.regs ~cls:0 ~idx:3 c;
+  st.State.syscall_handler st;
+  Regfile.read st.State.regs ~cls:0 ~idx:0
+
+let test_exit () =
+  let st, _ = fresh () in
+  ignore (syscall st Os_emu.sys_exit 42L 0L 0L);
+  Alcotest.(check bool) "halted" true st.halted;
+  Alcotest.(check (option int)) "status" (Some 42) (State.exit_status st)
+
+let test_write () =
+  let st, os = fresh () in
+  Memory.load_bytes st.mem 0x100L (Bytes.of_string "hello");
+  let r = syscall st Os_emu.sys_write 1L 0x100L 5L in
+  Alcotest.(check int64) "returns length" 5L r;
+  Alcotest.(check string) "captured" "hello" (Os_emu.output os);
+  ignore (syscall st Os_emu.sys_write 1L 0x100L 2L);
+  Alcotest.(check string) "appends" "hellohe" (Os_emu.output os)
+
+let test_read () =
+  let st, _ = fresh ~input:"abcdef" () in
+  let r = syscall st Os_emu.sys_read 0L 0x200L 4L in
+  Alcotest.(check int64) "read 4" 4L r;
+  Alcotest.(check string) "bytes placed" "abcd"
+    (Bytes.to_string (Memory.dump_bytes st.mem 0x200L 4));
+  let r = syscall st Os_emu.sys_read 0L 0x210L 10L in
+  Alcotest.(check int64) "short read at eof" 2L r;
+  let r = syscall st Os_emu.sys_read 0L 0x220L 10L in
+  Alcotest.(check int64) "eof returns 0" 0L r
+
+let test_brk () =
+  let st, _ = fresh () in
+  let initial = syscall st Os_emu.sys_brk 0L 0L 0L in
+  Alcotest.(check int64) "default brk" 0x400000L initial;
+  ignore (syscall st Os_emu.sys_brk 0x500000L 0L 0L);
+  Alcotest.(check int64) "brk moved" 0x500000L (syscall st Os_emu.sys_brk 0L 0L 0L)
+
+let test_time_deterministic () =
+  let st, _ = fresh () in
+  let a = syscall st Os_emu.sys_time 0L 0L 0L in
+  let b = syscall st Os_emu.sys_time 0L 0L 0L in
+  Alcotest.(check int64) "monotonic deterministic" (Int64.add a 1L) b
+
+let test_getpid () =
+  let st, _ = fresh () in
+  Alcotest.(check int64) "pid" 42L (syscall st Os_emu.sys_getpid 0L 0L 0L)
+
+let test_unknown () =
+  let st, _ = fresh () in
+  Alcotest.(check int64) "unknown returns -1" (-1L) (syscall st 999L 0L 0L 0L)
+
+let test_default_handler_faults () =
+  let st =
+    State.create ~endian:Memory.Little
+      [ { Regfile.cname = "G"; count = 8; width = 64; hardwired_zero = None } ]
+  in
+  st.syscall_handler st;
+  Alcotest.(check bool) "faulted" true (st.fault <> None && st.halted)
+
+let suite =
+  [
+    Alcotest.test_case "exit" `Quick test_exit;
+    Alcotest.test_case "write" `Quick test_write;
+    Alcotest.test_case "read" `Quick test_read;
+    Alcotest.test_case "brk" `Quick test_brk;
+    Alcotest.test_case "time deterministic" `Quick test_time_deterministic;
+    Alcotest.test_case "getpid" `Quick test_getpid;
+    Alcotest.test_case "unknown syscall" `Quick test_unknown;
+    Alcotest.test_case "default handler faults" `Quick test_default_handler_faults;
+  ]

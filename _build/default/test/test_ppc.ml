@@ -1,0 +1,301 @@
+(** PowerPC ISA tests: CR semantics, rlwinm, bdnz loops, and differential
+    kernel validation against the VIR reference. *)
+
+let spec () = Lazy.force Isa_ppc.Ppc.spec
+
+let run_snippet ?(setup = fun _ -> ()) words =
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec "one_all" in
+  let st = iface.st in
+  setup st;
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
+  for _ = 1 to List.length words do
+    if not st.halted then iface.run_one di
+  done;
+  st
+
+let reg st i = Machine.Regfile.read st.Machine.State.regs ~cls:0 ~idx:i
+let cr st = Machine.Regfile.read st.Machine.State.regs ~cls:1 ~idx:0
+let spr st i = Machine.Regfile.read st.Machine.State.regs ~cls:2 ~idx:i
+let set_reg st i v = Machine.Regfile.write st.Machine.State.regs ~cls:0 ~idx:i v
+
+open Isa_ppc.Ppc_asm
+
+let test_addi_addis () =
+  let st =
+    run_snippet
+      [ addi ~rd:3 ~ra:0 ~imm:(-5); addis ~rd:4 ~ra:0 ~imm:0x1234;
+        ori ~ra:4 ~rs:4 ~imm:0x5678 ]
+  in
+  Alcotest.(check int64) "addi r0-literal-0 sign-extends+masks" 0xFFFFFFFBL (reg st 3);
+  Alcotest.(check int64) "addis/ori" 0x12345678L (reg st 4)
+
+let test_addi_ra_nonzero () =
+  let st =
+    run_snippet ~setup:(fun st -> set_reg st 5 100L) [ addi ~rd:3 ~ra:5 ~imm:(-1) ]
+  in
+  Alcotest.(check int64) "addi with base" 99L (reg st 3)
+
+let test_arith () =
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 5 7L;
+        set_reg st 6 3L)
+      [
+        add ~rd:3 ~ra:5 ~rb:6 ();
+        subf ~rd:4 ~ra:6 ~rb:5 () (* r4 = r5 - r6 *);
+        mullw ~rd:7 ~ra:5 ~rb:6 ();
+        divw ~rd:8 ~ra:5 ~rb:6 ();
+        divwu ~rd:9 ~ra:5 ~rb:6 ();
+        neg ~rd:10 ~ra:5 ();
+      ]
+  in
+  Alcotest.(check int64) "add" 10L (reg st 3);
+  Alcotest.(check int64) "subf" 4L (reg st 4);
+  Alcotest.(check int64) "mullw" 21L (reg st 7);
+  Alcotest.(check int64) "divw" 2L (reg st 8);
+  Alcotest.(check int64) "divwu" 2L (reg st 9);
+  Alcotest.(check int64) "neg" 0xFFFFFFF9L (reg st 10)
+
+let test_mulhw () =
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 5 0xFFFFFFFFL (* -1 signed *);
+        set_reg st 6 2L)
+      [ mulhw ~rd:3 ~ra:5 ~rb:6 (); mulhwu ~rd:4 ~ra:5 ~rb:6 () ]
+  in
+  Alcotest.(check int64) "mulhw (-1 * 2 high)" 0xFFFFFFFFL (reg st 3);
+  Alcotest.(check int64) "mulhwu" 1L (reg st 4)
+
+let test_rlwinm () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 5 0x12345678L)
+      [
+        slwi ~ra:3 ~rs:5 ~sh:8;
+        srwi ~ra:4 ~rs:5 ~sh:16;
+        rlwinm ~ra:6 ~rs:5 ~sh:8 ~mb:24 ~me:31 () (* extract top byte *);
+        rlwinm ~ra:7 ~rs:5 ~sh:0 ~mb:28 ~me:3 () (* wrapping mask *);
+      ]
+  in
+  Alcotest.(check int64) "slwi" 0x34567800L (reg st 3);
+  Alcotest.(check int64) "srwi" 0x1234L (reg st 4);
+  Alcotest.(check int64) "byte extract" 0x12L (reg st 6);
+  Alcotest.(check int64) "wrapping mask" 0x10000008L (reg st 7)
+
+let test_cr_and_bc () =
+  (* cmpi cr0; blt should branch *)
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 5 (-2L |> Int64.logand 0xFFFFFFFFL))
+      [
+        cmpi ~crf:0 ~ra:5 ~imm:1;
+        bc_raw ~bo:12 ~bi:0 8 (* blt +8 *);
+        addi ~rd:3 ~ra:0 ~imm:99 (* skipped *);
+        addi ~rd:4 ~ra:0 ~imm:1;
+      ]
+  in
+  Alcotest.(check bool) "LT bit set" true
+    (Int64.logand (cr st) 0x80000000L <> 0L);
+  Alcotest.(check int64) "skipped" 0L (reg st 3);
+  Alcotest.(check int64) "landed" 1L (reg st 4)
+
+let test_record_form () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 5 5L)
+      [ subf ~rc:true ~rd:3 ~ra:5 ~rb:5 () (* 0 -> EQ *) ]
+  in
+  Alcotest.(check int64) "CR0 EQ" 0x20000000L
+    (Int64.logand (cr st) 0xF0000000L)
+
+let test_bdnz () =
+  (* load ctr = 3; loop: addi r3 += 1; bdnz loop *)
+  let st =
+    run_snippet
+      [
+        addi ~rd:5 ~ra:0 ~imm:3;
+        mtctr ~rs:5;
+        addi ~rd:3 ~ra:3 ~imm:1;
+        bc_raw ~bo:16 ~bi:0 (-4) (* bdnz -4 *);
+      ]
+    (* run_snippet executes (List.length words) instructions = 4; the loop
+       needs more; extend manually below *)
+  in
+  ignore st;
+  (* redo with an explicit run loop *)
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec "one_all" in
+  let st = iface.st in
+  let words =
+    [
+      addi ~rd:5 ~ra:0 ~imm:3;
+      mtctr ~rs:5;
+      addi ~rd:3 ~ra:3 ~imm:1;
+      bc_raw ~bo:16 ~bi:0 (-4);
+      sc;
+    ]
+  in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  (* exit(0) syscall setup: r0 = 0 *)
+  Machine.State.reset st ~pc:0x1000L;
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with Some abi -> Machine.Os_emu.install os abi st | None -> ());
+  let _ = Specsim.Iface.run_n iface 1000 in
+  Alcotest.(check int64) "loop ran 3 times" 3L (reg st 3);
+  Alcotest.(check int64) "ctr exhausted" 0L (spr st 1)
+
+let test_lr_blr () =
+  let st =
+    run_snippet
+      [
+        b_raw ~lk:true 12 (* bl +12: LR = 0x1004, jump to 0x100C *);
+        addi ~rd:3 ~ra:0 ~imm:99 (* 0x1004: executed after return *);
+        b_raw 8 (* 0x1008: jump to 0x1010 (end) *);
+        blr (* 0x100C: return to LR = 0x1004 *);
+        addi ~rd:4 ~ra:0 ~imm:1 (* 0x1010 *);
+      ]
+  in
+  Alcotest.(check int64) "lr" 0x1004L (spr st 0);
+  Alcotest.(check int64) "returned" 99L (reg st 3)
+
+let test_rlwimi_rlwnm () =
+  let rlwimi ~ra ~rs ~sh ~mb ~me =
+    Int64.of_int ((20 lsl 26) lor (rs lsl 21) lor (ra lsl 16) lor (sh lsl 11) lor (mb lsl 6) lor (me lsl 1))
+  in
+  let rlwnm ~ra ~rs ~rb ~mb ~me =
+    Int64.of_int ((23 lsl 26) lor (rs lsl 21) lor (ra lsl 16) lor (rb lsl 11) lor (mb lsl 6) lor (me lsl 1))
+  in
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 5 0x000000FFL;
+        set_reg st 6 0xAAAAAAAAL;
+        set_reg st 7 8L)
+      [
+        rlwimi ~ra:6 ~rs:5 ~sh:8 ~mb:16 ~me:23 (* insert FF at bits 8-15 *);
+        rlwnm ~ra:3 ~rs:5 ~rb:7 ~mb:0 ~me:31 (* rotate left 8 *);
+      ]
+  in
+  Alcotest.(check int64) "rlwimi inserts" 0xAAAAFFAAL (reg st 6);
+  Alcotest.(check int64) "rlwnm rotates" 0x0000FF00L (reg st 3)
+
+let test_cr_logic () =
+  let crop xo ~bd ~ba ~bb =
+    Int64.of_int ((19 lsl 26) lor (bd lsl 21) lor (ba lsl 16) lor (bb lsl 11) lor (xo lsl 1))
+  in
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 5 1L)
+      [
+        cmpi ~crf:0 ~ra:5 ~imm:1 (* CR0 = EQ: bit 2 set *);
+        crop 449 ~bd:4 ~ba:2 ~bb:2 (* cror 4,2,2: copy EQ into CR1.LT *);
+        crop 193 ~bd:5 ~ba:2 ~bb:2 (* crxor 5,2,2: clear *);
+      ]
+  in
+  let crv = cr st in
+  Alcotest.(check bool) "CR0.EQ set" true (Int64.logand crv 0x20000000L <> 0L);
+  Alcotest.(check bool) "CR1.LT set by cror" true
+    (Int64.logand crv 0x08000000L <> 0L);
+  Alcotest.(check bool) "CR1.GT cleared by crxor" true
+    (Int64.logand crv 0x04000000L = 0L)
+
+let test_indexed_halfword () =
+  let lhzx ~rd ~ra ~rb = x_form ~xo:279 ~rs:rd ~ra ~rb () in
+  let sthx ~rs ~ra ~rb = x_form ~xo:407 ~rs ~ra ~rb () in
+  let st =
+    run_snippet
+      ~setup:(fun st ->
+        set_reg st 5 0x2000L;
+        set_reg st 6 4L;
+        set_reg st 7 0xBEEFL)
+      [ sthx ~rs:7 ~ra:5 ~rb:6; lhzx ~rd:3 ~ra:5 ~rb:6 ]
+  in
+  Alcotest.(check int64) "sthx/lhzx roundtrip" 0xBEEFL (reg st 3)
+
+let test_memory_bigendian () =
+  let st =
+    run_snippet
+      ~setup:(fun st -> set_reg st 5 0x2000L)
+      [
+        addis ~rd:3 ~ra:0 ~imm:0x1122;
+        ori ~ra:3 ~rs:3 ~imm:0x3344;
+        stw ~rs:3 ~ra:5 ~imm:0;
+        lbz ~rd:4 ~ra:5 ~imm:0;
+        lhz ~rd:6 ~ra:5 ~imm:2;
+        lha ~rd:7 ~ra:5 ~imm:0;
+      ]
+  in
+  Alcotest.(check int64) "big-endian first byte is MSB" 0x11L (reg st 4);
+  Alcotest.(check int64) "lhz low half" 0x3344L (reg st 6);
+  Alcotest.(check int64) "lha" 0x1122L (reg st 7)
+
+(* ----------------------------------------------------------------- *)
+
+let run_kernel bs (k : Vir.Kernels.sized) =
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec bs in
+  let st = iface.st in
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with Some abi -> Machine.Os_emu.install os abi st | None -> ());
+  let words = Isa_ppc.Ppc_asm.encode ~base:0x1000L k.program in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let _ = Specsim.Iface.run_n iface 50_000_000 in
+  if not st.halted then Alcotest.failf "kernel %s did not terminate" k.kname;
+  ( (match Machine.State.exit_status st with
+    | Some s -> s land 0xff
+    | None -> Alcotest.failf "kernel %s: no exit status" k.kname),
+    Machine.Os_emu.output os )
+
+let check_kernel bs (k : Vir.Kernels.sized) () =
+  let expected = Vir.Lang.run k.program in
+  let status, output = run_kernel bs k in
+  Alcotest.(check int) (k.kname ^ " exit") expected.exit_status status;
+  Alcotest.(check string) (k.kname ^ " output") expected.output output
+
+let suite =
+  [
+    Alcotest.test_case "addi/addis/ori" `Quick test_addi_addis;
+    Alcotest.test_case "addi with base" `Quick test_addi_ra_nonzero;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "mulhw/mulhwu" `Quick test_mulhw;
+    Alcotest.test_case "rlwinm" `Quick test_rlwinm;
+    Alcotest.test_case "cr and bc" `Quick test_cr_and_bc;
+    Alcotest.test_case "record form" `Quick test_record_form;
+    Alcotest.test_case "bdnz" `Quick test_bdnz;
+    Alcotest.test_case "lr/blr" `Quick test_lr_blr;
+    Alcotest.test_case "rlwimi/rlwnm" `Quick test_rlwimi_rlwnm;
+    Alcotest.test_case "cr logic" `Quick test_cr_logic;
+    Alcotest.test_case "indexed halfword" `Quick test_indexed_halfword;
+    Alcotest.test_case "big-endian memory" `Quick test_memory_bigendian;
+  ]
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel "one_all" k))
+      Vir.Kernels.test_suite
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel (block) " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel "block_min" k))
+      Vir.Kernels.test_suite

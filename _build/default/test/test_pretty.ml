@@ -1,0 +1,93 @@
+(** Pretty-printer round trip: printing a parsed description and parsing
+    it again must yield an equivalent resolved specification, for every
+    shipped ISA. This pins down both the printer and the parser. *)
+
+let resolve sources = Lis.Sema.load sources
+
+let reprint (sources : Lis.Ast.source list) : Lis.Ast.source list =
+  List.map
+    (fun (s : Lis.Ast.source) ->
+      let decls = Lis.Parser.parse ~file:s.src_name s.src_text in
+      { s with src_text = Lis.Pretty.to_string decls })
+    sources
+
+let check_same_spec name (a : Lis.Spec.t) (b : Lis.Spec.t) =
+  Alcotest.(check string) (name ^ ": isa name") a.name b.name;
+  Alcotest.(check int) (name ^ ": wordsize") a.wordsize b.wordsize;
+  Alcotest.(check bool) (name ^ ": endian") true (a.endian = b.endian);
+  Alcotest.(check int)
+    (name ^ ": instruction count")
+    (Array.length a.instrs) (Array.length b.instrs);
+  Alcotest.(check int) (name ^ ": cells") (Lis.Spec.n_cells a) (Lis.Spec.n_cells b);
+  Alcotest.(check bool) (name ^ ": cells table") true (a.cells = b.cells);
+  Alcotest.(check bool) (name ^ ": register classes") true
+    (a.reg_classes = b.reg_classes);
+  Alcotest.(check bool) (name ^ ": sequence") true (a.sequence = b.sequence);
+  Alcotest.(check bool) (name ^ ": abi") true (a.abi = b.abi);
+  Array.iteri
+    (fun i (ia : Lis.Spec.instr) ->
+      let ib = b.instrs.(i) in
+      if
+        not
+          (ia.i_name = ib.i_name && ia.i_match = ib.i_match
+         && ia.i_mask = ib.i_mask && ia.i_operands = ib.i_operands
+         && ia.i_decode = ib.i_decode && ia.i_read = ib.i_read
+         && ia.i_writeback = ib.i_writeback
+          && List.sort compare ia.i_user = List.sort compare ib.i_user)
+      then Alcotest.failf "%s: instruction %s differs after round trip" name
+        ia.i_name)
+    a.instrs;
+  Array.iteri
+    (fun i (ba : Lis.Spec.buildset) ->
+      let bb = b.buildsets.(i) in
+      if
+        not
+          (ba.bs_name = bb.bs_name
+          && ba.bs_speculation = bb.bs_speculation
+          && ba.bs_block = bb.bs_block
+          && ba.bs_visible = bb.bs_visible
+          && ba.bs_entrypoints = bb.bs_entrypoints)
+      then Alcotest.failf "%s: buildset %s differs after round trip" name
+        ba.bs_name)
+    a.buildsets
+
+let check_roundtrip name sources () =
+  let original = resolve sources in
+  let reprinted = resolve (reprint sources) in
+  check_same_spec name original reprinted
+
+(** A round-tripped simulator must also *behave* identically. *)
+let test_behavioural_roundtrip () =
+  let spec = resolve (reprint Isa_alpha.Alpha.sources) in
+  let iface = Specsim.Synth.make spec "one_all" in
+  let st = iface.st in
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with Some abi -> Machine.Os_emu.install os abi st | None -> ());
+  let k = List.hd Vir.Kernels.test_suite in
+  let words = Isa_alpha.Alpha_asm.encode ~base:0x1000L k.program in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let _ = Specsim.Iface.run_n iface 10_000_000 in
+  let expected = Vir.Lang.run k.program in
+  Alcotest.(check (option int)) "exit through reprinted spec"
+    (Some expected.exit_status)
+    (Option.map (fun s -> s land 0xff) (Machine.State.exit_status st));
+  Alcotest.(check string) "output" expected.output (Machine.Os_emu.output os)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip demo" `Quick
+      (check_roundtrip "demo" Demo_isa.sources);
+    Alcotest.test_case "roundtrip alpha" `Quick
+      (check_roundtrip "alpha" Isa_alpha.Alpha.sources);
+    Alcotest.test_case "roundtrip arm" `Quick
+      (check_roundtrip "arm" Isa_arm.Arm.sources);
+    Alcotest.test_case "roundtrip ppc" `Quick
+      (check_roundtrip "ppc" Isa_ppc.Ppc.sources);
+    Alcotest.test_case "behavioural roundtrip" `Quick test_behavioural_roundtrip;
+  ]

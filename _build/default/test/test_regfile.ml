@@ -1,0 +1,83 @@
+(** Unit and property tests for the register file. *)
+
+open Machine
+
+let classes =
+  [
+    { Regfile.cname = "GPR"; count = 32; width = 64; hardwired_zero = Some 31 };
+    { Regfile.cname = "CR"; count = 8; width = 4; hardwired_zero = None };
+    { Regfile.cname = "SPR"; count = 4; width = 32; hardwired_zero = None };
+  ]
+
+let test_layout () =
+  let r = Regfile.create classes in
+  Alcotest.(check int) "total" 44 (Regfile.total r);
+  Alcotest.(check int) "GPR base" 0 (Regfile.base r 0);
+  Alcotest.(check int) "CR base" 32 (Regfile.base r 1);
+  Alcotest.(check int) "SPR base" 40 (Regfile.base r 2);
+  Alcotest.(check int) "class lookup" 1 (Regfile.class_index r "CR")
+
+let test_hardwired_zero () =
+  let r = Regfile.create classes in
+  Regfile.write r ~cls:0 ~idx:31 123L;
+  Alcotest.(check int64) "R31 stays zero" 0L (Regfile.read r ~cls:0 ~idx:31);
+  Regfile.write r ~cls:0 ~idx:30 123L;
+  Alcotest.(check int64) "R30 written" 123L (Regfile.read r ~cls:0 ~idx:30);
+  Alcotest.(check bool) "flat hardwired" true (Regfile.is_hardwired_flat r 31)
+
+let test_width_masking () =
+  let r = Regfile.create classes in
+  Regfile.write r ~cls:1 ~idx:0 0xFFL;
+  Alcotest.(check int64) "CR masked to 4 bits" 0xFL (Regfile.read r ~cls:1 ~idx:0);
+  Regfile.write r ~cls:2 ~idx:0 0x1_FFFF_FFFFL;
+  Alcotest.(check int64) "SPR masked to 32 bits" 0xFFFF_FFFFL
+    (Regfile.read r ~cls:2 ~idx:0)
+
+let test_bounds () =
+  let r = Regfile.create classes in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Regfile: index 32 out of range for class GPR") (fun () ->
+      ignore (Regfile.read r ~cls:0 ~idx:32))
+
+let test_bad_class_defs () =
+  Alcotest.check_raises "duplicate class"
+    (Invalid_argument "Regfile: duplicate class GPR") (fun () ->
+      ignore
+        (Regfile.create
+           [
+             { Regfile.cname = "GPR"; count = 4; width = 64; hardwired_zero = None };
+             { Regfile.cname = "GPR"; count = 4; width = 64; hardwired_zero = None };
+           ]))
+
+let test_copy_blit_equal () =
+  let a = Regfile.create classes in
+  Regfile.write a ~cls:0 ~idx:5 99L;
+  let b = Regfile.copy a in
+  Alcotest.(check bool) "copy equal" true (Regfile.equal a b);
+  Regfile.write b ~cls:0 ~idx:5 1L;
+  Alcotest.(check bool) "copies independent" false (Regfile.equal a b);
+  Regfile.blit ~src:a ~dst:b;
+  Alcotest.(check bool) "blit restores" true (Regfile.equal a b)
+
+(* Property: read_flat/write_flat agree with class-indexed access. *)
+let prop_flat_agrees =
+  QCheck.Test.make ~name:"flat accessors agree with class accessors" ~count:500
+    QCheck.(pair (int_bound 43) (map Int64.of_int int))
+    (fun (flat, v) ->
+      let r = Regfile.create classes in
+      (* find class of flat index *)
+      let cls = if flat < 32 then 0 else if flat < 40 then 1 else 2 in
+      let idx = flat - Regfile.base r cls in
+      Regfile.write_flat r flat v;
+      Int64.equal (Regfile.read r ~cls ~idx) (Regfile.read_flat r flat))
+
+let suite =
+  [
+    Alcotest.test_case "layout" `Quick test_layout;
+    Alcotest.test_case "hardwired zero" `Quick test_hardwired_zero;
+    Alcotest.test_case "width masking" `Quick test_width_masking;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "bad class defs" `Quick test_bad_class_defs;
+    Alcotest.test_case "copy/blit/equal" `Quick test_copy_blit_equal;
+    QCheck_alcotest.to_alcotest prop_flat_agrees;
+  ]

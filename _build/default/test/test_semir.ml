@@ -1,0 +1,317 @@
+(** SemIR: the closure compiler is property-tested against the reference
+    interpreter, and every optimization pass must preserve semantics. *)
+
+open Semir
+
+let n_cells = 4
+let n_classes = 1
+
+let classes =
+  [ { Machine.Regfile.cname = "R"; count = 8; width = 64; hardwired_zero = None } ]
+
+(* ------------------------------------------------------------------ *)
+(* Random IR generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_binop =
+  QCheck.Gen.oneofl
+    Ir.
+      [
+        Add; Sub; Mul; Mulhs; Mulhu; Divs; Divu; Rems; Remu; And; Or; Xor; Shl; Lshr; Ashr;
+        Ror; Eq; Ne; Lts; Ltu; Les; Leu;
+      ]
+
+let gen_unop =
+  QCheck.Gen.(
+    oneof
+      [
+        return Ir.Neg;
+        return Ir.Not;
+        return Ir.Bool_not;
+        map (fun n -> Ir.Sext (1 + (n mod 64))) nat;
+        map (fun n -> Ir.Zext (1 + (n mod 64))) nat;
+        return Ir.Popcount;
+        return Ir.Clz;
+        return Ir.Ctz;
+      ])
+
+let rec gen_expr depth =
+  let open QCheck.Gen in
+  if depth <= 0 then
+    oneof
+      [
+        map (fun v -> Ir.Const (Int64.of_int v)) int;
+        map (fun c -> Ir.Cell (c mod n_cells)) nat;
+        return Ir.Pc;
+        return Ir.Next_pc;
+        map
+          (fun (lo, len) ->
+            let lo = lo mod 60 and len = 1 + (len mod 4) in
+            Ir.Enc { lo; len; signed = len mod 2 = 0 })
+          (pair nat nat);
+      ]
+  else
+    let sub = gen_expr (depth - 1) in
+    oneof
+      [
+        map (fun v -> Ir.Const (Int64.of_int v)) int;
+        map (fun c -> Ir.Cell (c mod n_cells)) nat;
+        map3 (fun op a b -> Ir.Bin (op, a, b)) gen_binop sub sub;
+        map2 (fun op a -> Ir.Un (op, a)) gen_unop sub;
+        map3 (fun c a b -> Ir.Ite (c, a, b)) sub sub sub;
+        (* loads restricted to a small window so states stay comparable *)
+        map
+          (fun a ->
+            Ir.Load
+              {
+                width = W8;
+                signed = false;
+                addr = Ir.Bin (And, a, Const 0xF8L);
+              })
+          sub;
+        map
+          (fun i ->
+            Ir.Reg_read { cls = 0; index = Ir.Bin (And, i, Const 7L) })
+          sub;
+      ]
+
+let rec gen_stmt depth =
+  let open QCheck.Gen in
+  let e = gen_expr 2 in
+  let base =
+    [
+      map2 (fun c v -> Ir.Set_cell (c mod n_cells, v)) nat e;
+      map2
+        (fun a v ->
+          Ir.Store
+            { width = W8; addr = Ir.Bin (And, a, Const 0xF8L); value = v })
+        e e;
+      map (fun v -> Ir.Set_next_pc v) e;
+      map2
+        (fun i v ->
+          Ir.Reg_write { cls = 0; index = Ir.Bin (And, i, Const 7L); value = v })
+        e e;
+    ]
+  in
+  if depth <= 0 then oneof base
+  else
+    oneof
+      (map3
+         (fun c t f -> Ir.If (c, t, f))
+         e
+         (list_size (int_bound 3) (gen_stmt (depth - 1)))
+         (list_size (int_bound 3) (gen_stmt (depth - 1)))
+      :: base)
+
+let gen_program = QCheck.Gen.(list_size (int_bound 8) (gen_stmt 2))
+
+let arb_program =
+  QCheck.make gen_program
+    ~print:(Format.asprintf "%a" (Ir.pp_program ?cell_name:None))
+
+(* ------------------------------------------------------------------ *)
+(* Execution harness                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Interp | Compiled
+
+let all_scratch = Array.init n_cells (fun i -> Frame.In_scratch i)
+
+let fresh_state seed =
+  let st = Machine.State.create ~endian:Machine.Memory.Little classes in
+  for i = 0 to 7 do
+    Machine.Regfile.write st.regs ~cls:0 ~idx:i (Int64.of_int ((seed * 31) + (i * 1234567)))
+  done;
+  for i = 0 to 31 do
+    Machine.Memory.write st.mem
+      ~addr:(Int64.of_int (i * 8))
+      ~width:8
+      (Int64.of_int ((seed * 7) + (i * 987654321)))
+  done;
+  st
+
+let fresh_frame seed =
+  let fr = Frame.create ~di_slots:1 ~scratch_slots:n_cells in
+  fr.pc <- Int64.of_int (4096 + (seed mod 64 * 4));
+  fr.next_pc <- Int64.add fr.pc 4L;
+  fr.enc <- Int64.of_int (seed * 2654435761);
+  for i = 0 to n_cells - 1 do
+    fr.scratch.(i) <- Int64.of_int ((seed * 13) + (i * 55555))
+  done;
+  fr
+
+let run mode ?(loc = all_scratch) p seed =
+  let st = fresh_state seed in
+  let fr = fresh_frame seed in
+  (match mode with
+  | Interp -> Eval.exec ~loc st fr p
+  | Compiled -> (Compile.program ~loc p) st fr);
+  (st, fr)
+
+let observe_full (st, (fr : Frame.t)) =
+  let regs = List.init 8 (fun i -> Machine.Regfile.read st.Machine.State.regs ~cls:0 ~idx:i) in
+  let mem =
+    List.init 32 (fun i ->
+        Machine.Memory.read st.Machine.State.mem ~addr:(Int64.of_int (i * 8)) ~width:8)
+  in
+  let cells = Array.to_list (Array.copy fr.scratch) in
+  (regs, mem, cells, fr.next_pc)
+
+let observe_arch (st, (fr : Frame.t)) =
+  (* architectural state only: what DCE must preserve *)
+  let regs = List.init 8 (fun i -> Machine.Regfile.read st.Machine.State.regs ~cls:0 ~idx:i) in
+  let mem =
+    List.init 32 (fun i ->
+        Machine.Memory.read st.Machine.State.mem ~addr:(Int64.of_int (i * 8)) ~width:8)
+  in
+  (regs, mem, fr.next_pc)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_compile_matches_eval =
+  QCheck.Test.make ~name:"compiled closures = reference interpreter" ~count:300
+    QCheck.(pair arb_program small_nat)
+    (fun (p, seed) ->
+      observe_full (run Interp p seed) = observe_full (run Compiled p seed))
+
+let prop_fold_preserves =
+  QCheck.Test.make ~name:"constant folding preserves semantics" ~count:300
+    QCheck.(pair arb_program small_nat)
+    (fun (p, seed) ->
+      observe_full (run Compiled p seed)
+      = observe_full (run Compiled (Opt.fold p) seed))
+
+let prop_const_prop_preserves =
+  QCheck.Test.make ~name:"constant propagation preserves semantics" ~count:300
+    QCheck.(pair arb_program small_nat)
+    (fun (p, seed) ->
+      observe_full (run Compiled p seed)
+      = observe_full (run Compiled (Opt.const_prop p) seed))
+
+let prop_dce_preserves_arch =
+  QCheck.Test.make ~name:"DCE preserves architectural state" ~count:300
+    QCheck.(pair arb_program small_nat)
+    (fun (p, seed) ->
+      let dced = Opt.dce ~keep:(fun _ -> false) p in
+      observe_arch (run Compiled p seed) = observe_arch (run Compiled dced seed))
+
+let prop_specialize_enc =
+  QCheck.Test.make ~name:"encoding specialization preserves semantics"
+    ~count:300
+    QCheck.(pair arb_program small_nat)
+    (fun (p, seed) ->
+      let fr = fresh_frame seed in
+      let sp = Opt.specialize_enc ~enc:fr.enc p in
+      observe_full (run Compiled p seed) = observe_full (run Compiled sp seed))
+
+let prop_full_pipeline =
+  QCheck.Test.make ~name:"optimize pipeline preserves architectural state"
+    ~count:300
+    QCheck.(pair arb_program small_nat)
+    (fun (p, seed) ->
+      let fr = fresh_frame seed in
+      let opt = Opt.optimize ~enc:fr.enc ~keep:(fun _ -> false) p in
+      observe_arch (run Compiled p seed) = observe_arch (run Compiled opt seed))
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests for scalar semantics                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_ops () =
+  Alcotest.(check int64) "sext byte" (-1L) (Value.sext 0xFFL 8);
+  Alcotest.(check int64) "sext positive" 0x7FL (Value.sext 0x7FL 8);
+  Alcotest.(check int64) "zext" 0xFFL (Value.zext 0xFFFFFFFFFFFFFFFFL 8);
+  Alcotest.(check int64) "ror" 0x8000000000000000L (Value.ror 1L 1);
+  Alcotest.(check int64) "ror wrap" 1L (Value.ror 1L 64);
+  Alcotest.(check int64) "popcount" 3L (Value.popcount 0b10101L);
+  Alcotest.(check int64) "clz of 1" 63L (Value.clz 1L);
+  Alcotest.(check int64) "clz of 0" 64L (Value.clz 0L);
+  Alcotest.(check int64) "ctz" 3L (Value.ctz 8L);
+  Alcotest.(check int64) "div by zero" 0L (Value.divs 5L 0L);
+  Alcotest.(check int64) "min_int / -1" Int64.min_int (Value.divs Int64.min_int (-1L));
+  Alcotest.(check int64) "unsigned div" 2L (Value.divu (-1L) 0x7FFFFFFFFFFFFFFFL)
+
+let test_enc_bits () =
+  let enc = 0xABCD1234L in
+  Alcotest.(check int64) "low bits" 4L (Value.enc_bits enc ~lo:0 ~len:4 ~signed:false);
+  Alcotest.(check int64) "mid bits" 0xCDL
+    (Value.enc_bits enc ~lo:16 ~len:8 ~signed:false);
+  Alcotest.(check int64) "signed bits" (-2L)
+    (Value.enc_bits 0xEL ~lo:0 ~len:4 ~signed:true)
+
+let test_validate () =
+  (match Ir.validate ~n_cells:2 ~n_classes:1 [ Ir.Set_cell (5, Const 0L) ] with
+  | exception Ir.Invalid _ -> ()
+  | () -> Alcotest.fail "expected Invalid");
+  match
+    Ir.validate ~n_cells:2 ~n_classes:1
+      [ Ir.Reg_write { cls = 3; index = Const 0L; value = Const 0L } ]
+  with
+  | exception Ir.Invalid _ -> ()
+  | () -> Alcotest.fail "expected Invalid"
+
+let test_dce_keeps_side_effects () =
+  (* A dead cell assignment is removed, a store never is. *)
+  let p =
+    Ir.
+      [
+        Set_cell (0, Const 1L);
+        Store { width = W8; addr = Const 0L; value = Const 42L };
+      ]
+  in
+  let d = Opt.dce ~keep:(fun _ -> false) p in
+  Alcotest.(check int) "only the store survives" 1 (List.length d)
+
+let test_dce_keeps_visible () =
+  let p = Ir.[ Set_cell (0, Const 1L); Set_cell (1, Const 2L) ] in
+  let d = Opt.dce ~keep:(fun c -> c = 1) p in
+  Alcotest.(check int) "one assignment survives" 1 (List.length d)
+
+let test_dce_chain () =
+  (* c0 feeds c1 feeds a store: everything live. *)
+  let p =
+    Ir.
+      [
+        Set_cell (0, Const 7L);
+        Set_cell (1, Bin (Add, Cell 0, Const 1L));
+        Store { width = W8; addr = Const 0L; value = Cell 1 };
+      ]
+  in
+  let d = Opt.dce ~keep:(fun _ -> false) p in
+  Alcotest.(check int) "chain kept" 3 (List.length d)
+
+let test_const_prop_folds_regid () =
+  (* The block-specialization pattern: decode writes a constant id cell,
+     operand read indexes a register with it. *)
+  let p =
+    Ir.
+      [
+        Set_cell (0, Const 5L);
+        Set_cell (1, Reg_read { cls = 0; index = Cell 0 });
+      ]
+  in
+  match Opt.const_prop p with
+  | [ _; Ir.Set_cell (1, Reg_read { index = Const 5L; _ }) ] -> ()
+  | p' ->
+    Alcotest.failf "register index not propagated: %a"
+      (Ir.pp_program ?cell_name:None)
+      p'
+
+let suite =
+  [
+    Alcotest.test_case "scalar ops" `Quick test_value_ops;
+    Alcotest.test_case "encoding bitfields" `Quick test_enc_bits;
+    Alcotest.test_case "validate rejects bad IR" `Quick test_validate;
+    Alcotest.test_case "DCE keeps side effects" `Quick test_dce_keeps_side_effects;
+    Alcotest.test_case "DCE keeps visible cells" `Quick test_dce_keeps_visible;
+    Alcotest.test_case "DCE keeps live chains" `Quick test_dce_chain;
+    Alcotest.test_case "const-prop folds register ids" `Quick test_const_prop_folds_regid;
+    QCheck_alcotest.to_alcotest prop_compile_matches_eval;
+    QCheck_alcotest.to_alcotest prop_fold_preserves;
+    QCheck_alcotest.to_alcotest prop_const_prop_preserves;
+    QCheck_alcotest.to_alcotest prop_dce_preserves_arch;
+    QCheck_alcotest.to_alcotest prop_specialize_enc;
+    QCheck_alcotest.to_alcotest prop_full_pipeline;
+  ]

@@ -1,0 +1,239 @@
+(** Timing-simulator tests: substrates (cache, predictor) and all five
+    decoupled organizations running real kernels. *)
+
+let kernel = List.nth Vir.Kernels.test_suite 3 (* sort: branchy *)
+let mem_kernel = List.hd Vir.Kernels.test_suite (* vec_sum: streaming *)
+
+(* ----------------------------------------------------------------- *)
+(* Cache                                                               *)
+(* ----------------------------------------------------------------- *)
+
+let test_cache_basic () =
+  let c =
+    Timing.Cache.create
+      { size_bytes = 1024; ways = 2; line_bytes = 64; hit_latency = 1; miss_penalty = 10 }
+  in
+  Alcotest.(check bool) "cold miss" false (Timing.Cache.access c 0L);
+  Alcotest.(check bool) "hit same line" true (Timing.Cache.access c 63L);
+  Alcotest.(check bool) "miss next line" false (Timing.Cache.access c 64L);
+  Alcotest.(check int) "hit latency" 1 (Timing.Cache.latency c 0L);
+  Alcotest.(check int) "miss latency" 11 (Timing.Cache.latency c 0x10000L)
+
+let test_cache_lru () =
+  (* 2 ways, 8 sets of 64B: addresses 0, 1024, 2048 map to set 0 *)
+  let c =
+    Timing.Cache.create
+      { size_bytes = 1024; ways = 2; line_bytes = 64; hit_latency = 1; miss_penalty = 10 }
+  in
+  ignore (Timing.Cache.access c 0L);
+  ignore (Timing.Cache.access c 1024L);
+  ignore (Timing.Cache.access c 0L) (* touch 0: now 1024 is LRU *);
+  ignore (Timing.Cache.access c 2048L) (* evicts 1024 *);
+  Alcotest.(check bool) "0 still resident" true (Timing.Cache.access c 0L);
+  Alcotest.(check bool) "1024 evicted" false (Timing.Cache.access c 1024L)
+
+let test_cache_bad_config () =
+  Alcotest.(check bool) "rejects non-power-of-two sets" true
+    (match
+       Timing.Cache.create
+         { size_bytes = 1000; ways = 3; line_bytes = 64; hit_latency = 1; miss_penalty = 1 }
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ----------------------------------------------------------------- *)
+(* Predictor                                                           *)
+(* ----------------------------------------------------------------- *)
+
+let test_predictor_learns () =
+  let p = Timing.Predictor.create (Timing.Predictor.Bimodal 10) in
+  (* always-taken branch at one pc: after warmup, predictions correct *)
+  for _ = 1 to 4 do
+    ignore (Timing.Predictor.update p ~pc:0x1000L ~taken:true)
+  done;
+  Alcotest.(check bool) "learned taken" true (Timing.Predictor.predict p ~pc:0x1000L);
+  for _ = 1 to 4 do
+    ignore (Timing.Predictor.update p ~pc:0x1000L ~taken:false)
+  done;
+  Alcotest.(check bool) "learned not-taken" false
+    (Timing.Predictor.predict p ~pc:0x1000L)
+
+let test_predictor_static () =
+  let p = Timing.Predictor.create Timing.Predictor.Static_taken in
+  Alcotest.(check bool) "static taken" true (Timing.Predictor.predict p ~pc:0L)
+
+(* ----------------------------------------------------------------- *)
+(* Functional-first                                                    *)
+(* ----------------------------------------------------------------- *)
+
+let test_funcfirst () =
+  let l = Workload.load Workload.alpha ~buildset:"one_decode" kernel.program in
+  let ff = Timing.Funcfirst.create l.iface in
+  let r = Timing.Funcfirst.run ff ~budget:10_000_000 in
+  Alcotest.(check bool) "ran" true (Int64.to_int r.instructions > 1000);
+  Alcotest.(check bool) "cycles >= instructions" true
+    (Int64.compare r.cycles r.instructions >= 0);
+  Alcotest.(check bool) "ipc sane" true (r.ipc > 0.05 && r.ipc <= 1.0);
+  Alcotest.(check bool) "dcache modelled at Decode" true r.dcache_modelled;
+  Alcotest.(check bool) "program finished correctly" true l.iface.st.halted
+
+let test_funcfirst_min_detail () =
+  (* at Min detail the D-cache cannot be modelled; the model reports it *)
+  let l = Workload.load Workload.alpha ~buildset:"one_min" kernel.program in
+  let ff = Timing.Funcfirst.create l.iface in
+  let r = Timing.Funcfirst.run ff ~budget:10_000_000 in
+  Alcotest.(check bool) "dcache not modelled at Min" false r.dcache_modelled;
+  Alcotest.(check bool) "still runs" true (Int64.to_int r.instructions > 1000)
+
+let test_funcfirst_block () =
+  let l = Workload.load Workload.ppc ~buildset:"block_decode" kernel.program in
+  let ff = Timing.Funcfirst.create l.iface in
+  let r = Timing.Funcfirst.run ff ~budget:10_000_000 in
+  Alcotest.(check bool) "block stream consumed" true
+    (Int64.to_int r.instructions > 1000)
+
+(* ----------------------------------------------------------------- *)
+(* Timing-directed                                                     *)
+(* ----------------------------------------------------------------- *)
+
+let check_directed (t : Workload.target) () =
+  let expected = Workload.reference kernel.program in
+  let l = Workload.load t ~buildset:"step_all" kernel.program in
+  let r = Timing.Directed.run l.iface ~budget:10_000_000 in
+  (* functional correctness is driven by the timing model *)
+  Alcotest.(check bool) "halted" true l.iface.st.halted;
+  (match Machine.State.exit_status l.iface.st with
+  | Some s -> Alcotest.(check int) "exit status" expected.exit_status (s land 0xff)
+  | None -> Alcotest.fail "no exit status");
+  Alcotest.(check string) "output" expected.output (Machine.Os_emu.output l.os);
+  Alcotest.(check bool) "pipeline slower than 1 IPC" true (r.ipc < 1.0);
+  Alcotest.(check bool) "some RAW stalls" true (Int64.to_int r.raw_stall_cycles > 0);
+  Alcotest.(check bool) "some branch flushes" true (Int64.to_int r.branch_flushes > 0)
+
+(* ----------------------------------------------------------------- *)
+(* Timing-first                                                        *)
+(* ----------------------------------------------------------------- *)
+
+let test_timingfirst_clean () =
+  let lt = Workload.load Workload.alpha ~buildset:"one_min" kernel.program in
+  let lc = Workload.load Workload.alpha ~buildset:"one_min" kernel.program in
+  let r =
+    Timing.Timingfirst.run ~timing:lt.iface ~checker:lc.iface
+      ~budget:10_000_000 ()
+  in
+  Alcotest.(check int64) "no mismatches without bugs" 0L r.mismatches;
+  Alcotest.(check bool) "finished" true lt.iface.st.halted
+
+let test_timingfirst_buggy () =
+  let expected = Workload.reference kernel.program in
+  let lt = Workload.load Workload.alpha ~buildset:"one_min" kernel.program in
+  let lc = Workload.load Workload.alpha ~buildset:"one_min" kernel.program in
+  (* inject a bug: every 997th instruction, corrupt register r1 *)
+  let count = ref 0 in
+  let bug (st : Machine.State.t) (_ : Specsim.Di.t) =
+    incr count;
+    if !count mod 997 = 0 then
+      Machine.Regfile.write st.regs ~cls:0 ~idx:1
+        (Int64.add (Machine.Regfile.read st.regs ~cls:0 ~idx:1) 1L)
+  in
+  let r =
+    Timing.Timingfirst.run ~bug ~timing:lt.iface ~checker:lc.iface
+      ~budget:10_000_000 ()
+  in
+  Alcotest.(check bool) "mismatches detected" true (Int64.to_int r.mismatches > 0);
+  (* the checker keeps the run architecturally correct *)
+  (match Machine.State.exit_status lc.iface.st with
+  | Some s -> Alcotest.(check int) "exit status" expected.exit_status (s land 0xff)
+  | None -> Alcotest.fail "checker did not exit");
+  Alcotest.(check string) "output correct despite bugs" expected.output
+    (Machine.Os_emu.output lc.os)
+
+(* ----------------------------------------------------------------- *)
+(* Speculative functional-first                                        *)
+(* ----------------------------------------------------------------- *)
+
+let test_specff_no_divergence () =
+  let expected = Workload.reference kernel.program in
+  let l = Workload.load Workload.alpha ~buildset:"one_decode_spec" kernel.program in
+  let r = Timing.Specff.run l.iface ~budget:10_000_000 in
+  Alcotest.(check int64) "no timer loads, no rollbacks" 0L r.rollbacks;
+  (match Machine.State.exit_status l.iface.st with
+  | Some s -> Alcotest.(check int) "exit" expected.exit_status (s land 0xff)
+  | None -> Alcotest.fail "did not exit");
+  Alcotest.(check string) "output" expected.output (Machine.Os_emu.output l.os)
+
+(* a program that polls the timer MMIO location *)
+let timer_program =
+  Vir.Lang.
+    [
+      Li (8, 0x000F0000l) (* timer address *);
+      Li (9, 2000l);
+      Li (10, 0l);
+      Li (4, 0l);
+      Label "loop";
+      Ldw (11, 8, 0) (* timing-dependent load *);
+      Add (4, 4, 11);
+      Addi (10, 10, 1);
+      Bcond (Ne, 10, 9, "loop");
+      Andi (4, 4, 255);
+      Li (0, 0l);
+      Mv (1, 4);
+      Sys;
+    ]
+
+let test_specff_rollbacks () =
+  let l = Workload.load Workload.alpha ~buildset:"one_decode_spec" timer_program in
+  let r = Timing.Specff.run l.iface ~budget:10_000_000 in
+  Alcotest.(check bool) "some rollbacks happened" true
+    (Int64.to_int r.rollbacks > 0);
+  Alcotest.(check bool) "program completed" true l.iface.st.halted
+
+(* ----------------------------------------------------------------- *)
+(* Sampling                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let test_sampling () =
+  let expected = Workload.reference mem_kernel.program in
+  let spec = Lazy.force Workload.alpha.spec in
+  let st = Lis.Spec.make_machine spec in
+  let detailed = Specsim.Synth.make ~st spec "one_decode" in
+  let fast = Specsim.Synth.make ~st spec "block_min" in
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with Some abi -> Machine.Os_emu.install os abi st | None -> ());
+  let words = Isa_alpha.Alpha_asm.encode ~base:0x1000L mem_kernel.program in
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (4 * i)))
+        ~width:4 w)
+    words;
+  Machine.State.reset st ~pc:0x1000L;
+  let r = Timing.Sampling.run ~detailed ~fast ~budget:10_000_000 () in
+  Alcotest.(check bool) "finished" true st.halted;
+  (match Machine.State.exit_status st with
+  | Some s -> Alcotest.(check int) "exit" expected.exit_status (s land 0xff)
+  | None -> Alcotest.fail "no exit");
+  Alcotest.(check string) "output" expected.output (Machine.Os_emu.output os);
+  Alcotest.(check bool) "only a fraction measured" true
+    (r.sampled_fraction < 0.5 && r.sampled_fraction > 0.0);
+  Alcotest.(check bool) "ipc estimated" true (r.estimated_ipc > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "cache basic" `Quick test_cache_basic;
+    Alcotest.test_case "cache LRU" `Quick test_cache_lru;
+    Alcotest.test_case "cache bad config" `Quick test_cache_bad_config;
+    Alcotest.test_case "predictor learns" `Quick test_predictor_learns;
+    Alcotest.test_case "predictor static" `Quick test_predictor_static;
+    Alcotest.test_case "functional-first" `Quick test_funcfirst;
+    Alcotest.test_case "functional-first at Min" `Quick test_funcfirst_min_detail;
+    Alcotest.test_case "functional-first on blocks" `Quick test_funcfirst_block;
+    Alcotest.test_case "timing-directed alpha" `Quick (check_directed Workload.alpha);
+    Alcotest.test_case "timing-directed arm" `Quick (check_directed Workload.arm);
+    Alcotest.test_case "timing-directed ppc" `Quick (check_directed Workload.ppc);
+    Alcotest.test_case "timing-first clean" `Quick test_timingfirst_clean;
+    Alcotest.test_case "timing-first buggy" `Quick test_timingfirst_buggy;
+    Alcotest.test_case "spec-ff no divergence" `Quick test_specff_no_divergence;
+    Alcotest.test_case "spec-ff rollbacks" `Quick test_specff_rollbacks;
+    Alcotest.test_case "sampling" `Quick test_sampling;
+  ]

@@ -1,0 +1,145 @@
+(** VIR: the portable workload IR — validation, the reference executor,
+    and the generic label-fixup assembler. *)
+
+open Vir
+
+let test_validate_rejects () =
+  let bad p msg =
+    match Lang.validate p with
+    | exception Failure m ->
+      Alcotest.(check bool) msg true (String.length m > 0)
+    | () -> Alcotest.fail ("accepted: " ^ msg)
+  in
+  bad [ Lang.Li (16, 0l) ] "register out of range";
+  bad [ Lang.Addi (0, 0, 40000) ] "immediate out of range";
+  bad [ Lang.Shli (0, 0, 32) ] "shift out of range";
+  bad [ Lang.Jmp "nowhere" ] "unknown label";
+  bad [ Lang.Label "x"; Lang.Label "x" ] "duplicate label";
+  bad [ Lang.Andi (0, 0, 256) ] "andi immediate out of range"
+
+let test_reference_determinism () =
+  List.iter
+    (fun (k : Kernels.sized) ->
+      let a = Lang.run k.program and b = Lang.run k.program in
+      Alcotest.(check bool) (k.kname ^ " deterministic") true
+        (a.exit_status = b.exit_status && a.output = b.output
+       && a.dyn_instrs = b.dyn_instrs))
+    Kernels.test_suite
+
+let test_kernels_have_output () =
+  List.iter
+    (fun (k : Kernels.sized) ->
+      let r = Lang.run k.program in
+      Alcotest.(check int) (k.kname ^ " writes 4 bytes") 4
+        (String.length r.output);
+      Alcotest.(check bool) (k.kname ^ " did real work") true (r.dyn_instrs > 500))
+    Kernels.test_suite
+
+let test_kernel_scaling () =
+  (* bigger parameters mean more dynamic instructions *)
+  let small = Lang.run (Kernels.vec_sum ~n:64) in
+  let large = Lang.run (Kernels.vec_sum ~n:512) in
+  Alcotest.(check bool) "scales" true (large.dyn_instrs > 4 * small.dyn_instrs)
+
+let test_fuel_exhaustion () =
+  let forever = [ Lang.Label "x"; Lang.Jmp "x" ] in
+  match Lang.run ~fuel:1000 forever with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected non-termination failure"
+
+let test_32bit_wraparound () =
+  (* multiplication overflow must wrap at 32 bits in the reference *)
+  let p =
+    Lang.
+      [
+        Li (8, 0x10001l);
+        Mul (8, 8, 8);
+        (* 0x10001^2 = 0x100020001 -> 0x00020001 (mod 2^32) *)
+        Shri (9, 8, 16);
+        Andi (9, 9, 255);
+        Li (0, 0l);
+        Mv (1, 9);
+        Sys;
+      ]
+  in
+  let r = Lang.run p in
+  Alcotest.(check int) "wrapped product" 2 r.exit_status
+
+let test_unsigned_compare () =
+  let p =
+    Lang.
+      [
+        Li (8, -1l) (* 0xFFFFFFFF *);
+        Li (9, 1l);
+        Li (4, 0l);
+        Bcond (Ltu, 8, 9, "no") (* unsigned: 0xFFFFFFFF not < 1 *);
+        Addi (4, 4, 1);
+        Label "no";
+        Bcond (Lt, 8, 9, "yes") (* signed: -1 < 1 *);
+        Jmp "end";
+        Label "yes";
+        Addi (4, 4, 2);
+        Label "end";
+        Li (0, 0l);
+        Mv (1, 4);
+        Sys;
+      ]
+  in
+  Alcotest.(check int) "ltu skipped, lt taken" 3 (Lang.run p).exit_status
+
+(* ----------------------------------------------------------------- *)
+(* Lower.assemble                                                      *)
+(* ----------------------------------------------------------------- *)
+
+let test_assemble_fixups () =
+  let items =
+    [
+      Lower.Word 1L;
+      Lower.Fix
+        ((fun ~self_pc ~target_pc -> Int64.sub target_pc self_pc), "fwd");
+      Lower.Word 2L;
+      Lower.Mark "fwd";
+      Lower.Fix ((fun ~self_pc ~target_pc -> Int64.sub target_pc self_pc), "fwd");
+    ]
+  in
+  match Lower.assemble ~base:0x100L items with
+  | [ a; fix_fwd; b; fix_back ] ->
+    Alcotest.(check int64) "word 1" 1L a;
+    Alcotest.(check int64) "word 2" 2L b;
+    Alcotest.(check int64) "forward displacement" 8L fix_fwd;
+    Alcotest.(check int64) "backward displacement" 0L fix_back
+  | _ -> Alcotest.fail "wrong item count"
+
+let test_assemble_unknown_label () =
+  match Lower.assemble ~base:0L [ Lower.Fix ((fun ~self_pc:_ ~target_pc -> target_pc), "x") ] with
+  | exception Failure m ->
+    Alcotest.(check bool) "mentions label" true (String.length m > 0)
+  | _ -> Alcotest.fail "expected failure"
+
+let test_lowering_sizes () =
+  (* each target's lowering of each kernel is nonempty and label-free *)
+  List.iter
+    (fun (t : Workload.target) ->
+      List.iter
+        (fun (k : Kernels.sized) ->
+          let words = t.encode ~base:0x1000L k.program in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s has code" t.tname k.kname)
+            true
+            (List.length words > List.length k.program / 2))
+        Kernels.test_suite)
+    Workload.targets
+
+let suite =
+  [
+    Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+    Alcotest.test_case "reference determinism" `Quick test_reference_determinism;
+    Alcotest.test_case "kernels write output" `Quick test_kernels_have_output;
+    Alcotest.test_case "kernel scaling" `Quick test_kernel_scaling;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "32-bit wraparound" `Quick test_32bit_wraparound;
+    Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+    Alcotest.test_case "assemble fixups" `Quick test_assemble_fixups;
+    Alcotest.test_case "assemble unknown label" `Quick test_assemble_unknown_label;
+    Alcotest.test_case "lowering sizes" `Quick test_lowering_sizes;
+  ]

@@ -1,0 +1,163 @@
+(** Cross-ISA differential validation and the paper's rotating-interface
+    validation procedure (§V-D). *)
+
+let kernels = Vir.Kernels.test_suite
+
+(** Every ISA must produce the VIR reference behaviour for every kernel —
+    this is the closest analog of the paper's "ISA validation suite". *)
+let check_cross_isa (k : Vir.Kernels.sized) () =
+  let expected = Workload.reference k.program in
+  List.iter
+    (fun t ->
+      let got = Workload.run t ~buildset:"one_all" k.program ~budget:50_000_000 in
+      if not (Workload.agrees expected got) then
+        Alcotest.failf "%s on %s: exit %d/%d output %S/%S" k.kname
+          t.Workload.tname expected.exit_status got.exit_status
+          expected.output got.output)
+    Workload.targets
+
+(** Rotating-interface validation: all twelve interfaces of an ISA share
+    one machine, rotating per instruction/block. *)
+let check_rotating (t : Workload.target) (k : Vir.Kernels.sized) () =
+  let expected = Workload.reference k.program in
+  let spec = Lazy.force t.spec in
+  let buildsets = Lis.Spec.buildset_names spec in
+  let got = Workload.run_rotating t ~buildsets k.program in
+  Alcotest.(check int) (k.kname ^ " exit") expected.exit_status got.exit_status;
+  Alcotest.(check string) (k.kname ^ " output") expected.output got.output
+
+(** Interpreted backend agrees with the compiled backend on a full kernel. *)
+let check_interpreted (t : Workload.target) () =
+  let k = List.hd kernels in
+  let a = Workload.run t ~buildset:"one_all" k.program in
+  let b =
+    Workload.run ~backend:Specsim.Synth.Interpreted t ~buildset:"one_all"
+      k.program
+  in
+  Alcotest.(check bool) "backends agree" true (Workload.agrees a b)
+
+(** The OS read syscall round-trips input across ISAs. *)
+let echo_program =
+  (* read up to 8 bytes into a buffer, write them back, exit(count) *)
+  Vir.Lang.
+    [
+      Li (0, 2l) (* sys_read *);
+      Li (1, 0l);
+      Li (2, 0x00090000l);
+      Li (3, 8l);
+      Sys;
+      Mv (4, 0) (* count *);
+      Li (0, 1l) (* sys_write *);
+      Li (1, 1l);
+      Li (2, 0x00090000l);
+      Mv (3, 4);
+      Sys;
+      Li (0, 0l);
+      Mv (1, 4);
+      Sys;
+    ]
+
+let check_echo (t : Workload.target) () =
+  let got = Workload.run ~input:"hi there" t ~buildset:"one_all" echo_program in
+  Alcotest.(check string) "echoed" "hi there" got.output;
+  Alcotest.(check int) "count" 8 got.exit_status
+
+(* ----------------------------------------------------------------- *)
+(* Random-program differential testing                                 *)
+(* ----------------------------------------------------------------- *)
+
+(* Structured random VIR programs: v8 holds the data base, a prologue
+   seeds registers, a body of random ALU/memory ops runs (optionally
+   inside one bounded countdown loop), and the epilogue folds all
+   registers into a checksum that is written out and returned. *)
+let gen_vir_program =
+  let open QCheck.Gen in
+  let reg = int_range 9 14 in
+  let op =
+    frequency
+      [
+        (3, map2 (fun d v -> Vir.Lang.Li (d, Int32.of_int (v - 500))) reg (int_bound 1000));
+        (2, map2 (fun d s -> Vir.Lang.Mv (d, s)) reg reg);
+        (4, map3 (fun d a b -> Vir.Lang.Add (d, a, b)) reg reg reg);
+        (2, map3 (fun d a b -> Vir.Lang.Sub (d, a, b)) reg reg reg);
+        (2, map3 (fun d a b -> Vir.Lang.Mul (d, a, b)) reg reg reg);
+        (2, map3 (fun d a b -> Vir.Lang.And_ (d, a, b)) reg reg reg);
+        (2, map3 (fun d a b -> Vir.Lang.Or_ (d, a, b)) reg reg reg);
+        (2, map3 (fun d a b -> Vir.Lang.Xor_ (d, a, b)) reg reg reg);
+        (3, map3 (fun d a i -> Vir.Lang.Addi (d, a, i - 100)) reg reg (int_bound 200));
+        (2, map3 (fun d a i -> Vir.Lang.Andi (d, a, i)) reg reg (int_bound 255));
+        (2, map3 (fun d a i -> Vir.Lang.Shli (d, a, i)) reg reg (int_bound 31));
+        (2, map3 (fun d a i -> Vir.Lang.Shri (d, a, i)) reg reg (int_bound 31));
+        (2, map3 (fun d a i -> Vir.Lang.Sari (d, a, i)) reg reg (int_bound 31));
+        (2, map2 (fun s i -> Vir.Lang.Stw (s, 8, 4 * i)) reg (int_bound 63));
+        (2, map2 (fun d i -> Vir.Lang.Ldw (d, 8, 4 * i)) reg (int_bound 63));
+        (1, map2 (fun s i -> Vir.Lang.Stb (s, 8, 256 + i)) reg (int_bound 63));
+        (1, map2 (fun d i -> Vir.Lang.Ldb (d, 8, 256 + i)) reg (int_bound 63));
+      ]
+  in
+  let* body = list_size (int_range 8 40) op in
+  let* with_loop = bool in
+  let* iters = int_range 2 9 in
+  let prologue =
+    Vir.Lang.
+      [
+        Li (8, 0x00100000l);
+        Li (9, 3l); Li (10, 5l); Li (11, 7l); Li (12, 11l); Li (13, 13l);
+        Li (14, 17l);
+      ]
+  in
+  let wrapped =
+    if with_loop then
+      (Vir.Lang.Li (7, Int32.of_int iters) :: Vir.Lang.Label "body" :: body)
+      @ Vir.Lang.[ Addi (7, 7, -1); Bcond (Ne, 7, 0, "body") ]
+      (* note: v0 is 0 from reset *)
+    else body
+  in
+  let fold =
+    Vir.Lang.
+      [
+        Li (4, 0l);
+        Add (4, 4, 9); Xor_ (4, 4, 10); Add (4, 4, 11); Xor_ (4, 4, 12);
+        Add (4, 4, 13); Xor_ (4, 4, 14);
+      ]
+  in
+  return (prologue @ wrapped @ fold @ Vir.Kernels.epilogue)
+
+let arb_vir =
+  QCheck.make gen_vir_program
+    ~print:(fun p -> Format.asprintf "%a" Vir.Lang.pp p)
+
+let prop_random_programs =
+  QCheck.Test.make ~count:25 ~name:"random programs agree across ISAs and interfaces"
+    arb_vir
+    (fun program ->
+      Vir.Lang.validate program;
+      let expected = Workload.reference program in
+      List.for_all
+        (fun t ->
+          List.for_all
+            (fun bs ->
+              let got = Workload.run t ~buildset:bs program ~budget:5_000_000 in
+              Workload.agrees expected got)
+            [ "one_all"; "block_min" ])
+        Workload.targets)
+
+let suite =
+  List.map
+    (fun (k : Vir.Kernels.sized) ->
+      Alcotest.test_case ("cross-ISA " ^ k.kname) `Quick (check_cross_isa k))
+    kernels
+  @ List.concat_map
+      (fun t ->
+        [
+          Alcotest.test_case
+            ("rotating " ^ t.Workload.tname)
+            `Quick
+            (check_rotating t (List.nth kernels 3));
+          Alcotest.test_case
+            ("interpreted backend " ^ t.Workload.tname)
+            `Quick (check_interpreted t);
+          Alcotest.test_case ("echo " ^ t.Workload.tname) `Quick (check_echo t);
+        ])
+      Workload.targets
+  @ [ QCheck_alcotest.to_alcotest prop_random_programs ]
