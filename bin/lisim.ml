@@ -3,8 +3,14 @@
     - [lisim list] shows the built-in ISAs, their buildsets and kernels.
     - [lisim check FILES...] parses and analyzes LIS description files.
     - [lisim emit] prints the synthesized OCaml for one interface.
-    - [lisim run] executes a benchmark kernel through an interface.
-    - [lisim validate] runs the rotating-interface validation (§V-D). *)
+    - [lisim run] executes a benchmark kernel through an interface
+      (watchdog-guarded: budget, wall clock and spin detection).
+    - [lisim validate] runs the rotating-interface validation (§V-D).
+    - [lisim inject] runs a deterministic fault-injection campaign and
+      reports detection coverage, latency and recovery statistics.
+
+    Structured simulator errors ({!Machine.Sim_error}) are rendered as
+    diagnostics with a per-component exit code, never as backtraces. *)
 
 open Cmdliner
 
@@ -20,17 +26,23 @@ let buildset_arg =
   Arg.(value & opt string "one_all" & info [ "buildset"; "b" ] ~docv:"NAME" ~doc)
 
 let kernel_arg =
-  let doc = "Benchmark kernel: vec_sum, list_chase, matmul, sort, hash_loop, str_ops." in
+  let doc =
+    "Benchmark kernel: vec_sum, list_chase, matmul, sort, hash_loop, str_ops \
+     (plus pathological watchdog workloads: spin, count_forever)."
+  in
   Arg.(value & opt string "sort" & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc)
 
 let find_kernel name =
   match
     List.find_opt
       (fun (k : Vir.Kernels.sized) -> String.equal k.kname name)
-      Vir.Kernels.bench_suite
+      (Vir.Kernels.bench_suite @ Vir.Kernels.pathological)
   with
   | Some k -> k
-  | None -> failwith ("unknown kernel " ^ name)
+  | None ->
+    Machine.Sim_error.raisef ~component:"cli"
+      ~context:[ ("kernel", name) ]
+      "unknown kernel"
 
 (* ---------------- list ------------------------------------------- *)
 
@@ -140,22 +152,50 @@ let emit_cmd =
 (* ---------------- run -------------------------------------------- *)
 
 let run_cmd =
-  let run isa buildset kernel =
+  let max_instrs =
+    Arg.(
+      value
+      & opt int 1_000_000_000
+      & info [ "max-instructions" ] ~docv:"N"
+          ~doc:"Watchdog: halt after N retired instructions.")
+  in
+  let max_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:"Watchdog: halt after S wall-clock seconds.")
+  in
+  let run isa buildset kernel max_instructions max_seconds =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
+    let l = Workload.load t ~buildset k.program in
     let t0 = Unix.gettimeofday () in
-    let outcome = Workload.run t ~buildset k.program in
+    Inject.Watchdog.run_guarded
+      ~config:{ max_instructions; max_seconds; check_interval = 4096 }
+      l.iface;
     let dt = Unix.gettimeofday () -. t0 in
-    Printf.printf "%s on %s/%s: exit=%d output=%S\n" k.kname isa buildset
-      outcome.exit_status outcome.output;
-    Printf.printf "%Ld instructions in %.3f s (%.2f MIPS)\n" outcome.instructions
-      dt
-      (Int64.to_float outcome.instructions /. dt /. 1e6);
-    0
+    match Machine.State.exit_status l.iface.st with
+    | Some s ->
+      Printf.printf "%s on %s/%s: exit=%d output=%S\n" k.kname isa buildset
+        (s land 0xff)
+        (Machine.Os_emu.output l.os);
+      Printf.printf "%Ld instructions in %.3f s (%.2f MIPS)\n"
+        l.iface.st.instr_count dt
+        (Int64.to_float l.iface.st.instr_count /. dt /. 1e6);
+      0
+    | None ->
+      Printf.printf "%s on %s/%s: halted without exit status%s\n" k.kname isa
+        buildset
+        (match l.iface.st.fault with
+        | Some f -> " (" ^ Machine.Fault.to_string f ^ ")"
+        | None -> "");
+      1
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run a benchmark kernel through one interface.")
-    Term.(const run $ isa_arg $ buildset_arg $ kernel_arg)
+    (Cmd.info "run"
+       ~doc:"Run a benchmark kernel through one interface (watchdog-guarded).")
+    Term.(const run $ isa_arg $ buildset_arg $ kernel_arg $ max_instrs $ max_seconds)
 
 (* ---------------- export ------------------------------------------ *)
 
@@ -253,6 +293,100 @@ let mix_cmd =
              functional-first consumer).")
     Term.(const run $ isa_arg $ kernel_arg)
 
+(* ---------------- inject ----------------------------------------- *)
+
+let inject_cmd =
+  let isa =
+    Arg.(
+      value & opt string "all"
+      & info [ "isa" ] ~docv:"ISA"
+          ~doc:"Instruction set to inject into: alpha, arm, ppc or all.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed. Same seed, same campaign, instruction for \
+                instruction.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "rate" ] ~docv:"RATE"
+          ~doc:"Per-instruction injection probability, within [0, 1].")
+  in
+  let budget =
+    Arg.(
+      value & opt int 300_000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Checker-instruction budget per campaign cell.")
+  in
+  let sites =
+    Arg.(
+      value & opt string "all"
+      & info [ "sites" ] ~docv:"SITES"
+          ~doc:"Comma-separated injection sites among reg, mem, pc, fault, di \
+                — or all.")
+  in
+  let min_coverage =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-coverage" ] ~docv:"PCT"
+          ~doc:"Fail (exit 1) if detection coverage drops below PCT percent \
+                or a recovered run diverges from the reference.")
+  in
+  let kernel_c =
+    Arg.(
+      value & opt string "sort"
+      & info [ "kernel"; "k" ] ~docv:"KERNEL"
+          ~doc:"Campaign kernel (from the test suite).")
+  in
+  let buildset_c =
+    Arg.(
+      value & opt string "one_min"
+      & info [ "buildset"; "b" ] ~docv:"NAME" ~doc:"Interface buildset.")
+  in
+  let run isa seed rate budget sites min_coverage kernel buildset =
+    let isas =
+      match isa with "all" -> [ "alpha"; "arm"; "ppc" ] | i -> [ i ]
+    in
+    let sites =
+      match sites with
+      | "all" -> Inject.Injector.all_sites
+      | s ->
+        String.split_on_char ',' s
+        |> List.map (fun name ->
+               match Inject.Injector.site_of_string (String.trim name) with
+               | Some site -> site
+               | None ->
+                 Machine.Sim_error.raisef ~component:"cli"
+                   ~context:[ ("site", name) ]
+                   "unknown injection site (expected reg, mem, pc, fault, di)")
+    in
+    let cfg =
+      { Inject.Campaign.default_config with seed; rate; budget; sites; buildset }
+    in
+    let reports = Inject.Campaign.run ~isas ~kernel cfg in
+    List.iter (Format.printf "%a@." Inject.Campaign.pp_report) reports;
+    Format.printf "%a" Inject.Campaign.pp_summary reports;
+    match min_coverage with
+    | None -> 0
+    | Some pct ->
+      let ok r =
+        (100. *. Inject.Campaign.coverage r >= pct || r.Inject.Campaign.r_architectural = 0)
+        && r.Inject.Campaign.r_outcome_ok
+      in
+      if List.for_all ok reports then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Run a deterministic fault-injection campaign through the \
+             timing-first checker and report detection coverage, detection \
+             latency and recovery statistics.")
+    Term.(
+      const run $ isa $ seed $ rate $ budget $ sites $ min_coverage $ kernel_c
+      $ buildset_c)
+
 (* ---------------- validate --------------------------------------- *)
 
 let validate_cmd =
@@ -287,4 +421,12 @@ let () =
     Cmd.info "lisim" ~version:"1.0.0"
       ~doc:"Single-specification functional-to-timing simulator synthesis."
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; check_cmd; emit_cmd; run_cmd; export_cmd; trace_cmd; mix_cmd; validate_cmd ]))
+  let group =
+    Cmd.group info
+      [ list_cmd; check_cmd; emit_cmd; run_cmd; export_cmd; trace_cmd; mix_cmd;
+        inject_cmd; validate_cmd ]
+  in
+  try exit (Cmd.eval' ~catch:false group) with
+  | Machine.Sim_error.Error e ->
+    Format.eprintf "lisim: %a@." Machine.Sim_error.pp e;
+    exit (Machine.Sim_error.exit_code e)

@@ -63,10 +63,10 @@ let slot_of_exn t name =
   match slot_of t name with
   | Some s -> s
   | None ->
-    invalid_arg
-      (Printf.sprintf
-         "interface %s/%s does not expose cell '%s' (hidden by visibility)"
-         t.spec.name t.bs.bs_name name)
+    Machine.Sim_error.raisef ~component:"interface"
+      ~context:
+        [ ("isa", t.spec.name); ("buildset", t.bs.bs_name); ("cell", name) ]
+      "cell is not exposed by this interface (hidden by visibility)"
 
 (** [rollback_di t di] undoes the architectural effects of [di] and every
     later instruction (requires a speculative buildset). *)

@@ -186,7 +186,11 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?st
     | I_chunk codes ->
       let idx = di.instr_index in
       if idx < 0 then
-        invalid_arg "interface misuse: entrypoint called before decode"
+        Sim_error.raisef ~component:"interface"
+          ~context:
+            [ ("isa", spec.name); ("buildset", bs.bs_name);
+              ("pc", Printf.sprintf "0x%Lx" di.pc) ]
+          "entrypoint called before decode"
       else (Array.unsafe_get codes idx) st frame
   in
   let exec_items di (items : item array) =
@@ -427,9 +431,9 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?st
   in
   let redirect pc = st.pc <- pc in
   let no_spec (_ : unit) =
-    invalid_arg
-      (Printf.sprintf "interface %s/%s was synthesized without speculation"
-         spec.name bs.bs_name)
+    Sim_error.raisef ~component:"interface"
+      ~context:[ ("isa", spec.name); ("buildset", bs.bs_name) ]
+      "interface was synthesized without speculation"
   in
   let checkpoint () =
     match journal with Some j -> Specul.checkpoint j st | None -> no_spec ()

@@ -1,0 +1,38 @@
+(** Deterministic, stateless pseudo-random draws for fault injection.
+
+    Every draw is a pure function of (seed, index, salt) — a
+    splitmix64-style finalizer over their combination — so an injection
+    campaign is exactly replayable from its seed: the [index] is the
+    instruction count at the injection point and the [salt] separates the
+    independent decisions made at one site (whether to inject, which
+    register, which bit, …). No hidden stream state means recovery paths
+    that re-execute instructions cannot perturb later draws. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [draw ~seed ~index ~salt] is a uniform 64-bit value. *)
+let draw ~seed ~index ~salt =
+  mix
+    (Int64.add
+       (mix (Int64.logxor seed (mix index)))
+       (Int64.mul (Int64.of_int (salt + 1)) golden))
+
+(** [uniform ~seed ~index ~salt] is a float in [0, 1). *)
+let uniform ~seed ~index ~salt =
+  let bits = Int64.shift_right_logical (draw ~seed ~index ~salt) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0 (* 2^53 *))
+
+(** [below ~seed ~index ~salt n] is a uniform int in [0, n). *)
+let below ~seed ~index ~salt n =
+  if n <= 0 then 0
+  else
+    Int64.to_int
+      (Int64.rem
+         (Int64.shift_right_logical (draw ~seed ~index ~salt) 1)
+         (Int64.of_int n))

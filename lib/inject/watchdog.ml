@@ -1,0 +1,78 @@
+(** Execution watchdog: halts runaway simulations with a structured
+    {!Machine.Sim_error} instead of spinning forever or dying with a
+    backtrace.
+
+    The guarded loop runs the interface in slices and trips on:
+
+    - {b budget exceeded} — more instructions retired than allowed;
+    - {b wall clock exceeded} — the run took too long in real time;
+    - {b no forward progress} — two consecutive slice boundaries observed
+      byte-identical registers and memory. Instructions are retiring but
+      the machine's architectural state is a fixed point (an idle spin
+      loop), so the program can never reach an exit. The PC is
+      deliberately excluded from the fixed-point test: it always moves
+      inside a spin loop.
+
+    The check interval bounds both the overshoot past the budget and the
+    latency of spin detection. *)
+
+type reason = Budget_exceeded | Wall_clock_exceeded | No_progress
+
+let reason_to_string = function
+  | Budget_exceeded -> "instruction budget exceeded"
+  | Wall_clock_exceeded -> "wall-clock limit exceeded"
+  | No_progress -> "no forward progress (architectural state is a fixed point)"
+
+type config = {
+  max_instructions : int;
+  max_seconds : float option;
+  check_interval : int;
+}
+
+let default =
+  { max_instructions = 1_000_000_000; max_seconds = None; check_interval = 4096 }
+
+let regs_digest (regs : Machine.Regfile.t) =
+  let h = ref 0x2545F4914F6CDD1DL in
+  for i = 0 to Machine.Regfile.total regs - 1 do
+    h := Prng.mix (Int64.logxor !h (Machine.Regfile.read_flat regs i))
+  done;
+  !h
+
+let trip reason (st : Machine.State.t) extra =
+  Machine.Sim_error.raisef ~component:"watchdog"
+    ~context:
+      ([
+         ("reason", reason_to_string reason);
+         ("instructions", Int64.to_string st.instr_count);
+         ("pc", Printf.sprintf "0x%Lx" st.pc);
+       ]
+      @ extra)
+    "simulation halted by watchdog"
+
+(** [run_guarded ?config iface] drives [iface] until the machine halts.
+    @raise Machine.Sim_error.Error when a watchdog condition trips. *)
+let run_guarded ?(config = default) (iface : Specsim.Iface.t) =
+  let st = iface.st in
+  let t0 = Unix.gettimeofday () in
+  let slice = max 1 config.check_interval in
+  let prev_sample = ref None in
+  while not st.halted do
+    ignore (Specsim.Iface.run_n iface slice);
+    if not st.halted then begin
+      if Int64.compare st.instr_count (Int64.of_int config.max_instructions) >= 0
+      then
+        trip Budget_exceeded st
+          [ ("budget", string_of_int config.max_instructions) ];
+      (match config.max_seconds with
+      | Some limit when Unix.gettimeofday () -. t0 > limit ->
+        trip Wall_clock_exceeded st [ ("limit_s", string_of_float limit) ]
+      | _ -> ());
+      let sample = (regs_digest st.regs, Machine.Memory.digest st.mem) in
+      (match !prev_sample with
+      | Some s when s = sample ->
+        trip No_progress st [ ("slice", string_of_int slice) ]
+      | _ -> ());
+      prev_sample := Some sample
+    end
+  done

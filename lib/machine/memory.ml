@@ -151,6 +151,39 @@ let fold_pages t ~init ~f =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.fold_left (fun acc (idx, page) -> f acc idx page) init
 
+let zero_page = Bytes.make page_size '\000'
+
+(* splitmix64 finalizer: a cheap, well-mixed 64-bit hash step. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let digest t =
+  (* Canonical: an all-zero page hashes like an absent page, so machines
+     that merely touched different addresses still compare equal. *)
+  fold_pages t ~init:0x9E3779B97F4A7C15L ~f:(fun acc idx page ->
+      if Bytes.equal page zero_page then acc
+      else begin
+        let h = ref (mix64 (Int64.logxor acc (Int64.of_int idx))) in
+        for w = 0 to (page_size / 8) - 1 do
+          h := mix64 (Int64.logxor !h (Bytes.get_int64_le page (w * 8)))
+        done;
+        !h
+      end)
+
+let blit_all ~src ~dst =
+  if src.endian <> dst.endian then
+    raise
+      (Sim_error.Error
+         (Sim_error.make ~component:"memory" "blit_all: endianness mismatch"));
+  clear dst;
+  fold_pages src ~init:() ~f:(fun () idx page ->
+      if not (Bytes.equal page zero_page) then
+        Hashtbl.replace dst.pages idx (Bytes.copy page))
+
+let equal_contents a b = Int64.equal (digest a) (digest b)
+
 let dump_bytes t addr len =
   let b = Bytes.create len in
   for i = 0 to len - 1 do

@@ -48,3 +48,18 @@ val fold_pages : t -> init:'a -> f:('a -> int -> bytes -> 'a) -> 'a
 
 (** Page size in bytes (4096). *)
 val page_size : int
+
+(** [digest mem] is a 64-bit hash of the allocated contents. All-zero
+    pages hash like absent pages, so two memories with the same byte
+    contents digest equally regardless of which addresses were merely
+    touched. Used by divergence checkers to compare memories in O(pages)
+    instead of O(address space). *)
+val digest : t -> int64
+
+(** [blit_all ~src ~dst] makes [dst]'s contents byte-equal to [src]
+    (clearing [dst] first). The endiannesses must match.
+    @raise Sim_error.Error on an endianness mismatch. *)
+val blit_all : src:t -> dst:t -> unit
+
+(** [equal_contents a b] compares contents via {!digest}. *)
+val equal_contents : t -> t -> bool

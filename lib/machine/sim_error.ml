@@ -1,0 +1,37 @@
+(** Structured simulator errors.
+
+    Library code reports misuse and resource-exhaustion conditions through
+    this one typed channel instead of bare [failwith]/[invalid_arg], so
+    drivers (the CLI, the fault-injection campaign runner, tests) can
+    render a diagnostic and choose an exit code rather than print an OCaml
+    backtrace. Architectural faults raised *by simulated programs* are a
+    different thing and stay on the {!Fault} channel the interface
+    carries. *)
+
+type t = {
+  component : string;  (** subsystem that detected the error, e.g. "vir" *)
+  what : string;  (** one-line human description *)
+  context : (string * string) list;
+      (** structured key/value details: source location, instruction
+          index, budget figures, … *)
+}
+
+exception Error of t
+
+let make ~component ?(context = []) what = { component; what; context }
+
+(** [raisef ~component ~context fmt …] formats a message and raises
+    {!Error}. *)
+let raisef ~component ?(context = []) fmt =
+  Format.kasprintf (fun what -> raise (Error (make ~component ~context what))) fmt
+
+let pp ppf e =
+  Format.fprintf ppf "%s error: %s" e.component e.what;
+  List.iter (fun (k, v) -> Format.fprintf ppf "@\n  %s: %s" k v) e.context
+
+let to_string e = Format.asprintf "%a" pp e
+
+(** Suggested process exit code per component (used by the CLI so scripts
+    can distinguish watchdog halts from misuse). *)
+let exit_code e =
+  match e.component with "watchdog" -> 3 | "vir" | "asm" -> 2 | _ -> 4

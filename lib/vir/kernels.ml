@@ -424,6 +424,18 @@ let test_suite =
     { kname = "saturate"; program = saturate ~len:96 ~rounds:3 };
   ]
 
+(** Pathological workloads: these never exit and exist to exercise
+    watchdog / budget handling ([spin] is an architectural fixed point,
+    [count_forever] makes progress in a register but never terminates). *)
+let pathological =
+  [
+    { kname = "spin"; program = [ Label "spin"; Jmp "spin" ] };
+    {
+      kname = "count_forever";
+      program = [ Li (4, 0l); Label "loop"; Addi (4, 4, 1); Jmp "loop" ];
+    };
+  ]
+
 let bench_suite =
   [
     { kname = "vec_sum"; program = vec_sum ~n:20_000 };

@@ -79,25 +79,45 @@ let pp_instr ppf (i : instr) =
 let pp ppf (p : program) =
   List.iter (fun i -> Format.fprintf ppf "%a@\n" pp_instr i) p
 
-(** Well-formedness: register ranges, immediate ranges, label resolution. *)
+(** Well-formedness: register ranges, immediate ranges, label resolution.
+    Violations raise {!Machine.Sim_error.Error} carrying the offending
+    instruction's index and pretty-printed form, so a malformed program
+    yields a diagnostic instead of a backtrace. *)
 let validate (p : program) =
+  let where = ref (-1) in
+  let reject what =
+    let context =
+      if !where < 0 then []
+      else
+        [
+          ("instruction", string_of_int !where);
+          ( "text",
+            match List.nth_opt p !where with
+            | Some i -> String.trim (Format.asprintf "%a" pp_instr i)
+            | None -> "?" );
+        ]
+    in
+    Machine.Sim_error.raisef ~component:"vir" ~context "%s" what
+  in
   let labels = Hashtbl.create 16 in
-  List.iter
-    (function
+  List.iteri
+    (fun idx instr ->
+      match instr with
       | Label l ->
-        if Hashtbl.mem labels l then failwith ("VIR: duplicate label " ^ l);
+        where := idx;
+        if Hashtbl.mem labels l then reject ("duplicate label " ^ l);
         Hashtbl.add labels l ()
       | _ -> ())
     p;
-  let reg n = if n < 0 || n > 15 then failwith "VIR: register out of range" in
-  let imm16 i =
-    if i < -32768 || i > 32767 then failwith "VIR: immediate out of range"
-  in
-  let imm8 i = if i < 0 || i > 255 then failwith "VIR: andi immediate out of range" in
-  let sh i = if i < 0 || i > 31 then failwith "VIR: shift out of range" in
-  let lbl l = if not (Hashtbl.mem labels l) then failwith ("VIR: unknown label " ^ l) in
-  List.iter
-    (function
+  let reg n = if n < 0 || n > 15 then reject "register out of range" in
+  let imm16 i = if i < -32768 || i > 32767 then reject "immediate out of range" in
+  let imm8 i = if i < 0 || i > 255 then reject "andi immediate out of range" in
+  let sh i = if i < 0 || i > 31 then reject "shift out of range" in
+  let lbl l = if not (Hashtbl.mem labels l) then reject ("unknown label " ^ l) in
+  List.iteri
+    (fun idx instr ->
+      where := idx;
+      match instr with
       | Label _ -> ()
       | Li (d, _) -> reg d
       | Mv (d, s) ->
@@ -130,7 +150,8 @@ let validate (p : program) =
         lbl l
       | Jmp l -> lbl l
       | Sys -> ())
-    p
+    p;
+  where := -1
 
 (* ------------------------------------------------------------------ *)
 (* Reference executor                                                   *)
@@ -243,4 +264,7 @@ let run ?(input = "") ?(fuel = 100_000_000) (p : program) : result =
   done;
   match !status with
   | Some s -> { exit_status = s; output = Buffer.contents out; dyn_instrs = !count }
-  | None -> failwith "VIR reference executor: program did not exit"
+  | None ->
+    Machine.Sim_error.raisef ~component:"vir"
+      ~context:[ ("fuel", string_of_int fuel); ("executed", string_of_int !count) ]
+      "reference executor: program did not exit"

@@ -19,7 +19,10 @@ let assemble ~base (items : item list) : int64 list =
     (fun it ->
       match it with
       | Mark l ->
-        if Hashtbl.mem labels l then failwith ("assemble: duplicate label " ^ l);
+        if Hashtbl.mem labels l then
+          Machine.Sim_error.raisef ~component:"asm"
+            ~context:[ ("label", l); ("pc", Printf.sprintf "0x%Lx" !pc) ]
+            "duplicate label";
         Hashtbl.add labels l !pc
       | Word _ | Fix _ -> pc := Int64.add !pc 4L)
     items;
@@ -35,7 +38,10 @@ let assemble ~base (items : item list) : int64 list =
         let target =
           match Hashtbl.find_opt labels l with
           | Some t -> t
-          | None -> failwith ("assemble: unknown label " ^ l)
+          | None ->
+            Machine.Sim_error.raisef ~component:"asm"
+              ~context:[ ("label", l); ("pc", Printf.sprintf "0x%Lx" !pc) ]
+              "unknown label"
         in
         let w = f ~self_pc:!pc ~target_pc:target in
         pc := Int64.add !pc 4L;

@@ -32,7 +32,9 @@ let targets = [ alpha; arm; ppc ]
 let find_target name =
   match List.find_opt (fun t -> String.equal t.tname name) targets with
   | Some t -> t
-  | None -> invalid_arg ("Workload.find_target: unknown ISA " ^ name)
+  | None ->
+    Machine.Sim_error.raisef ~component:"workload" ~context:[ ("isa", name) ]
+      "unknown ISA"
 
 (** A machine loaded with a program and connected to a fresh OS emulator,
     ready to run. *)
@@ -52,7 +54,9 @@ let load ?(backend = Specsim.Synth.Compiled) ?input (t : target) ~buildset
   let os = Machine.Os_emu.create ?input () in
   (match spec.abi with
   | Some abi -> Machine.Os_emu.install os abi st
-  | None -> invalid_arg ("ISA " ^ t.tname ^ " has no abi declaration"));
+  | None ->
+    Machine.Sim_error.raisef ~component:"workload" ~context:[ ("isa", t.tname) ]
+      "ISA has no abi declaration");
   let words = t.encode ~base:code_base program in
   List.iteri
     (fun i w ->
@@ -69,14 +73,21 @@ type outcome = {
   instructions : int64;
 }
 
-exception Did_not_terminate of string
+(* Non-termination and configuration problems surface as structured
+   {!Machine.Sim_error.Error} values, not ad-hoc exceptions. *)
+let did_not_terminate ~why (st : Machine.State.t) =
+  Machine.Sim_error.raisef ~component:"workload"
+    ~context:
+      [ ("instructions", Int64.to_string st.instr_count);
+        ("pc", Printf.sprintf "0x%Lx" st.pc) ]
+    "%s" why
 
 (** [run_to_completion ?budget loaded] drives the interface until the
     program exits. *)
 let run_to_completion ?(budget = 1_000_000_000) (l : loaded) : outcome =
   let st = l.iface.st in
   let _ = Specsim.Iface.run_n l.iface budget in
-  if not st.halted then raise (Did_not_terminate "instruction budget exhausted");
+  if not st.halted then did_not_terminate ~why:"instruction budget exhausted" st;
   match Machine.State.exit_status st with
   | Some s ->
     {
@@ -85,11 +96,11 @@ let run_to_completion ?(budget = 1_000_000_000) (l : loaded) : outcome =
       instructions = st.instr_count;
     }
   | None ->
-    raise
-      (Did_not_terminate
-         (match st.fault with
-         | Some f -> "faulted: " ^ Machine.Fault.to_string f
-         | None -> "halted without exit status"))
+    did_not_terminate st
+      ~why:
+        (match st.fault with
+        | Some f -> "faulted: " ^ Machine.Fault.to_string f
+        | None -> "halted without exit status")
 
 (** [run target ~buildset kernel] — load and run in one step. *)
 let run ?backend ?input ?budget (t : target) ~buildset program : outcome =
@@ -127,11 +138,14 @@ let run_rotating ?input ?(budget = 100_000_000) (t : target) ~buildsets
     List.map (fun bs -> Specsim.Synth.make ~st spec bs) buildsets
   in
   let ifaces = Array.of_list ifaces in
-  if Array.length ifaces = 0 then invalid_arg "run_rotating: no buildsets";
+  if Array.length ifaces = 0 then
+    Machine.Sim_error.raisef ~component:"workload" "run_rotating: no buildsets";
   let os = Machine.Os_emu.create ?input () in
   (match spec.abi with
   | Some abi -> Machine.Os_emu.install os abi st
-  | None -> invalid_arg ("ISA " ^ t.tname ^ " has no abi declaration"));
+  | None ->
+    Machine.Sim_error.raisef ~component:"workload" ~context:[ ("isa", t.tname) ]
+      "ISA has no abi declaration");
   let words = t.encode ~base:code_base program in
   List.iteri
     (fun i w ->
@@ -175,7 +189,7 @@ let run_rotating ?input ?(budget = 100_000_000) (t : target) ~buildsets
     incr steps;
     if !steps > budget then st.halted <- true
   done;
-  if not st.halted then raise (Did_not_terminate "rotating budget exhausted");
+  if not st.halted then did_not_terminate ~why:"rotating budget exhausted" st;
   match Machine.State.exit_status st with
   | Some s ->
     {
@@ -183,4 +197,4 @@ let run_rotating ?input ?(budget = 100_000_000) (t : target) ~buildsets
       output = Machine.Os_emu.output os;
       instructions = st.instr_count;
     }
-  | None -> raise (Did_not_terminate "halted without exit status")
+  | None -> did_not_terminate ~why:"halted without exit status" st

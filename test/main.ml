@@ -19,4 +19,5 @@ let () =
       ("pretty", Test_pretty.suite);
       ("isa_props", Test_isa_props.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("inject", Test_inject.suite);
     ]

@@ -78,6 +78,50 @@ let test_roundtrip_exact () =
   Alcotest.(check int64) "distant page" 88L
     (Machine.Memory.read st2.mem ~addr:0x100000L ~width:4)
 
+let test_restore_after_corruption () =
+  (* checkpoint a live machine mid-kernel, let an injector trash its
+     registers, memory and PC, then restore: the machine must come back
+     byte-exact and finish with the reference outcome *)
+  let t = Workload.alpha in
+  let k = List.nth Vir.Kernels.test_suite 3 in
+  let expected = Workload.run t ~buildset:"one_all" k.program in
+  let l = Workload.load t ~buildset:"one_all" k.program in
+  let st = l.iface.st in
+  let _ = Specsim.Iface.run_n l.iface 2_000 in
+  let data = Machine.Checkpoint.save st in
+  let regs0 = Machine.Regfile.copy st.regs in
+  let pc0 = st.pc and count0 = st.instr_count in
+  let mem0 = Machine.Memory.digest st.mem in
+  (* corrupt everything an injector can reach, several times over *)
+  let inj =
+    Inject.Injector.create ~seed:123L ~rate:1.0
+      ~sites:[ Inject.Injector.Reg_bitflip; Mem_byte; Pc_skew ] ()
+  in
+  let di = Specsim.Di.create ~info_slots:l.iface.slots.di_size in
+  for i = 1 to 50 do
+    st.instr_count <- Int64.add count0 (Int64.of_int i);
+    Inject.Injector.bug inj st di
+  done;
+  Alcotest.(check bool) "corruption happened" true
+    (Inject.Injector.n_injected inj > 0);
+  Alcotest.(check bool) "state actually diverged" false
+    (Machine.Regfile.equal st.regs regs0
+    && Int64.equal (Machine.Memory.digest st.mem) mem0
+    && Int64.equal st.pc pc0);
+  Machine.Checkpoint.restore st data;
+  l.iface.flush_code_cache ();
+  Alcotest.(check bool) "registers byte-exact" true
+    (Machine.Regfile.equal st.regs regs0);
+  Alcotest.(check int64) "pc byte-exact" pc0 st.pc;
+  Alcotest.(check int64) "instr count byte-exact" count0 st.instr_count;
+  Alcotest.(check int64) "memory digest byte-exact" mem0
+    (Machine.Memory.digest st.mem);
+  (* and the restored machine still reaches the reference outcome *)
+  let _ = Specsim.Iface.run_n l.iface 50_000_000 in
+  Alcotest.(check (option int)) "exit status" (Some expected.exit_status)
+    (Option.map (fun s -> s land 0xff) (Machine.State.exit_status st));
+  Alcotest.(check string) "output" expected.output (Machine.Os_emu.output l.os)
+
 let test_layout_mismatch_rejected () =
   let st =
     Machine.State.create ~endian:Machine.Memory.Little
@@ -106,5 +150,7 @@ let suite =
   [
     Alcotest.test_case "resume equivalence" `Quick test_resume_equivalence;
     Alcotest.test_case "exact roundtrip" `Quick test_roundtrip_exact;
+    Alcotest.test_case "restore after injected corruption" `Quick
+      test_restore_after_corruption;
     Alcotest.test_case "mismatch rejected" `Quick test_layout_mismatch_rejected;
   ]

@@ -1,0 +1,223 @@
+(** Fault injection & recovery: PRNG stability, campaign determinism,
+    detection coverage, memory repair, watchdog trips, and a qcheck
+    property that speculative rollback undoes journaled corruption
+    byte-exactly. *)
+
+(* ---------------- PRNG ------------------------------------------- *)
+
+let test_prng_deterministic () =
+  for i = 0 to 99 do
+    let a = Inject.Prng.draw ~seed:7L ~index:(Int64.of_int i) ~salt:3 in
+    let b = Inject.Prng.draw ~seed:7L ~index:(Int64.of_int i) ~salt:3 in
+    Alcotest.(check int64) "same key, same draw" a b
+  done;
+  let a = Inject.Prng.draw ~seed:7L ~index:1L ~salt:0 in
+  let b = Inject.Prng.draw ~seed:8L ~index:1L ~salt:0 in
+  let c = Inject.Prng.draw ~seed:7L ~index:2L ~salt:0 in
+  let d = Inject.Prng.draw ~seed:7L ~index:1L ~salt:1 in
+  Alcotest.(check bool) "seed matters" false (Int64.equal a b);
+  Alcotest.(check bool) "index matters" false (Int64.equal a c);
+  Alcotest.(check bool) "salt matters" false (Int64.equal a d)
+
+let test_prng_ranges () =
+  for i = 0 to 999 do
+    let index = Int64.of_int i in
+    let u = Inject.Prng.uniform ~seed:99L ~index ~salt:0 in
+    Alcotest.(check bool) "uniform in [0,1)" true (u >= 0.0 && u < 1.0);
+    let n = Inject.Prng.below ~seed:99L ~index ~salt:1 17 in
+    Alcotest.(check bool) "below in range" true (n >= 0 && n < 17)
+  done
+
+(* ---------------- campaigns -------------------------------------- *)
+
+let small_cfg =
+  {
+    Inject.Campaign.default_config with
+    rate = 1e-3;
+    budget = 150_000;
+    spec_trials = 4;
+  }
+
+let report_fingerprint (r : Inject.Campaign.report) =
+  Format.asprintf "%a" Inject.Campaign.pp_report r
+
+let test_campaign_deterministic () =
+  let a = Inject.Campaign.run ~isas:[ "alpha" ] small_cfg in
+  let b = Inject.Campaign.run ~isas:[ "alpha" ] small_cfg in
+  Alcotest.(check (list string))
+    "same seed, same campaign"
+    (List.map report_fingerprint a)
+    (List.map report_fingerprint b);
+  let c =
+    Inject.Campaign.run ~isas:[ "alpha" ]
+      { small_cfg with seed = 43L }
+  in
+  Alcotest.(check bool)
+    "different seed, different campaign" false
+    (List.map report_fingerprint a = List.map report_fingerprint c)
+
+let test_campaign_coverage () =
+  (* acceptance bar: >= 95% detection for register / PC / memory sites *)
+  let cfg =
+    {
+      small_cfg with
+      sites = [ Inject.Injector.Reg_bitflip; Mem_byte; Pc_skew ];
+      rate = 2e-3;
+    }
+  in
+  List.iter
+    (fun isa ->
+      let r =
+        match Inject.Campaign.run ~isas:[ isa ] cfg with
+        | [ r ] -> r
+        | _ -> Alcotest.fail "one report expected"
+      in
+      Alcotest.(check bool)
+        (isa ^ ": campaign injected something")
+        true (r.r_architectural > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: coverage %.1f%% >= 95%%" isa
+           (100. *. Inject.Campaign.coverage r))
+        true
+        (Inject.Campaign.coverage r >= 0.95);
+      Alcotest.(check bool)
+        (isa ^ ": recovered run matches reference")
+        true r.r_outcome_ok)
+    [ "alpha"; "arm"; "ppc" ]
+
+let test_memory_corruption_repaired () =
+  (* regression: memory-only corruption must be detected AND repaired —
+     the recovered run still produces the reference output *)
+  let cfg =
+    { small_cfg with sites = [ Inject.Injector.Mem_byte ]; rate = 5e-3 }
+  in
+  let r =
+    match Inject.Campaign.run ~isas:[ "alpha" ] cfg with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "one report expected"
+  in
+  Alcotest.(check bool) "memory was corrupted" true (r.r_architectural > 0);
+  Alcotest.(check int) "all corruption detected" r.r_architectural r.r_detected;
+  Alcotest.(check bool)
+    "divergences recovered" true
+    (r.r_repairs + r.r_restores > 0);
+  Alcotest.(check int) "no failed restores" 0 r.r_restore_failures;
+  Alcotest.(check bool) "outcome still correct" true r.r_outcome_ok
+
+let test_rollback_under_injection () =
+  List.iter
+    (fun isa ->
+      let r =
+        match Inject.Campaign.run ~isas:[ isa ] small_cfg with
+        | [ r ] -> r
+        | _ -> Alcotest.fail "one report expected"
+      in
+      Alcotest.(check bool)
+        (isa ^ ": rollback trials ran")
+        true (r.r_rollback_trials > 0);
+      Alcotest.(check int)
+        (isa ^ ": every rollback byte-exact")
+        r.r_rollback_trials r.r_rollback_exact)
+    [ "alpha"; "arm"; "ppc" ]
+
+(* ---------------- injector validation ---------------------------- *)
+
+let test_injector_rejects_bad_config () =
+  let expect_error f =
+    match f () with
+    | exception Machine.Sim_error.Error e ->
+      Alcotest.(check string) "component" "inject" e.component
+    | _ -> Alcotest.fail "bad config accepted"
+  in
+  expect_error (fun () -> Inject.Injector.create ~seed:1L ~rate:1.5 ());
+  expect_error (fun () -> Inject.Injector.create ~seed:1L ~rate:(-0.1) ());
+  expect_error (fun () -> Inject.Injector.create ~seed:1L ~rate:0.5 ~sites:[] ())
+
+(* ---------------- watchdog --------------------------------------- *)
+
+let find_kernel name =
+  List.find
+    (fun (k : Vir.Kernels.sized) -> String.equal k.kname name)
+    Vir.Kernels.pathological
+
+let expect_watchdog ~reason_substr f =
+  match f () with
+  | () -> Alcotest.fail "watchdog did not trip"
+  | exception Machine.Sim_error.Error e ->
+    Alcotest.(check string) "component" "watchdog" e.component;
+    let reason =
+      match List.assoc_opt "reason" e.context with Some r -> r | None -> ""
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "reason %S mentions %S" reason reason_substr)
+      true
+      (let n = String.length reason_substr in
+       let rec go i =
+         i + n <= String.length reason
+         && (String.sub reason i n = reason_substr || go (i + 1))
+       in
+       go 0)
+
+let test_watchdog_no_progress () =
+  let t = Workload.alpha in
+  let k = find_kernel "spin" in
+  let l = Workload.load t ~buildset:"one_min" k.program in
+  expect_watchdog ~reason_substr:"no forward progress" (fun () ->
+      Inject.Watchdog.run_guarded
+        ~config:{ max_instructions = 1_000_000; max_seconds = None; check_interval = 512 }
+        l.iface)
+
+let test_watchdog_budget () =
+  (* count_forever mutates a register each step, so it is never a state
+     fixed point; only the instruction budget can stop it *)
+  let t = Workload.alpha in
+  let k = find_kernel "count_forever" in
+  let l = Workload.load t ~buildset:"one_min" k.program in
+  expect_watchdog ~reason_substr:"budget" (fun () ->
+      Inject.Watchdog.run_guarded
+        ~config:{ max_instructions = 20_000; max_seconds = None; check_interval = 512 }
+        l.iface)
+
+let test_watchdog_passes_terminating () =
+  let t = Workload.alpha in
+  let k = List.nth Vir.Kernels.test_suite 0 in
+  let l = Workload.load t ~buildset:"one_min" k.program in
+  Inject.Watchdog.run_guarded l.iface;
+  Alcotest.(check bool) "halted normally" true l.iface.st.halted
+
+(* ---------------- qcheck: rollback is byte-exact ------------------ *)
+
+let rollback_exact_prop =
+  QCheck.Test.make ~count:20 ~name:"specul rollback undoes injected corruption"
+    QCheck.(pair (int_bound 1000) (int_range 1 6))
+    (fun (seed, trials) ->
+      let cfg =
+        {
+          Inject.Campaign.default_config with
+          seed = Int64.of_int seed;
+          spec_trials = trials;
+        }
+      in
+      let t = Workload.alpha in
+      let k = List.nth Vir.Kernels.test_suite 3 in
+      let ran, exact = Inject.Campaign.run_spec_trials t k cfg in
+      ran = trials && exact = ran)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "campaign deterministic" `Slow test_campaign_deterministic;
+    Alcotest.test_case "campaign coverage >= 95%" `Slow test_campaign_coverage;
+    Alcotest.test_case "memory corruption repaired" `Slow
+      test_memory_corruption_repaired;
+    Alcotest.test_case "rollback under injection" `Slow
+      test_rollback_under_injection;
+    Alcotest.test_case "injector rejects bad config" `Quick
+      test_injector_rejects_bad_config;
+    Alcotest.test_case "watchdog: no progress" `Quick test_watchdog_no_progress;
+    Alcotest.test_case "watchdog: budget" `Quick test_watchdog_budget;
+    Alcotest.test_case "watchdog: terminating run passes" `Quick
+      test_watchdog_passes_terminating;
+    QCheck_alcotest.to_alcotest rollback_exact_prop;
+  ]

@@ -4,10 +4,17 @@
 open Vir
 
 let test_validate_rejects () =
+  (* malformed programs must produce structured diagnostics, not
+     backtraces: a Sim_error from component "vir" naming the instruction *)
   let bad p msg =
     match Lang.validate p with
-    | exception Failure m ->
-      Alcotest.(check bool) msg true (String.length m > 0)
+    | exception Machine.Sim_error.Error e ->
+      Alcotest.(check string) (msg ^ ": component") "vir" e.component;
+      Alcotest.(check bool) (msg ^ ": message") true (String.length e.what > 0);
+      Alcotest.(check bool)
+        (msg ^ ": names the instruction")
+        true
+        (List.mem_assoc "instruction" e.context)
     | () -> Alcotest.fail ("accepted: " ^ msg)
   in
   bad [ Lang.Li (16, 0l) ] "register out of range";
@@ -15,7 +22,18 @@ let test_validate_rejects () =
   bad [ Lang.Shli (0, 0, 32) ] "shift out of range";
   bad [ Lang.Jmp "nowhere" ] "unknown label";
   bad [ Lang.Label "x"; Lang.Label "x" ] "duplicate label";
-  bad [ Lang.Andi (0, 0, 256) ] "andi immediate out of range"
+  bad [ Lang.Andi (0, 0, 256) ] "andi immediate out of range";
+  (* the diagnostic points at the right instruction and renders it *)
+  match Lang.validate [ Lang.Label "ok"; Lang.Shli (0, 0, 99) ] with
+  | exception Machine.Sim_error.Error e ->
+    Alcotest.(check (option string))
+      "index of offending instruction" (Some "1")
+      (List.assoc_opt "instruction" e.context);
+    Alcotest.(check bool) "instruction text included" true
+      (match List.assoc_opt "text" e.context with
+      | Some t -> String.length t > 0
+      | None -> false)
+  | () -> Alcotest.fail "accepted bad shift"
 
 let test_reference_determinism () =
   List.iter
@@ -44,7 +62,10 @@ let test_kernel_scaling () =
 let test_fuel_exhaustion () =
   let forever = [ Lang.Label "x"; Lang.Jmp "x" ] in
   match Lang.run ~fuel:1000 forever with
-  | exception Failure _ -> ()
+  | exception Machine.Sim_error.Error e ->
+    Alcotest.(check string) "component" "vir" e.component;
+    Alcotest.(check (option string)) "fuel recorded" (Some "1000")
+      (List.assoc_opt "fuel" e.context)
   | _ -> Alcotest.fail "expected non-termination failure"
 
 let test_32bit_wraparound () =
@@ -112,8 +133,10 @@ let test_assemble_fixups () =
 
 let test_assemble_unknown_label () =
   match Lower.assemble ~base:0L [ Lower.Fix ((fun ~self_pc:_ ~target_pc -> target_pc), "x") ] with
-  | exception Failure m ->
-    Alcotest.(check bool) "mentions label" true (String.length m > 0)
+  | exception Machine.Sim_error.Error e ->
+    Alcotest.(check string) "component" "asm" e.component;
+    Alcotest.(check (option string)) "label named" (Some "x")
+      (List.assoc_opt "label" e.context)
   | _ -> Alcotest.fail "expected failure"
 
 let test_lowering_sizes () =

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Repo verification: build, full test suite, then a smoke fault-injection
+# campaign (fixed seed, all three ISAs) that must hit the coverage bar
+# and a watchdog check that a non-terminating kernel halts cleanly.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke injection campaign (seed 42, all ISAs) =="
+dune exec bin/lisim.exe -- inject --isa all --seed 42 --rate 1e-3 \
+  --sites reg,mem,pc,fault --min-coverage 95
+
+echo "== watchdog: spin kernel must halt with a structured error =="
+if dune exec bin/lisim.exe -- run --kernel spin --max-instructions 100000 \
+    2>/tmp/lisim-watchdog.$$; then
+  echo "FAIL: spin kernel terminated normally" >&2
+  rm -f /tmp/lisim-watchdog.$$
+  exit 1
+fi
+if ! grep -q "watchdog" /tmp/lisim-watchdog.$$; then
+  echo "FAIL: spin kernel did not trip the watchdog" >&2
+  cat /tmp/lisim-watchdog.$$ >&2
+  rm -f /tmp/lisim-watchdog.$$
+  exit 1
+fi
+rm -f /tmp/lisim-watchdog.$$
+
+echo "verify: OK"
