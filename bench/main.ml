@@ -7,10 +7,15 @@
      dune exec bench/main.exe -- --bechamel -- Bechamel micro-benchmarks
 
    Experiments: table1 table2 table3 fig1 fig24 ablation sampling inject
-   validate.
+   overhead validate.
    Absolute numbers are host- and substrate-dependent; the reproduction
    targets are the *shapes*: which interface wins, by roughly what factor,
-   and where the costs come from. See EXPERIMENTS.md. *)
+   and where the costs come from. See EXPERIMENTS.md.
+
+   Alongside the text tables, a machine-readable BENCH_results.json is
+   written to the working directory: per-interface MIPS and ns/instr
+   (table2), the observability overhead measurements, and a full counter
+   snapshot per interface. *)
 
 let quick = ref false
 let only : string list ref = ref []
@@ -63,6 +68,23 @@ let measure_mips (t : Workload.target) ~buildset (k : Vir.Kernels.sized) =
     if mips > !best then best := mips
   done;
   !best
+
+(* Machine-readable results, accumulated per experiment and written as
+   one JSON document at the end of the run. *)
+let json_sections : (string * Obs.Export.json) list ref = ref []
+
+let add_json name j =
+  json_sections := (name, j) :: List.remove_assoc name !json_sections
+
+let write_json_results () =
+  if !json_sections <> [] then begin
+    let oc = open_out "BENCH_results.json" in
+    Obs.Export.to_channel oc (Obs.Export.Obj (List.rev !json_sections));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote BENCH_results.json (%d sections)\n"
+      (List.length !json_sections)
+  end
 
 let geomean = function
   | [] -> 0.
@@ -170,6 +192,25 @@ let table2 () =
       interfaces
   in
   table2_results := results;
+  add_json "table2"
+    (Obs.Export.Obj
+       (List.map
+          (fun (bs, row) ->
+            ( bs,
+              Obs.Export.Obj
+                (List.mapi
+                   (fun i (t : Workload.target) ->
+                     let mips = row.(i) in
+                     ( t.tname,
+                       Obs.Export.Obj
+                         [
+                           ("mips", Obs.Export.Float mips);
+                           ( "ns_per_instr",
+                             Obs.Export.Float
+                               (if mips <= 0. then 0. else 1e3 /. mips) );
+                         ] ))
+                   Workload.targets) ))
+          results));
   List.iter
     (fun (bs, row) ->
       let paper = List.assoc bs paper_table2 in
@@ -551,6 +592,138 @@ let inject () =
     \ checkpoint restores appear once divergence storms set in)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: zero when disabled, measured when enabled    *)
+(* ------------------------------------------------------------------ *)
+
+(* The zero-overhead claim is structural — with obs omitted,
+   Specsim.Synth.make hands out exactly the closures it built before the
+   observability layer existed (no flag tests, no indirection). This
+   experiment backs the claim empirically: the uninstrumented interface
+   is measured twice, and the spread between the two measurements (pure
+   run-to-run noise) is the honest bound on what "instrumented off"
+   costs. The instrumented build is then measured for comparison, and
+   every interface's counter snapshot goes into BENCH_results.json. *)
+let overhead () =
+  print_endline
+    "=== Observability overhead: instrumented-off vs instrumented-on ===";
+  let t = Workload.alpha in
+  let k = List.nth Vir.Kernels.bench_suite 4 (* hash_loop *) in
+  (* The comparison chases a <=2% effect on a possibly-shared host.
+     Coarse back-to-back runs cannot resolve that here (load spikes from
+     co-tenants swing whole runs by more than 2%), so the three sides —
+     baseline A, baseline B (identical machine code to A), and the
+     instrumented build — advance in small timed chunks with rotating
+     order inside one loop. Every side samples the same noise
+     environment; aggregate throughput per side is then comparable at
+     well under the 2% budget. The A/B pair executes the same closures,
+     so their residual spread is the honest noise floor. *)
+  let warm = if !quick then 5_000 else 20_000 in
+  let rows =
+    List.map
+      (fun (bs, mult) ->
+        let chunk = (if !quick then 10_000 else 20_000) * mult in
+        let rounds = if !quick then 60 else 120 in
+        let side ?obs () =
+          let fresh () = Workload.load ?obs t ~buildset:bs k.program in
+          let l : Workload.loaded ref = ref (fresh ()) in
+          ignore (drive !l.iface warm);
+          let chunks = ref [] in
+          let run () =
+            if !l.iface.st.halted then l := fresh ();
+            (* GC work happens outside the timed window *)
+            Gc.minor ();
+            let t0 = Unix.gettimeofday () in
+            let c = drive !l.iface chunk in
+            let dt = Unix.gettimeofday () -. t0 in
+            if c > 0 then chunks := (c, dt) :: !chunks
+          in
+          (* trimmed aggregate over the middle chunks: the slow tail
+             carries major GC slices and co-tenant spikes, the fast tail
+             lucky turbo windows; both sides are trimmed identically so
+             they stay comparable *)
+          let mips () =
+            let sorted =
+              List.sort
+                (fun (na, da) (nb, db) ->
+                  Float.compare (da /. float_of_int na) (db /. float_of_int nb))
+                !chunks
+            in
+            let total = List.length sorted in
+            let lo = total / 10 and hi = total - (total / 5) in
+            let kept = List.filteri (fun i _ -> i >= lo && i < hi) sorted in
+            let n = List.fold_left (fun a (c, _) -> a + c) 0 kept in
+            let dt = List.fold_left (fun a (_, d) -> a +. d) 0. kept in
+            if dt <= 0. then 0. else float_of_int n /. dt /. 1e6
+          in
+          (run, mips)
+        in
+        let run_a, mips_a = side () in
+        let run_b, mips_b = side () in
+        let run_o, mips_o = side ~obs:(Obs.create ()) () in
+        Gc.full_major ();
+        for i = 1 to rounds do
+          match i mod 3 with
+          | 1 ->
+            run_a ();
+            run_b ();
+            run_o ()
+          | 2 ->
+            run_b ();
+            run_o ();
+            run_a ()
+          | _ ->
+            run_o ();
+            run_a ();
+            run_b ()
+        done;
+        let off_a = mips_a () in
+        let off_b = mips_b () in
+        let on_ = mips_o () in
+        let spread =
+          100. *. Float.abs (off_a -. off_b) /. Float.max off_a off_b
+        in
+        Printf.printf
+          "  %-12s off %7.2f / %7.2f MIPS (spread %4.1f%%)   on %7.2f MIPS \
+           (%.2fx when enabled)\n"
+          bs off_a off_b spread on_
+          (if on_ <= 0. then 0. else Float.max off_a off_b /. on_);
+        (bs, off_a, off_b, on_, spread))
+      [ ("block_min", 8); ("one_all", 1); ("step_all", 1) ]
+  in
+  let worst =
+    List.fold_left (fun a (_, _, _, _, s) -> Float.max a s) 0. rows
+  in
+  Printf.printf
+    "instrumented-off is the seed fast path (obs compiled out at synthesis \
+     time);\nmeasured spread %.1f%% %s the 2%% zero-overhead budget\n\n"
+    worst
+    (if worst <= 2.0 then "is within" else "EXCEEDS");
+  add_json "overhead"
+    (Obs.Export.Obj
+       (List.map
+          (fun (bs, off_a, off_b, on_, spread) ->
+            ( bs,
+              Obs.Export.Obj
+                [
+                  ("mips_off", Obs.Export.Float (Float.max off_a off_b));
+                  ("mips_off_remeasured", Obs.Export.Float (Float.min off_a off_b));
+                  ("off_spread_pct", Obs.Export.Float spread);
+                  ("mips_on", Obs.Export.Float on_);
+                ] ))
+          rows));
+  (* one counter snapshot per interface, for the machine-readable output *)
+  let snap_budget = if !quick then 20_000 else 60_000 in
+  add_json "counters"
+    (Obs.Export.Obj
+       (List.map
+          (fun (bs, _) ->
+            let o = Obs.create () in
+            let l = Workload.load ~obs:o t ~buildset:bs k.program in
+            ignore (drive l.iface snap_budget);
+            (bs, Obs.Export.json_of_snapshot (Obs.snapshot o)))
+          paper_table2))
+
+(* ------------------------------------------------------------------ *)
 (* Validation (paper §V-D)                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -679,5 +852,7 @@ let () =
     if want "ablation" then ablation ();
     if want "sampling" then sampling_accuracy ();
     if want "inject" then inject ();
-    if want "validate" then validate ()
+    if want "overhead" then overhead ();
+    if want "validate" then validate ();
+    write_json_results ()
   end

@@ -4,7 +4,13 @@
     - [lisim check FILES...] parses and analyzes LIS description files.
     - [lisim emit] prints the synthesized OCaml for one interface.
     - [lisim run] executes a benchmark kernel through an interface
-      (watchdog-guarded: budget, wall clock and spin detection).
+      (watchdog-guarded: budget, wall clock and spin detection);
+      [--stats] compiles instrumentation in, [--trace-out] exports the
+      event ring (JSONL or Perfetto-loadable Chrome trace JSON).
+    - [lisim stats] runs the full instrumented profile and prints the
+      counter/histogram table.
+    - [lisim trace] prints the interface-visible information per
+      instruction (text, JSONL or Chrome trace format).
     - [lisim validate] runs the rotating-interface validation (§V-D).
     - [lisim inject] runs a deterministic fault-injection campaign and
       reports detection coverage, latency and recovery statistics.
@@ -32,17 +38,119 @@ let kernel_arg =
   in
   Arg.(value & opt string "sort" & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc)
 
+(* Exact kernel name, or a unique prefix ("hash" resolves to hash_loop). *)
 let find_kernel name =
+  let all = Vir.Kernels.bench_suite @ Vir.Kernels.pathological in
   match
-    List.find_opt
-      (fun (k : Vir.Kernels.sized) -> String.equal k.kname name)
-      (Vir.Kernels.bench_suite @ Vir.Kernels.pathological)
+    List.find_opt (fun (k : Vir.Kernels.sized) -> String.equal k.kname name) all
   with
   | Some k -> k
-  | None ->
-    Machine.Sim_error.raisef ~component:"cli"
-      ~context:[ ("kernel", name) ]
-      "unknown kernel"
+  | None -> (
+    let is_prefix (k : Vir.Kernels.sized) =
+      String.length name < String.length k.kname
+      && String.equal (String.sub k.kname 0 (String.length name)) name
+    in
+    match List.filter is_prefix all with
+    | [ k ] -> k
+    | [] ->
+      Machine.Sim_error.raisef ~component:"cli"
+        ~context:[ ("kernel", name) ]
+        "unknown kernel"
+    | ks ->
+      Machine.Sim_error.raisef ~component:"cli"
+        ~context:
+          [ ("kernel", name);
+            ( "candidates",
+              String.concat ", "
+                (List.map (fun (k : Vir.Kernels.sized) -> k.kname) ks) ) ]
+        "ambiguous kernel prefix")
+
+(* ---------------- observability helpers -------------------------- *)
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Compile instrumentation into the run and print the \
+           counter/histogram table afterwards (see 'lisim stats').")
+
+let format_arg ~default =
+  let doc =
+    "Trace output format: $(b,text), $(b,jsonl) (one JSON object per \
+     event) or $(b,chrome) (trace-event JSON, loadable in Perfetto / \
+     chrome://tracing)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("text", "text"); ("jsonl", "jsonl"); ("chrome", "chrome") ]) default
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let write_out out contents =
+  match out with
+  | None -> print_string contents
+  | Some path ->
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+
+let print_counters (o : Obs.t) =
+  Format.printf "%a@?" Obs.Export.pp_snapshot (Obs.snapshot o)
+
+(* Generic one-line-per-event text rendering (run --trace-out). *)
+let text_of_events (events : Obs.Ring.event list) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (e : Obs.Ring.event) ->
+      Printf.bprintf b "%Ld %8d %-8s %-12s%s\n" e.ts_ns e.dur_ns e.cat e.name
+        (String.concat ""
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf " %s=%s" k
+                  (match v with
+                  | Obs.Ring.I i -> Printf.sprintf "0x%Lx" i
+                  | Obs.Ring.S s -> s
+                  | Obs.Ring.F f -> Printf.sprintf "%g" f))
+              e.args)))
+    events;
+  Buffer.contents b
+
+let events_to_string format events =
+  match format with
+  | "jsonl" -> Obs.Export.jsonl_of_events events
+  | "chrome" -> Obs.Export.to_string (Obs.Export.chrome_of_events events) ^ "\n"
+  | _ -> text_of_events events
+
+(* Auxiliary profile passes behind [lisim stats] and [run --stats].
+   When the primary buildset is not block-semantic, the kernel runs once
+   more through a block interface so the block-cache and fused-closure
+   counters are live; then a short timing-first checked window drives
+   the checker.* and timing.* families. All passes share the primary
+   registry (true counters aggregate; gauges are first-registration-wins,
+   so the primary interface keeps the shared "core.*" names), making the
+   printed table one aggregate profile of the kernel. *)
+let profile_aux_passes (o : Obs.t) (t : Workload.target)
+    (k : Vir.Kernels.sized) ~buildset ~budget =
+  (* counters only — auxiliary passes must not pollute the trace ring *)
+  let aux = { o with Obs.ring = None } in
+  let spec = Lazy.force t.spec in
+  let names = Lis.Spec.buildset_names spec in
+  let is_block bs =
+    String.length bs >= 5 && String.equal (String.sub bs 0 5) "block"
+  in
+  (if not (is_block buildset) then
+     match List.find_opt is_block names with
+     | Some bbs ->
+       let lb = Workload.load ~obs:aux t ~buildset:bbs k.program in
+       ignore (Specsim.Iface.run_n lb.iface budget)
+     | None -> ());
+  if List.mem "one_min" names then begin
+    let lt = Workload.load t ~buildset:"one_min" k.program in
+    let lc = Workload.load t ~buildset:"one_min" k.program in
+    ignore
+      (Timing.Timingfirst.run ~obs:aux ~timing:lt.iface ~checker:lc.iface
+         ~budget:(min budget 50_000) ())
+  end
 
 (* ---------------- list ------------------------------------------- *)
 
@@ -166,36 +274,74 @@ let run_cmd =
       & info [ "max-seconds" ] ~docv:"S"
           ~doc:"Watchdog: halt after S wall-clock seconds.")
   in
-  let run isa buildset kernel max_instructions max_seconds =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Buffer per-instruction trace events in the observability ring \
+             and write them to FILE at the end of the run (format per \
+             --format; most recent events win when the ring wraps).")
+  in
+  let run isa buildset kernel max_instructions max_seconds stats trace_out
+      format =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
-    let l = Workload.load t ~buildset k.program in
+    let obs =
+      if stats || trace_out <> None then
+        Some (Obs.create ~trace:(trace_out <> None) ())
+      else None
+    in
+    let l = Workload.load ?obs t ~buildset k.program in
     let t0 = Unix.gettimeofday () in
     Inject.Watchdog.run_guarded
       ~config:{ max_instructions; max_seconds; check_interval = 4096 }
       l.iface;
     let dt = Unix.gettimeofday () -. t0 in
-    match Machine.State.exit_status l.iface.st with
-    | Some s ->
-      Printf.printf "%s on %s/%s: exit=%d output=%S\n" k.kname isa buildset
-        (s land 0xff)
-        (Machine.Os_emu.output l.os);
-      Printf.printf "%Ld instructions in %.3f s (%.2f MIPS)\n"
-        l.iface.st.instr_count dt
-        (Int64.to_float l.iface.st.instr_count /. dt /. 1e6);
-      0
-    | None ->
-      Printf.printf "%s on %s/%s: halted without exit status%s\n" k.kname isa
-        buildset
-        (match l.iface.st.fault with
-        | Some f -> " (" ^ Machine.Fault.to_string f ^ ")"
-        | None -> "");
-      1
+    let code =
+      match Machine.State.exit_status l.iface.st with
+      | Some s ->
+        Printf.printf "%s on %s/%s: exit=%d output=%S\n" k.kname isa buildset
+          (s land 0xff)
+          (Machine.Os_emu.output l.os);
+        Printf.printf "%Ld instructions in %.3f s (%.2f MIPS)\n"
+          l.iface.st.instr_count dt
+          (Int64.to_float l.iface.st.instr_count /. dt /. 1e6);
+        0
+      | None ->
+        Printf.printf "%s on %s/%s: halted without exit status%s\n" k.kname isa
+          buildset
+          (match l.iface.st.fault with
+          | Some f -> " (" ^ Machine.Fault.to_string f ^ ")"
+          | None -> "");
+        1
+    in
+    (match obs with
+    | None -> ()
+    | Some o ->
+      if stats then begin
+        profile_aux_passes o t k ~buildset ~budget:(min max_instructions 200_000);
+        print_counters o
+      end;
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+        let events = Obs.events o in
+        write_out (Some path) (events_to_string format events);
+        Printf.printf "wrote %d trace events to %s (%s)\n" (List.length events)
+          path format));
+    code
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Run a benchmark kernel through one interface (watchdog-guarded).")
-    Term.(const run $ isa_arg $ buildset_arg $ kernel_arg $ max_instrs $ max_seconds)
+       ~doc:
+         "Run a benchmark kernel through one interface (watchdog-guarded). \
+          With --stats the interface is synthesized with instrumentation \
+          compiled in; with --trace-out the event ring is exported.")
+    Term.(
+      const run $ isa_arg $ buildset_arg $ kernel_arg $ max_instrs
+      $ max_seconds $ stats_flag $ trace_out $ format_arg ~default:"chrome")
 
 (* ---------------- export ------------------------------------------ *)
 
@@ -238,7 +384,14 @@ let trace_cmd =
   let count =
     Arg.(value & opt int 30 & info [ "n" ] ~docv:"N" ~doc:"Instructions to trace.")
   in
-  let run isa buildset kernel n =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the trace to FILE instead of stdout.")
+  in
+  let run isa buildset kernel n format out =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
     let l = Workload.load t ~buildset k.program in
@@ -251,47 +404,88 @@ let trace_cmd =
              let slot = iface.slots.di_slot_of_cell.(c) in
              if slot >= 0 then Some (Lis.Spec.cell_name spec c, slot) else None)
     in
-    Printf.printf "%-10s %-10s %-12s %s\n" "pc" "encoding" "instr"
-      (String.concat " " (List.map fst visible));
+    (* Events go through the observability ring — the same machinery
+       behind [run --trace-out] — then render per --format. The first
+       two args of every event are the pc and the raw encoding; the rest
+       are the interface-visible cells in slot order. *)
+    let ring = Obs.Ring.create ~capacity:(max n 1) in
     let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
     let st = iface.st in
     let i = ref 0 in
     while (not st.halted) && !i < n do
+      let t0 = Obs.Clock.now_ns () in
       iface.run_one di;
+      let dur = Obs.Clock.elapsed_ns t0 in
       incr i;
       let name =
         if di.instr_index >= 0 then spec.instrs.(di.instr_index).i_name else "?"
       in
-      Printf.printf "0x%-8Lx 0x%-8Lx %-12s %s\n" di.pc di.encoding name
-        (String.concat " "
-           (List.map
-              (fun (_, slot) -> Printf.sprintf "%Lx" (Specsim.Di.get di slot))
-              visible))
+      Obs.Ring.record ring ~ts_ns:t0 ~dur_ns:dur ~name ~cat:"instr"
+        ~args:
+          (("pc", Obs.Ring.I di.pc)
+          :: ("encoding", Obs.Ring.I di.encoding)
+          :: List.map
+               (fun (cell, slot) -> (cell, Obs.Ring.I (Specsim.Di.get di slot)))
+               visible)
     done;
+    let events = Obs.Ring.to_list ring in
+    let contents =
+      match format with
+      | "jsonl" | "chrome" -> events_to_string format events
+      | _ ->
+        (* the historical text table, byte for byte *)
+        let b = Buffer.create 4096 in
+        Printf.bprintf b "%-10s %-10s %-12s %s\n" "pc" "encoding" "instr"
+          (String.concat " " (List.map fst visible));
+        List.iter
+          (fun (e : Obs.Ring.event) ->
+            let pc, enc, cells =
+              match e.args with
+              | ("pc", Obs.Ring.I pc) :: ("encoding", Obs.Ring.I enc) :: rest ->
+                (pc, enc, rest)
+              | _ -> (0L, 0L, [])
+            in
+            Printf.bprintf b "0x%-8Lx 0x%-8Lx %-12s %s\n" pc enc e.name
+              (String.concat " "
+                 (List.map
+                    (fun (_, v) ->
+                      match v with
+                      | Obs.Ring.I x -> Printf.sprintf "%Lx" x
+                      | _ -> "?")
+                    cells)))
+          events;
+        Buffer.contents b
+    in
+    write_out out contents;
     0
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Trace the first N instructions of a kernel, printing the \
-             interface-visible information per instruction.")
-    Term.(const run $ isa_arg $ buildset_arg $ kernel_arg $ count)
+             interface-visible information per instruction (as text, JSONL \
+             events, or a Perfetto-loadable Chrome trace).")
+    Term.(
+      const run $ isa_arg $ buildset_arg $ kernel_arg $ count
+      $ format_arg ~default:"text" $ out)
 
 (* ---------------- mix --------------------------------------------- *)
 
 let mix_cmd =
-  let run isa kernel =
+  let run isa kernel stats =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
-    let s = Instr_mix.collect t k.program in
+    let obs = if stats then Some (Obs.create ()) else None in
+    let s = Instr_mix.collect ?obs t k.program in
     Format.printf "%s on %s:@." k.kname isa;
     Instr_mix.print Format.std_formatter s;
+    (match obs with Some o -> print_counters o | None -> ());
     0
   in
   Cmd.v
     (Cmd.info "mix"
        ~doc:"Dynamic instruction-mix statistics for a kernel (a Decode-level \
              functional-first consumer).")
-    Term.(const run $ isa_arg $ kernel_arg)
+    Term.(const run $ isa_arg $ kernel_arg $ stats_flag)
 
 (* ---------------- inject ----------------------------------------- *)
 
@@ -346,7 +540,7 @@ let inject_cmd =
       value & opt string "one_min"
       & info [ "buildset"; "b" ] ~docv:"NAME" ~doc:"Interface buildset.")
   in
-  let run isa seed rate budget sites min_coverage kernel buildset =
+  let run isa seed rate budget sites min_coverage kernel buildset stats =
     let isas =
       match isa with "all" -> [ "alpha"; "arm"; "ppc" ] | i -> [ i ]
     in
@@ -366,9 +560,11 @@ let inject_cmd =
     let cfg =
       { Inject.Campaign.default_config with seed; rate; budget; sites; buildset }
     in
-    let reports = Inject.Campaign.run ~isas ~kernel cfg in
+    let obs = if stats then Some (Obs.create ()) else None in
+    let reports = Inject.Campaign.run ?obs ~isas ~kernel cfg in
     List.iter (Format.printf "%a@." Inject.Campaign.pp_report) reports;
     Format.printf "%a" Inject.Campaign.pp_summary reports;
+    (match obs with Some o -> print_counters o | None -> ());
     match min_coverage with
     | None -> 0
     | Some pct ->
@@ -385,7 +581,40 @@ let inject_cmd =
              latency and recovery statistics.")
     Term.(
       const run $ isa $ seed $ rate $ budget $ sites $ min_coverage $ kernel_c
-      $ buildset_c)
+      $ buildset_c $ stats_flag)
+
+(* ---------------- stats ------------------------------------------ *)
+
+let stats_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Instruction budget for the primary pass (auxiliary passes \
+                are capped below it).")
+  in
+  let run isa buildset kernel budget =
+    let t = Workload.find_target isa in
+    let k = find_kernel kernel in
+    let o = Obs.create () in
+    let l = Workload.load ~obs:o t ~buildset k.program in
+    ignore (Specsim.Iface.run_n l.iface budget);
+    profile_aux_passes o t k ~buildset ~budget;
+    Format.printf "%s on %s/%s: instrumented profile@." k.kname isa buildset;
+    print_counters o;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a kernel through an instrumented interface and print the \
+          counter/histogram table: entrypoint crossings and per-segment \
+          latency histograms, block-cache and fused-closure reuse, \
+          speculation journal, timing-model and checker counters. The \
+          profile aggregates the primary run with a block-translation pass \
+          and a short timing-first checked window.")
+    Term.(const run $ isa_arg $ buildset_arg $ kernel_arg $ budget)
 
 (* ---------------- validate --------------------------------------- *)
 
@@ -424,7 +653,7 @@ let () =
   let group =
     Cmd.group info
       [ list_cmd; check_cmd; emit_cmd; run_cmd; export_cmd; trace_cmd; mix_cmd;
-        inject_cmd; validate_cmd ]
+        inject_cmd; validate_cmd; stats_cmd ]
   in
   try exit (Cmd.eval' ~catch:false group) with
   | Machine.Sim_error.Error e ->

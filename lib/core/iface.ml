@@ -18,6 +18,9 @@
 type stats = {
   mutable blocks_compiled : int;
   mutable block_hits : int;
+  mutable block_invalidations : int;  (** [flush_code_cache] calls *)
+  mutable sites_compiled : int;
+      (** specialized per-site closures built (block mode) *)
   mutable instrs_executed : int64;  (** via this interface's calls *)
 }
 

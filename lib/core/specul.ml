@@ -35,6 +35,11 @@ type t = {
   mutable base : int;
       (** external token = [base] + internal index; [compact] shifts
           internal indices but leaves issued tokens valid *)
+  (* rollback statistics — updated only on the (cold) rollback path, so
+     the per-instruction fast path is untouched *)
+  mutable rollbacks : int;
+  mutable undone_regs : int;
+  mutable undone_stores : int;
 }
 
 let create () =
@@ -52,6 +57,9 @@ let create () =
     ck_n = 0;
     committed = 0;
     base = 0;
+    rollbacks = 0;
+    undone_regs = 0;
+    undone_stores = 0;
   }
 
 let pack ~reg_n ~mem_n = (reg_n lsl 31) lor mem_n
@@ -116,6 +124,9 @@ let rollback t (st : Machine.State.t) token =
     invalid_arg "Specul.rollback: invalid token";
   let meta = t.ck_meta.(token) in
   let reg_mark = meta_reg meta and mem_mark = meta_mem meta in
+  t.rollbacks <- t.rollbacks + 1;
+  t.undone_regs <- t.undone_regs + (t.reg_n - reg_mark);
+  t.undone_stores <- t.undone_stores + (t.mem_n - mem_mark);
   for i = t.reg_n - 1 downto reg_mark do
     Machine.Regfile.write_flat st.regs t.reg_flat.(i) t.reg_old.(i)
   done;
@@ -180,6 +191,26 @@ let compact t =
 
 (** Log sizes, for tests and statistics. *)
 let log_sizes t = (t.reg_n, t.mem_n)
+
+(** Checkpoints ever issued (committed and live). *)
+let checkpoints_issued t = t.base + t.ck_n
+
+(** Lifetime undo statistics: [(rollbacks, register writes undone,
+    stores undone)]. *)
+let undo_stats t = (t.rollbacks, t.undone_regs, t.undone_stores)
+
+(** [register_obs t obs] exports the journal's state as pull gauges
+    under the "specul." namespace — sampled at snapshot time, costing
+    the simulation loop nothing. *)
+let register_obs t (obs : Obs.t) =
+  let open Obs.Registry in
+  probe obs.reg "specul.depth" (fun () -> Int (t.ck_n - t.committed));
+  probe obs.reg "specul.checkpoints" (fun () -> Int (checkpoints_issued t));
+  probe obs.reg "specul.rollbacks" (fun () -> Int t.rollbacks);
+  probe obs.reg "specul.undone_reg_writes" (fun () -> Int t.undone_regs);
+  probe obs.reg "specul.undone_stores" (fun () -> Int t.undone_stores);
+  probe obs.reg "specul.log_reg_entries" (fun () -> Int t.reg_n);
+  probe obs.reg "specul.log_mem_entries" (fun () -> Int t.mem_n)
 
 (** [auto_trim t ~window] keeps at most [window] open checkpoints by
     committing the oldest, compacting occasionally. The engine calls this

@@ -44,6 +44,16 @@ val compact : t -> unit
 (** Log sizes (registers, memory words), for tests and statistics. *)
 val log_sizes : t -> int * int
 
+(** Checkpoints ever issued (committed and live). *)
+val checkpoints_issued : t -> int
+
+(** Lifetime undo statistics: [(rollbacks, register writes undone,
+    stores undone)]. Updated only on the rollback path. *)
+val undo_stats : t -> int * int * int
+
+(** Export journal state as "specul.*" pull gauges (zero fast-path cost). *)
+val register_obs : t -> Obs.t -> unit
+
 (** [auto_trim t ~window] keeps at most [window] open checkpoints by
     committing the oldest; called once per instruction by the engine. *)
 val auto_trim : t -> window:int -> unit

@@ -68,7 +68,7 @@ let reads_of (p : Semir.Ir.program) = Iset.of_list (Semir.Ir.program_reads p)
 (* Synthesis                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?st
+let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
     (spec : Lis.Spec.t) (bs_name : string) : Iface.t =
   let bs = Lis.Spec.find_buildset spec bs_name in
   let st = match st with Some s -> s | None -> Lis.Spec.make_machine spec in
@@ -97,7 +97,13 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?st
   let decoder = Decoder.make spec in
   let instr_bytes64 = Int64.of_int spec.instr_bytes in
   let stats =
-    { Iface.blocks_compiled = 0; block_hits = 0; instrs_executed = 0L }
+    {
+      Iface.blocks_compiled = 0;
+      block_hits = 0;
+      block_invalidations = 0;
+      sites_compiled = 0;
+      instrs_executed = 0L;
+    }
   in
 
   let compile_program ir =
@@ -308,6 +314,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?st
     Bcache.create 1024
   in
   let compile_site enc idx =
+    stats.Iface.sites_compiled <- stats.Iface.sites_compiled + 1;
     let ir = Semir.Opt.optimize ~enc ~keep:block_keep chain_ir.(idx) in
     compile_program ir
   in
@@ -444,7 +451,174 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?st
   let commit_ckpt tok =
     match journal with Some j -> Specul.commit j tok | None -> no_spec ()
   in
-  let flush_code_cache () = Bcache.reset blocks in
+  let flush_code_cache () =
+    stats.Iface.block_invalidations <- stats.Iface.block_invalidations + 1;
+    Bcache.reset blocks
+  in
+
+  (* --- observability --------------------------------------------------- *)
+  (* Instrumented call paths are selected here, at synthesis time — the
+     compiled-in hook pattern. With [obs = None] the closures above are
+     handed out untouched: no flag tests, no extra indirection, the
+     zero-overhead guarantee. With [obs = Some _] every entrypoint call
+     and engine segment is counted and timed into log2 histograms, and a
+     per-instruction event goes to the trace ring when one is attached. *)
+  let run_one, run_block, step =
+    match obs with
+    | None -> (run_one, run_block, step)
+    | Some (o : Obs.t) ->
+      let module R = Obs.Registry in
+      let reg = o.Obs.reg in
+      let crossings = R.counter reg "synth.entrypoint_calls" in
+      let ep_names = Array.map fst bs.bs_entrypoints in
+      let ep_calls =
+        Array.map (fun nm -> R.counter reg ("synth.ep." ^ nm ^ ".calls")) ep_names
+      in
+      let ep_hist =
+        Array.map (fun nm -> R.histogram reg ("synth.ep." ^ nm ^ ".ns")) ep_names
+      in
+      let seg_calls =
+        Array.map
+          (fun nm -> R.counter reg ("synth.seg." ^ nm ^ ".calls"))
+          [| "fetch"; "decode"; "ir" |]
+      in
+      let seg_hist =
+        Array.map
+          (fun nm -> R.histogram reg ("synth.seg." ^ nm ^ ".ns"))
+          [| "fetch"; "decode"; "ir" |]
+      in
+      let block_hist = R.histogram reg "synth.block.ns" in
+      (* Fused-closure accounting: in per-instruction modes every
+         IR-bearing segment holds one eagerly-compiled closure per
+         instruction; in block mode closures are specialized per site
+         and cached with the block. *)
+      let n_code_segs =
+        Array.fold_left
+          (fun acc items ->
+            Array.fold_left
+              (fun acc item ->
+                match item with I_fetch -> acc | I_decode _ | I_chunk _ -> acc + 1)
+              acc items)
+          0 ep_items
+      in
+      R.probe reg "core.instrs_executed" (fun () ->
+          R.Int (Int64.to_int stats.Iface.instrs_executed));
+      (* block-cache gauges exist only where a block cache does, so a
+         block pass sharing a registry with a per-instruction primary
+         interface contributes them without fighting over names *)
+      if bs.bs_block then begin
+        R.probe reg "core.block_cache.hits" (fun () ->
+            R.Int stats.Iface.block_hits);
+        R.probe reg "core.block_cache.compiled" (fun () ->
+            R.Int stats.Iface.blocks_compiled);
+        R.probe reg "core.block_cache.invalidations" (fun () ->
+            R.Int stats.Iface.block_invalidations)
+      end;
+      R.probe reg "core.fused_closures_compiled" (fun () ->
+          R.Int
+            (if bs.bs_block then stats.Iface.sites_compiled
+             else n_code_segs * n_instrs));
+      R.probe reg "core.fused_closure_reuse" (fun () ->
+          R.Int
+            (if bs.bs_block then
+               max 0
+                 (Int64.to_int stats.Iface.instrs_executed
+                 - stats.Iface.sites_compiled)
+             else
+               max 0
+                 (seg_calls.(1).R.n + seg_calls.(2).R.n - (n_code_segs * n_instrs))));
+      (match journal with Some j -> Specul.register_obs j o | None -> ());
+      let exec_item_obs di item =
+        let k = match item with I_fetch -> 0 | I_decode _ -> 1 | I_chunk _ -> 2 in
+        let t0 = Obs.Clock.now_ns () in
+        exec_item di item;
+        let dt = Obs.Clock.elapsed_ns t0 in
+        R.incr seg_calls.(k);
+        Obs.Hist.record seg_hist.(k) dt
+      in
+      (* one observed entrypoint crossing: the timed unit of Table III *)
+      let exec_ep_obs di k =
+        let t0 = Obs.Clock.now_ns () in
+        let items = ep_items.(k) in
+        let n = Array.length items in
+        let rec go i =
+          if i < n && not st.halted then begin
+            exec_item_obs di items.(i);
+            go (i + 1)
+          end
+        in
+        go 0;
+        let dt = Obs.Clock.elapsed_ns t0 in
+        R.incr crossings;
+        R.incr ep_calls.(k);
+        Obs.Hist.record ep_hist.(k) dt
+      in
+      let ring_instr (di : Di.t) t0 =
+        match o.Obs.ring with
+        | None -> ()
+        | Some ring ->
+          let name =
+            if di.instr_index >= 0 then spec.instrs.(di.instr_index).i_name
+            else "?"
+          in
+          Obs.Ring.record ring ~ts_ns:t0 ~dur_ns:(Obs.Clock.elapsed_ns t0) ~name
+            ~cat:"instr"
+            ~args:[ ("pc", Obs.Ring.I di.pc) ]
+      in
+      let run_one_obs (di : Di.t) =
+        if not st.halted then begin
+          let t0 = Obs.Clock.now_ns () in
+          di.pc <- st.pc;
+          di.instr_index <- -1;
+          di.fault <- None;
+          auto_checkpoint di;
+          load_frame di;
+          let rec go k =
+            if k < n_eps && not st.halted then begin
+              exec_ep_obs di k;
+              go (k + 1)
+            end
+          in
+          go 0;
+          save_frame di;
+          if not st.halted then begin
+            st.pc <- frame.next_pc;
+            st.instr_count <- Int64.add st.instr_count 1L;
+            stats.instrs_executed <- Int64.add stats.instrs_executed 1L
+          end;
+          ring_instr di t0
+        end
+      in
+      let step_obs di k =
+        load_frame di;
+        exec_ep_obs di k;
+        save_frame di
+      in
+      let run_block_obs =
+        if bs.bs_block then fun () ->
+          let t0 = Obs.Clock.now_ns () in
+          let (dis, n) as r = run_block () in
+          let dt = Obs.Clock.elapsed_ns t0 in
+          (* each executed site is one crossing of the block entrypoint *)
+          R.add crossings n;
+          R.add ep_calls.(0) n;
+          Obs.Hist.record block_hist dt;
+          (match o.Obs.ring with
+          | Some ring when n > 0 ->
+            Obs.Ring.record ring ~ts_ns:t0 ~dur_ns:dt ~name:"block" ~cat:"block"
+              ~args:
+                [ ("pc", Obs.Ring.I dis.(0).Di.pc);
+                  ("instrs", Obs.Ring.I (Int64.of_int n)) ]
+          | Some _ | None -> ());
+          r
+        else fun () ->
+          ensure_dis 1;
+          let d = !dis in
+          run_one_obs d.(0);
+          (d, if st.halted && st.fault <> None then 0 else 1)
+      in
+      (run_one_obs, run_block_obs, step_obs)
+  in
   {
     Iface.spec;
     bs;

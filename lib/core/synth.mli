@@ -33,16 +33,28 @@ val sym_ir : Lis.Spec.instr -> Lis.Spec.action_sym -> Semir.Ir.program
 
 val seg_ir : Lis.Spec.instr -> seg -> Semir.Ir.program
 
-(** [make ?backend ?allow_hidden_crossing ?st spec buildset] synthesizes
-    the interface. A fresh machine is created unless [st] is given
-    (sharing [st] across interfaces is how sampling and rotating
+(** [make ?backend ?allow_hidden_crossing ?obs ?st spec buildset]
+    synthesizes the interface. A fresh machine is created unless [st] is
+    given (sharing [st] across interfaces is how sampling and rotating
     validation work).
+
+    [obs], when given, compiles instrumentation into the interface's
+    call paths: every entrypoint crossing is counted
+    ("synth.entrypoint_calls", "synth.ep.<name>.calls") and timed into
+    log2 histograms ("synth.ep.<name>.ns"), engine segments
+    (fetch / decode / ir) are attributed separately ("synth.seg.*"),
+    block-cache and fused-closure statistics are exported as "core.*"
+    gauges, and — when the context carries a trace ring — one event is
+    recorded per instruction (or per block). Without [obs] the interface
+    is byte-for-byte the uninstrumented one: the zero-overhead
+    guarantee, same compiled-in pattern as {!Semir.Hooks}.
     @raise Synth_error when the buildset hides a cell that crosses
     entrypoint boundaries (override with [allow_hidden_crossing] to
     observe the paper's runtime manifestation of the bug). *)
 val make :
   ?backend:backend ->
   ?allow_hidden_crossing:bool ->
+  ?obs:Obs.t ->
   ?st:Machine.State.t ->
   Lis.Spec.t ->
   string ->

@@ -135,8 +135,8 @@ let run_spec_trials (t : Workload.target) (kernel : Vir.Kernels.sized)
 (* One campaign cell: (ISA, buildset, kernel)                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_cell (t : Workload.target) ~(kernel : Vir.Kernels.sized) (cfg : config)
-    : report =
+let run_cell ?obs (t : Workload.target) ~(kernel : Vir.Kernels.sized)
+    (cfg : config) : report =
   let lt = Workload.load t ~buildset:cfg.buildset kernel.program in
   let lc = Workload.load t ~buildset:cfg.buildset kernel.program in
   let inj = Injector.create ~seed:cfg.seed ~rate:cfg.rate ~sites:cfg.sites () in
@@ -144,8 +144,8 @@ let run_cell (t : Workload.target) ~(kernel : Vir.Kernels.sized) (cfg : config)
     Timing.Timingfirst.run ~bug:(Injector.bug inj)
       ~mem_check_interval:cfg.mem_check_interval
       ~ckpt_interval:cfg.ckpt_interval ~storm_window:cfg.storm_window
-      ~storm_threshold:cfg.storm_threshold ~timing:lt.iface ~checker:lc.iface
-      ~budget:cfg.budget ()
+      ~storm_threshold:cfg.storm_threshold ?obs ~timing:lt.iface
+      ~checker:lc.iface ~budget:cfg.budget ()
   in
   (* Attribute detections: a mismatch at instruction [d] resolves every
      architectural injection at or before [d] (recovery resynchronizes the
@@ -233,9 +233,28 @@ let run_cell (t : Workload.target) ~(kernel : Vir.Kernels.sized) (cfg : config)
     r_rollback_exact = exact;
   }
 
-(** [run ?isas ?kernel cfg] — one cell per requested ISA. *)
-let run ?(isas = [ "alpha"; "arm"; "ppc" ]) ?(kernel = "sort") (cfg : config) :
-    report list =
+(** [register_obs reports obs] exports a finished campaign's aggregate
+    detection statistics as "inject.*" counters. *)
+let register_obs (reports : report list) (obs : Obs.t) =
+  let module R = Obs.Registry in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+  let set name v = R.add (R.counter obs.reg name) v in
+  set "inject.injected" (sum (fun r -> r.r_injected));
+  set "inject.architectural" (sum (fun r -> r.r_architectural));
+  set "inject.detected" (sum (fun r -> r.r_detected));
+  set "inject.undetected" (sum (fun r -> r.r_undetected));
+  set "inject.timing_only" (sum (fun r -> r.r_timing_only));
+  set "inject.latency_sum"
+    (Int64.to_int
+       (List.fold_left (fun a r -> Int64.add a r.r_latency_sum) 0L reports));
+  set "inject.rollback_trials" (sum (fun r -> r.r_rollback_trials));
+  set "inject.rollback_exact" (sum (fun r -> r.r_rollback_exact))
+
+(** [run ?isas ?kernel ?obs cfg] — one cell per requested ISA. [obs]
+    instruments the checker of every cell and, at the end, exports the
+    aggregate "inject.*" detection counters. *)
+let run ?(isas = [ "alpha"; "arm"; "ppc" ]) ?(kernel = "sort") ?obs
+    (cfg : config) : report list =
   let k =
     match
       List.find_opt
@@ -248,7 +267,11 @@ let run ?(isas = [ "alpha"; "arm"; "ppc" ]) ?(kernel = "sort") (cfg : config) :
         ~context:[ ("kernel", kernel) ]
         "unknown campaign kernel"
   in
-  List.map (fun isa -> run_cell (Workload.find_target isa) ~kernel:k cfg) isas
+  let reports =
+    List.map (fun isa -> run_cell ?obs (Workload.find_target isa) ~kernel:k cfg) isas
+  in
+  (match obs with Some o -> register_obs reports o | None -> ());
+  reports
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)

@@ -17,10 +17,11 @@ type summary = {
 
 (** [collect target ~buildset program ~budget] runs [program] and
     histograms retired instructions. The buildset must expose [opclass]
-    (Decode or All detail). *)
-let collect ?(buildset = "one_decode") ?(budget = 10_000_000)
+    (Decode or All detail). [obs] compiles instrumentation into the
+    interface driven by the collection run. *)
+let collect ?(buildset = "one_decode") ?(budget = 10_000_000) ?obs
     (t : Workload.target) (program : Vir.Lang.program) : summary =
-  let l = Workload.load t ~buildset program in
+  let l = Workload.load ?obs t ~buildset program in
   let iface = l.iface in
   let spec = iface.spec in
   let kinds = Specsim.Classify.of_spec spec in

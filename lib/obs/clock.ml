@@ -1,0 +1,12 @@
+(** Monotonic nanosecond clock for latency attribution.
+
+    Backed by the [clock_gettime(CLOCK_MONOTONIC)] stub that Bechamel
+    ships ([@@noalloc], unboxed int64), so a timestamp costs one C call
+    and no allocation — cheap enough to wrap individual entrypoint calls
+    when an interface is observed. *)
+
+let now_ns : unit -> int64 = Monotonic_clock.now
+
+(** [elapsed_ns t0] — nanoseconds since [t0], clamped to an OCaml int
+    (63 bits hold ~292 years of nanoseconds). *)
+let elapsed_ns (t0 : int64) : int = Int64.to_int (Int64.sub (now_ns ()) t0)

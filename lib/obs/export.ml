@@ -1,0 +1,336 @@
+(** Structured exporters: JSON, JSONL event logs, Chrome trace-event
+    files (loadable in Perfetto / chrome://tracing), and the plain-text
+    counter table behind [lisim stats].
+
+    The JSON emitter and the minimal parser below avoid a third-party
+    dependency; the parser exists so tests (and consumers) can validate
+    emitted documents round-trip. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON values                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (Int64.to_string i)
+  | Float f ->
+    if Float.is_nan f || Float.abs f = Float.infinity then
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_to_string f)
+  | Str s -> escape_to buf s
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+let to_channel oc j = output_string oc (to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (validation / round-trip tests)                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           if !pos + 4 > n then fail "bad \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           (* BMP-only, encoded as UTF-8 *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | _ -> fail "bad escape");
+        go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match Int64.of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Arr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing data";
+  v
+
+let parse_opt s = try Some (parse s) with Parse_error _ | Failure _ -> None
+
+let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Event exporters                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_arg = function
+  | Ring.I i -> Int i
+  | Ring.S s -> Str s
+  | Ring.F f -> Float f
+
+let json_of_event (e : Ring.event) : json =
+  Obj
+    (("name", Str e.name) :: ("cat", Str e.cat)
+    :: ("ts_ns", Int e.ts_ns)
+    :: ("dur_ns", Int (Int64.of_int e.dur_ns))
+    :: (match e.args with
+       | [] -> []
+       | args -> [ ("args", Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)) ]))
+
+(** One JSON object per line, oldest event first. *)
+let jsonl_of_events (events : Ring.event list) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      write buf (json_of_event e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(** Chrome trace-event document ("X" complete events, microsecond
+    timestamps), as Perfetto and chrome://tracing load directly. *)
+let chrome_of_events ?(pid = 1) ?(tid = 1) (events : Ring.event list) : json =
+  let ev (e : Ring.event) =
+    Obj
+      [
+        ("name", Str e.name);
+        ("cat", Str e.cat);
+        ("ph", Str "X");
+        ("ts", Float (Int64.to_float e.ts_ns /. 1e3));
+        ("dur", Float (float_of_int e.dur_ns /. 1e3));
+        ("pid", Int (Int64.of_int pid));
+        ("tid", Int (Int64.of_int tid));
+        ("args", Obj (List.map (fun (k, v) -> (k, json_of_arg v)) e.args));
+      ]
+  in
+  Obj
+    [
+      ("traceEvents", Arr (List.map ev events));
+      ("displayTimeUnit", Str "ns");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry snapshots                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_hist (h : Hist.t) : json =
+  Obj
+    [
+      ("count", Int (Int64.of_int (Hist.count h)));
+      ("sum", Int (Int64.of_int (Hist.sum h)));
+      ("mean", Float (Hist.mean h));
+      ("p50", Int (Int64.of_int (Hist.percentile h 50.)));
+      ("p99", Int (Int64.of_int (Hist.percentile h 99.)));
+      ( "buckets",
+        Arr
+          (List.map
+             (fun (lo, hi, n) ->
+               Obj
+                 [
+                   ("lo", Int (Int64.of_int lo));
+                   ("hi", Int (Int64.of_int hi));
+                   ("count", Int (Int64.of_int n));
+                 ])
+             (Hist.nonzero_buckets h)) );
+    ]
+
+let json_of_snapshot (snap : Registry.snapshot) : json =
+  Obj
+    (List.map
+       (fun (name, item) ->
+         ( name,
+           match item with
+           | Registry.Value (Registry.Int n) -> Int (Int64.of_int n)
+           | Registry.Value (Registry.Float f) -> Float f
+           | Registry.Histogram h -> json_of_hist h ))
+       snap)
+
+(** The [lisim stats] text table: one counter per line, histograms as a
+    summary line plus their non-empty log2 buckets. *)
+let pp_snapshot ppf (snap : Registry.snapshot) =
+  List.iter
+    (fun (name, item) ->
+      match item with
+      | Registry.Value (Registry.Int n) ->
+        Format.fprintf ppf "%-44s %14d@\n" name n
+      | Registry.Value (Registry.Float f) ->
+        Format.fprintf ppf "%-44s %14.3f@\n" name f
+      | Registry.Histogram h ->
+        Format.fprintf ppf "%-44s count %9d  mean %10.1f  p50 %8d  p99 %8d  max %8d@\n"
+          name (Hist.count h) (Hist.mean h)
+          (Hist.percentile h 50.) (Hist.percentile h 99.) (Hist.max_value h);
+        List.iter
+          (fun (lo, hi, n) ->
+            Format.fprintf ppf "    [%10d, %10d] %12d@\n" lo hi n)
+          (Hist.nonzero_buckets h))
+    snap

@@ -1,0 +1,89 @@
+(** Log2-bucket latency histograms.
+
+    Bucket [i] counts samples [v] with [2^i <= v < 2^(i+1)]; bucket 0
+    also absorbs 0 and negative samples (a clock step backwards rounds
+    to zero rather than corrupting the distribution). Recording is two
+    array updates and a handful of integer ops — suitable for wrapping
+    every entrypoint call of an observed interface.
+
+    The unit is whatever the caller records (the simulator records
+    nanoseconds); the histogram itself is unit-agnostic. *)
+
+let n_buckets = 63
+
+type t = {
+  buckets : int array;  (** [n_buckets] slots *)
+  mutable count : int;
+  mutable sum : int;
+  mutable max : int;
+}
+
+let create () = { buckets = Array.make n_buckets 0; count = 0; sum = 0; max = 0 }
+
+(* floor(log2 v) for v >= 2; callers handle v < 2. *)
+let log2_floor v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v = if v < 2 then 0 else log2_floor v
+
+(** Inclusive lower bound of bucket [i]. *)
+let bucket_lo i = if i = 0 then 0 else 1 lsl i
+
+(** Inclusive upper bound of bucket [i]. *)
+let bucket_hi i = (1 lsl (i + 1)) - 1
+
+let record t v =
+  let b = bucket_of v in
+  t.buckets.(b) <- t.buckets.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + max v 0;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let reset t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.max <- 0
+
+let copy t = { t with buckets = Array.copy t.buckets }
+
+(** [merge ~into src] adds [src]'s samples into [into]; neither loses
+    information (bucket counts, totals and maxima all combine exactly). *)
+let merge ~into src =
+  for i = 0 to n_buckets - 1 do
+    into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.max > into.max then into.max <- src.max
+
+(** [percentile t p] — upper bound of the bucket containing the [p]-th
+    percentile sample (0 <= p <= 100); 0 when empty. *)
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int t.count)) |> max 1
+    in
+    let rec go i seen =
+      if i >= n_buckets then t.max
+      else
+        let seen = seen + t.buckets.(i) in
+        if seen >= rank then min (bucket_hi i) t.max else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+(** Non-empty buckets as [(lo, hi, count)], low to high. *)
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (bucket_lo i, bucket_hi i, t.buckets.(i)) :: !acc
+  done;
+  !acc

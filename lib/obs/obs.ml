@@ -1,0 +1,41 @@
+(** Observability context — what a component is handed when the user
+    asks for instrumentation.
+
+    The design rule (same as {!Semir.Hooks}): observability is
+    {e compiled in} at synthesis/construction time. A component receives
+    [Obs.t option]; with [None] it builds exactly the closures it builds
+    today — no flag tests, no closure indirection, nothing on the fast
+    path — so an unobserved simulator pays zero overhead. With [Some]
+    it builds instrumented closures that update registry counters,
+    record log2 latency histograms, and (when a ring is attached) append
+    structured trace events.
+
+    A context owns:
+    - [reg]: the counter/gauge/histogram {!Registry}, namespaced per
+      component ("core.*", "synth.*", "specul.*", "checker.*",
+      "timing.*", "inject.*");
+    - [ring]: an optional fixed-capacity event {!Ring} for trace export
+      ({!Export.jsonl_of_events} / {!Export.chrome_of_events}). *)
+
+module Clock = Clock
+module Hist = Hist
+module Ring = Ring
+module Registry = Registry
+module Export = Export
+
+type t = { reg : Registry.t; ring : Ring.t option }
+
+let default_ring_capacity = 65_536
+
+(** [create ()] — counters and histograms only. Pass [~trace:true] (or
+    an explicit [~ring_capacity]) to also buffer trace events. *)
+let create ?(trace = false) ?ring_capacity () =
+  let ring =
+    match ring_capacity with
+    | Some c -> Some (Ring.create ~capacity:c)
+    | None -> if trace then Some (Ring.create ~capacity:default_ring_capacity) else None
+  in
+  { reg = Registry.create (); ring }
+
+let snapshot t = Registry.snapshot t.reg
+let events t = match t.ring with None -> [] | Some r -> Ring.to_list r

@@ -1,0 +1,58 @@
+(** Fixed-capacity event trace: a ring buffer of structured events.
+
+    The ring keeps the most recent [capacity] events; older events are
+    overwritten in arrival order, so a bounded-memory trace of an
+    arbitrarily long run always ends at "now". Events carry a monotonic
+    timestamp, a duration, a name, a category and a small list of typed
+    arguments — the exact shape the Chrome trace-event format wants
+    (see {!Export}). *)
+
+type arg = I of int64 | S of string | F of float
+
+type event = {
+  ts_ns : int64;  (** monotonic start timestamp *)
+  dur_ns : int;
+  name : string;
+  cat : string;
+  args : (string * arg) list;
+}
+
+type t = {
+  buf : event option array;
+  mutable next : int;  (** next write position *)
+  mutable total : int;  (** events ever recorded (>= stored) *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+let total_recorded t = t.total
+let length t = min t.total (capacity t)
+
+let record t ~ts_ns ~dur_ns ~name ~cat ~args =
+  t.buf.(t.next) <- Some { ts_ns; dur_ns; name; cat; args };
+  t.next <- (t.next + 1) mod capacity t;
+  t.total <- t.total + 1
+
+(** [event t ...] — record with the timestamp taken now and no duration. *)
+let event t ~name ~cat ~args =
+  record t ~ts_ns:(Clock.now_ns ()) ~dur_ns:0 ~name ~cat ~args
+
+let clear t =
+  Array.fill t.buf 0 (capacity t) None;
+  t.next <- 0;
+  t.total <- 0
+
+(** Stored events, oldest first. *)
+let to_list t =
+  let cap = capacity t in
+  let n = length t in
+  let first = if t.total <= cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let iter f t = List.iter f (to_list t)

@@ -95,3 +95,5 @@ let latency t addr =
 let miss_rate t =
   if Int64.equal t.accesses 0L then 0.
   else Int64.to_float t.misses /. Int64.to_float t.accesses
+
+let stats t = (t.accesses, t.misses)

@@ -30,3 +30,6 @@ val access : t -> int64 -> bool
 val latency : t -> int64 -> int
 
 val miss_rate : t -> float
+
+(** [(accesses, misses)] since creation or {!reset}. *)
+val stats : t -> int64 * int64

@@ -64,6 +64,29 @@ let create ?(config = default_config) (iface : Specsim.Iface.t) : t =
 
 let bump t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
 
+(** [register_obs t obs] exports the timing model's cache and predictor
+    statistics as "timing.*" pull gauges — the models already keep these
+    counts, so observation costs the consume path nothing. *)
+let register_obs (t : t) (obs : Obs.t) =
+  let open Obs.Registry in
+  let cache name (c : Cache.t) =
+    probe obs.reg ("timing." ^ name ^ ".accesses") (fun () ->
+        Int (Int64.to_int (fst (Cache.stats c))));
+    probe obs.reg ("timing." ^ name ^ ".misses") (fun () ->
+        Int (Int64.to_int (snd (Cache.stats c))));
+    probe obs.reg ("timing." ^ name ^ ".miss_rate") (fun () ->
+        Float (Cache.miss_rate c))
+  in
+  cache "l1i" t.l1i;
+  cache "l1d" t.l1d;
+  probe obs.reg "timing.bp.predictions" (fun () ->
+      Int (Int64.to_int (fst (Predictor.stats t.predictor))));
+  probe obs.reg "timing.bp.mispredictions" (fun () ->
+      Int (Int64.to_int (snd (Predictor.stats t.predictor))));
+  probe obs.reg "timing.bp.mispredict_rate" (fun () ->
+      Float (Predictor.misprediction_rate t.predictor));
+  probe obs.reg "timing.cycles" (fun () -> Int (Int64.to_int t.cycles))
+
 (** Cycles accumulated so far by this timing model. *)
 let current_cycles t = t.cycles
 

@@ -59,3 +59,5 @@ let update t ~pc ~taken =
 let misprediction_rate t =
   if Int64.equal t.predictions 0L then 0.
   else Int64.to_float t.mispredictions /. Int64.to_float t.predictions
+
+let stats t = (t.predictions, t.mispredictions)

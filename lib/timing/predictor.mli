@@ -19,3 +19,6 @@ val predict : t -> pc:int64 -> bool
 val update : t -> pc:int64 -> taken:bool -> bool
 
 val misprediction_rate : t -> float
+
+(** [(predictions, mispredictions)] since creation. *)
+val stats : t -> int64 * int64

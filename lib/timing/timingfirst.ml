@@ -69,13 +69,14 @@ type result = {
     direct reload. *)
 let run ?(bug = fun (_ : Machine.State.t) (_ : Specsim.Di.t) -> ())
     ?(timing_model = Funcfirst.default_config) ?(mem_check_interval = 64)
-    ?(ckpt_interval = 8192) ?(storm_window = 64) ?(storm_threshold = 8)
+    ?(ckpt_interval = 8192) ?(storm_window = 64) ?(storm_threshold = 8) ?obs
     ~(timing : Specsim.Iface.t) ~(checker : Specsim.Iface.t) ~budget () :
     result =
   if timing.st == checker.st then
     Machine.Sim_error.raisef ~component:"timing"
       "Timingfirst.run: timing and checker must be separate machines";
   let ff = Funcfirst.create ~config:timing_model timing in
+  (match obs with Some o -> Funcfirst.register_obs ff o | None -> ());
   let t_di = Specsim.Di.create ~info_slots:timing.slots.di_size in
   let c_di = Specsim.Di.create ~info_slots:checker.slots.di_size in
   let mismatches = ref 0L in
@@ -86,6 +87,23 @@ let run ?(bug = fun (_ : Machine.State.t) (_ : Specsim.Di.t) -> ())
   let retired = ref 0 in
   let last_mem_check = ref 0 in
   let tst = timing.st and cst = checker.st in
+  (* Memory digests are the checker's one potentially-expensive compare;
+     when observed, each one is timed (the "digest time" attribution).
+     The comparison closure is selected once — unobserved runs keep the
+     direct call. *)
+  let mem_digests = ref 0 in
+  let mem_digest_ns = ref 0 in
+  let mem_agrees =
+    match obs with
+    | None -> fun () -> Machine.Memory.equal_contents tst.mem cst.mem
+    | Some _ ->
+      fun () ->
+        let t0 = Obs.Clock.now_ns () in
+        let r = Machine.Memory.equal_contents tst.mem cst.mem in
+        mem_digest_ns := !mem_digest_ns + Obs.Clock.elapsed_ns t0;
+        incr mem_digests;
+        r
+  in
   (* Recovery checkpoints are taken from the *functional* simulator — the
      trusted side — and restored into the timing machine (same spec, so
      the layouts match). *)
@@ -110,7 +128,7 @@ let run ?(bug = fun (_ : Machine.State.t) (_ : Specsim.Di.t) -> ())
     tst.instr_count <- cst.instr_count;
     tst.fault <- cst.fault;
     tst.halted <- cst.halted;
-    if not (Machine.Memory.equal_contents tst.mem cst.mem) then
+    if not (mem_agrees ()) then
       Machine.Memory.blit_all ~src:cst.mem ~dst:tst.mem;
     timing.flush_code_cache ();
     incr repairs
@@ -167,8 +185,7 @@ let run ?(bug = fun (_ : Machine.State.t) (_ : Specsim.Di.t) -> ())
     else if not (Machine.Regfile.equal tst.regs cst.regs) then record Regs 0L
     else if not (Int64.equal tst.pc cst.pc) then record Pc 0L
     else if !retired - !last_mem_check >= mem_check_interval then
-      if Machine.Memory.equal_contents tst.mem cst.mem then
-        last_mem_check := !retired
+      if mem_agrees () then last_mem_check := !retired
       else record Memory (Int64.of_int (!retired - !last_mem_check));
     (* periodic recovery checkpoint of the trusted side *)
     if (not cst.halted) && !retired - !ckpt_at >= ckpt_interval then begin
@@ -178,11 +195,21 @@ let run ?(bug = fun (_ : Machine.State.t) (_ : Specsim.Di.t) -> ())
   done;
   (* final sweep: catch corruption injected after the last periodic
      memory check (otherwise tail-end faults would escape detection) *)
-  if
-    !retired > !last_mem_check
-    && not (Machine.Memory.equal_contents tst.mem cst.mem)
-  then record Memory (Int64.of_int (!retired - !last_mem_check));
+  if !retired > !last_mem_check && not (mem_agrees ()) then
+    record Memory (Int64.of_int (!retired - !last_mem_check));
   let cycles = Funcfirst.current_cycles ff in
+  (* flush checker counters into the registry (cold path: once per run) *)
+  (match obs with
+  | None -> ()
+  | Some (o : Obs.t) ->
+    let module R = Obs.Registry in
+    R.add (R.counter o.reg "checker.compares") !retired;
+    R.add (R.counter o.reg "checker.mem_digests") !mem_digests;
+    R.add (R.counter o.reg "checker.mem_digest_ns") !mem_digest_ns;
+    R.add (R.counter o.reg "checker.mismatches") (Int64.to_int !mismatches);
+    R.add (R.counter o.reg "checker.repairs") !repairs;
+    R.add (R.counter o.reg "checker.restores") !restores;
+    R.add (R.counter o.reg "checker.restore_failures") !restore_failures);
   {
     instructions = Int64.of_int !retired;
     mismatches = !mismatches;

@@ -20,4 +20,5 @@ let () =
       ("isa_props", Test_isa_props.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("inject", Test_inject.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,9 +1,13 @@
 #!/bin/sh
 # Repo verification: build, full test suite, then a smoke fault-injection
-# campaign (fixed seed, all three ISAs) that must hit the coverage bar
-# and a watchdog check that a non-terminating kernel halts cleanly.
+# campaign (fixed seed, all three ISAs) that must hit the coverage bar,
+# a watchdog check that a non-terminating kernel halts cleanly, and an
+# instrumented-run check that the observability counters are live.
 set -eu
 cd "$(dirname "$0")/.."
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT INT TERM
 
 echo "== dune build =="
 dune build
@@ -17,17 +21,22 @@ dune exec bin/lisim.exe -- inject --isa all --seed 42 --rate 1e-3 \
 
 echo "== watchdog: spin kernel must halt with a structured error =="
 if dune exec bin/lisim.exe -- run --kernel spin --max-instructions 100000 \
-    2>/tmp/lisim-watchdog.$$; then
+    2>"$tmp"; then
   echo "FAIL: spin kernel terminated normally" >&2
-  rm -f /tmp/lisim-watchdog.$$
   exit 1
 fi
-if ! grep -q "watchdog" /tmp/lisim-watchdog.$$; then
+if ! grep -q "watchdog" "$tmp"; then
   echo "FAIL: spin kernel did not trip the watchdog" >&2
-  cat /tmp/lisim-watchdog.$$ >&2
-  rm -f /tmp/lisim-watchdog.$$
+  cat "$tmp" >&2
   exit 1
 fi
-rm -f /tmp/lisim-watchdog.$$
+
+echo "== observability: instrumented run must report nonzero crossings =="
+dune exec bin/lisim.exe -- run --kernel hash --stats >"$tmp"
+if ! grep -E "synth\.entrypoint_calls +[1-9]" "$tmp" >/dev/null; then
+  echo "FAIL: --stats reported no entrypoint crossings" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
 
 echo "verify: OK"
