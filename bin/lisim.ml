@@ -191,57 +191,156 @@ let role_of_filename f =
   else if has "os" then Lis.Ast.Os_support
   else Lis.Ast.Isa_description
 
+(* One lintable unit: a name plus the sources that form one spec. *)
+let builtin_unit = function
+  | "alpha" -> ("alpha", Isa_alpha.Alpha.sources)
+  | "arm" -> ("arm", Isa_arm.Arm.sources)
+  | "ppc" -> ("ppc", Isa_ppc.Ppc.sources)
+  | "demo" -> ("demo", Demo_isa.sources)
+  | name ->
+    Machine.Sim_error.raisef ~component:"cli" ~context:[ ("isa", name) ]
+      "unknown built-in ISA (expected alpha, arm, ppc, demo or all)"
+
+(* Directories expand to the .lis files inside them (sorted), so
+   [lisim check examples] lints everything shipped there as one spec. *)
+let expand_lis_files paths =
+  List.concat_map
+    (fun p ->
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort compare
+        |> List.filter (fun f -> Filename.check_suffix f ".lis")
+        |> List.map (Filename.concat p)
+      else [ p ])
+    paths
+
+let read_source f =
+  let ic = open_in_bin f in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  { Lis.Ast.src_role = role_of_filename f; src_name = f; src_text = text }
+
+(* Lint one unit; returns its diagnostics. Resolution errors from the
+   accumulating front end become L001 diagnostics so text and JSON
+   consumers see one uniform stream. *)
+let lint_unit ~flags (sources : Lis.Ast.source list) : Analysis.Diag.t list =
+  match Lis.Sema.load_all sources with
+  | Error errs ->
+    List.map
+      (fun (span, msg) ->
+        Analysis.Diag.make ~code:"L001" ~pass:"sema"
+          ~severity:Analysis.Diag.Error span "%s" msg)
+      errs
+  | Ok spec -> (
+    match Analysis.Lint.run ~flags spec with
+    | Ok diags -> diags
+    | Error msg ->
+      Machine.Sim_error.raisef ~component:"cli" "%s" msg)
+
 let check_cmd =
   let files =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES" ~doc:"LIS description files (roles inferred from names: *os* = OS support, *buildset* = buildsets).")
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILES"
+          ~doc:
+            "LIS description files forming one specification, or \
+             directories containing them (roles inferred from names: *os* \
+             = OS support, *buildset* = buildsets).")
   in
-  let run files =
+  let builtin =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "builtin" ] ~docv:"ISA"
+          ~doc:"Lint a built-in description: alpha, arm, ppc, demo or all.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit diagnostics as JSON: an array with one report object \
+             per linted specification.")
+  in
+  let warn_flags =
+    Arg.(
+      value & opt_all string []
+      & info [ "W" ] ~docv:"PASS"
+          ~doc:
+            "Select analysis passes: $(b,-W) $(i,PASS) enables one, \
+             $(b,-Wno-)$(i,PASS) disables one, $(b,-W) $(b,all) / \
+             $(b,-Wno-all) everything (processed left to right). Passes: \
+             decoder, defuse, deadstate, rollback, width, buildset, \
+             coverage (coverage is off by default).")
+  in
+  let run files builtin json flags =
     try
-      let sources =
-        List.map
-          (fun f ->
-            let ic = open_in_bin f in
-            let text = really_input_string ic (in_channel_length ic) in
-            close_in ic;
-            { Lis.Ast.src_role = role_of_filename f; src_name = f; src_text = text })
-          files
+      let units =
+        (match files with
+        | [] -> []
+        | fs ->
+          let expanded = expand_lis_files fs in
+          let name =
+            match expanded with
+            | [ f ] -> Filename.basename f
+            | f :: _ -> Filename.basename (Filename.dirname f)
+            | [] -> "files"
+          in
+          [ (name, List.map read_source expanded) ])
+        @
+        match builtin with
+        | None -> []
+        | Some "all" -> List.map builtin_unit [ "alpha"; "arm"; "ppc"; "demo" ]
+        | Some isa -> [ builtin_unit isa ]
       in
-      let spec = Lis.Sema.load sources in
-      Printf.printf "ISA %s: %d instructions, %d cells, %d buildsets\n" spec.name
-        (Array.length spec.instrs)
-        (Lis.Spec.n_cells spec)
-        (Array.length spec.buildsets);
-      Array.iter
-        (fun (bs : Lis.Spec.buildset) ->
-          let violations = Specsim.Liveness.check spec bs in
-          let slots = Specsim.Slots.make spec bs in
-          Printf.printf "  buildset %-22s %2d entrypoints, %2d visible cells%s\n"
-            bs.bs_name
-            (Array.length bs.bs_entrypoints)
-            slots.di_size
-            (if violations = [] then ""
-             else
-               Printf.sprintf " — %d hidden-crossing cell(s): UNSAFE"
-                 (List.length (Specsim.Liveness.summarize violations))))
-        spec.buildsets;
-      (match Specsim.Decoder.overlaps spec with
-      | [] -> ()
-      | ov ->
-        Printf.printf "  note: %d overlapping encoding pair(s) (first match wins):\n"
-          (List.length ov);
-        List.iter (fun (a, b) -> Printf.printf "    %s / %s\n" a b) ov);
-      0
-    with
-    | Lis.Loc.Error (span, msg) ->
-      Format.eprintf "%a@." Lis.Loc.pp_error (span, msg);
-      1
-    | Sys_error e ->
+      if units = [] then begin
+        prerr_endline "lisim check: nothing to check (give FILES or --builtin)";
+        2
+      end
+      else begin
+        let reports =
+          List.map
+            (fun (name, sources) -> (name, lint_unit ~flags sources))
+            units
+        in
+        if json then begin
+          print_string "[";
+          List.iteri
+            (fun i (name, diags) ->
+              if i > 0 then print_string ",";
+              print_string
+                (Analysis.Diag.json_report ~unit_name:name diags))
+            reports;
+          print_endline "]"
+        end
+        else
+          List.iter
+            (fun (name, diags) ->
+              List.iter
+                (fun d -> Format.printf "%a@." Analysis.Diag.pp d)
+                diags;
+              let e, w, n = Analysis.Diag.counts diags in
+              if e + w + n = 0 then Printf.printf "%s: clean\n" name
+              else
+                Printf.printf "%s: %d error(s), %d warning(s), %d note(s)\n"
+                  name e w n)
+            reports;
+        if List.exists (fun (_, ds) -> Analysis.Diag.has_errors ds) reports
+        then 1
+        else 0
+      end
+    with Sys_error e ->
       prerr_endline e;
       1
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse and analyze LIS description files.")
-    Term.(const run $ files)
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze LIS description files (lislint): decoder \
+          soundness, def-before-use, dead state, rollback safety, \
+          width/constant checks and buildset legality, with stable \
+          diagnostic codes. Exits non-zero if any error-severity \
+          diagnostic is produced.")
+    Term.(const run $ files $ builtin $ json $ warn_flags)
 
 (* ---------------- emit ------------------------------------------- *)
 

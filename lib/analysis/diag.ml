@@ -1,0 +1,113 @@
+(** Structured diagnostics for the LIS static analyzer. See diag.mli. *)
+
+type severity = Error | Warning | Note
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+type t = {
+  code : string;
+  severity : severity;
+  pass : string;
+  span : Lis.Loc.span;
+  message : string;
+  related : (Lis.Loc.span * string) list;
+}
+
+let make ~code ~pass ~severity ?(related = []) span fmt =
+  Format.kasprintf
+    (fun message -> { code; severity; pass; span; message; related })
+    fmt
+
+let compare a b =
+  let p (s : Lis.Loc.span) = (s.start.file, s.start.line, s.start.col) in
+  match Stdlib.compare (p a.span) (p b.span) with
+  | 0 -> Stdlib.compare a.code b.code
+  | c -> c
+
+let pp ppf d =
+  Format.fprintf ppf "%a: %s: %s [%s]" Lis.Loc.pp d.span
+    (severity_name d.severity) d.message d.code;
+  List.iter
+    (fun (span, msg) ->
+      Format.fprintf ppf "@\n  %a: note: %s" Lis.Loc.pp span msg)
+    d.related
+
+let counts ds =
+  List.fold_left
+    (fun (e, w, n) d ->
+      match d.severity with
+      | Error -> (e + 1, w, n)
+      | Warning -> (e, w + 1, n)
+      | Note -> (e, w, n + 1))
+    (0, 0, 0) ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_str b s =
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"'
+
+let json_span b (s : Lis.Loc.span) =
+  Printf.bprintf b "\"file\":";
+  json_str b s.start.file;
+  Printf.bprintf b ",\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d"
+    s.start.line s.start.col s.stop.line s.stop.col
+
+let json_diag b d =
+  Buffer.add_char b '{';
+  Printf.bprintf b "\"code\":";
+  json_str b d.code;
+  Printf.bprintf b ",\"severity\":";
+  json_str b (severity_name d.severity);
+  Printf.bprintf b ",\"pass\":";
+  json_str b d.pass;
+  Buffer.add_char b ',';
+  json_span b d.span;
+  Printf.bprintf b ",\"message\":";
+  json_str b d.message;
+  Printf.bprintf b ",\"related\":[";
+  List.iteri
+    (fun i (span, msg) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '{';
+      json_span b span;
+      Printf.bprintf b ",\"message\":";
+      json_str b msg;
+      Buffer.add_char b '}')
+    d.related;
+  Buffer.add_string b "]}"
+
+let json_report ~unit_name ds =
+  let e, w, n = counts ds in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\"unit\":";
+  json_str b unit_name;
+  Printf.bprintf b ",\"errors\":%d,\"warnings\":%d,\"notes\":%d,\"diagnostics\":[" e w n;
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      json_diag b d)
+    ds;
+  Buffer.add_string b "]}";
+  Buffer.contents b

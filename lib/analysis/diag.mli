@@ -1,0 +1,50 @@
+(** Structured diagnostics for the LIS static analyzer ({!Lint}).
+
+    Every diagnostic carries a stable code ([L0xx] — codes never change
+    meaning once shipped), a severity, the name of the pass that produced
+    it, a source span to anchor the message, and optional related notes
+    pointing at other spans (the shadowing instruction, the declaration
+    site of a cell, ...). Two renderers are provided: a compiler-style
+    text form and a JSON form for tooling. *)
+
+type severity = Error | Warning | Note
+
+val severity_name : severity -> string
+
+type t = {
+  code : string;  (** stable diagnostic code, e.g. ["L010"] *)
+  severity : severity;
+  pass : string;  (** producing pass, the [-W] selection key *)
+  span : Lis.Loc.span;
+  message : string;
+  related : (Lis.Loc.span * string) list;  (** secondary notes *)
+}
+
+(** [make ~code ~pass ~severity ?related span fmt ...] builds a
+    diagnostic with a formatted message. *)
+val make :
+  code:string ->
+  pass:string ->
+  severity:severity ->
+  ?related:(Lis.Loc.span * string) list ->
+  Lis.Loc.span ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+(** Source order: by file, line, column, then code. *)
+val compare : t -> t -> int
+
+(** Compiler-style rendering: ["file:line:col: error: message [L010]"]
+    followed by one indented ["note:"] line per related span. *)
+val pp : Format.formatter -> t -> unit
+
+(** [(errors, warnings, notes)] counts. *)
+val counts : t list -> int * int * int
+
+val has_errors : t list -> bool
+
+(** [json_report ~unit_name diags] renders one report object:
+    [{"unit": ..., "errors": n, "warnings": n, "notes": n,
+      "diagnostics": [{"code", "severity", "pass", "file", "line", "col",
+      "end_line", "end_col", "message", "related": [...]}, ...]}]. *)
+val json_report : unit_name:string -> t list -> string

@@ -1,0 +1,104 @@
+(** The lislint driver: pass registry, [-W] selection and the run loop.
+
+    Passes are keyed by name for command-line selection. All passes are
+    enabled by default except [coverage] (informational). Selection flags
+    are processed left to right:
+    - ["all"] / ["no-all"] enable / disable every pass;
+    - ["<pass>"] enables one pass, ["no-<pass>"] disables it. *)
+
+type pass = {
+  p_name : string;
+  p_doc : string;
+  p_default : bool;
+  p_run : Lis.Spec.t -> Diag.t list;
+}
+
+let passes =
+  [
+    {
+      p_name = "decoder";
+      p_doc = "shadowed instructions and suspicious encoding overlaps";
+      p_default = true;
+      p_run = Passes.decoder_pass;
+    };
+    {
+      p_name = "defuse";
+      p_doc = "cells read before any write on some path of the sequence";
+      p_default = true;
+      p_run = Passes.defuse_pass;
+    };
+    {
+      p_name = "deadstate";
+      p_doc =
+        "write-only fields, unused operand fetches, unreachable statements, \
+         dead next_pc writes";
+      p_default = true;
+      p_run = Passes.deadstate_pass;
+    };
+    {
+      p_name = "rollback";
+      p_doc = "architected writes a speculative rollback cannot undo";
+      p_default = true;
+      p_run = Passes.rollback_pass;
+    };
+    {
+      p_name = "width";
+      p_doc = "out-of-word bitfields, degenerate shifts, lossy extensions";
+      p_default = true;
+      p_run = Passes.width_pass;
+    };
+    {
+      p_name = "buildset";
+      p_doc = "hidden-but-crossing cells, for every declared buildset";
+      p_default = true;
+      p_run = Passes.buildset_pass;
+    };
+    {
+      p_name = "coverage";
+      p_doc = "decode-key values matching no instruction (informational)";
+      p_default = false;
+      p_run = Passes.coverage_pass;
+    };
+  ]
+
+let pass_names = List.map (fun p -> p.p_name) passes
+
+(** [selection flags] resolves [-W] flags into an enabled-set, or an
+    error message naming the offending flag. *)
+let selection (flags : string list) : ((string -> bool), string) result =
+  let enabled : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace enabled p.p_name p.p_default) passes;
+  let set v name = Hashtbl.replace enabled name v in
+  let rec go = function
+    | [] -> Ok (fun name -> Hashtbl.find_opt enabled name = Some true)
+    | "all" :: rest ->
+      List.iter (set true) pass_names;
+      go rest
+    | "no-all" :: rest ->
+      List.iter (set false) pass_names;
+      go rest
+    | f :: rest ->
+      let neg = String.length f > 3 && String.sub f 0 3 = "no-" in
+      let name = if neg then String.sub f 3 (String.length f - 3) else f in
+      if List.mem name pass_names then begin
+        set (not neg) name;
+        go rest
+      end
+      else
+        Error
+          (Printf.sprintf
+             "unknown analysis pass '%s' (expected one of: all, %s)" f
+             (String.concat ", " pass_names))
+  in
+  go flags
+
+(** [run ?flags spec] runs the selected passes and returns their
+    diagnostics in source order. *)
+let run ?(flags = []) (spec : Lis.Spec.t) : (Diag.t list, string) result =
+  match selection flags with
+  | Error _ as e -> e
+  | Ok on ->
+    Ok
+      (passes
+      |> List.concat_map (fun p -> if on p.p_name then p.p_run spec else [])
+      |> List.stable_sort Diag.compare)

@@ -1,14 +1,13 @@
-(** Static cross-entrypoint liveness check.
+(** Static cross-entrypoint liveness check — now a thin shim.
 
-    The paper observes that "nearly all errors ... occur because some
-    intermediate value or operand that needs to be visible is hidden in
-    the interface", and that they manifest at run time. Because our
-    synthesizer knows every action's def/use sets, it can do better and
-    reject such interfaces at synthesis time: any cell written in one
-    entrypoint and read in a later one must be interface-visible — hidden
-    cells live in scratch storage that is not part of the per-instruction
-    record and cannot be trusted across interface calls (several dynamic
-    instructions may be in flight). *)
+    The real analysis lives in {!Analysis.Passes.crossings}, where it is
+    one of the lislint passes (diagnostic L060); this module keeps the
+    historical synthesis-time API that {!Synth.make} enforces. The check
+    itself is unchanged: any cell written in one entrypoint and read in a
+    later one must be interface-visible — hidden cells live in scratch
+    storage that is not part of the per-instruction record and cannot be
+    trusted across interface calls (several dynamic instructions may be
+    in flight). *)
 
 type violation = {
   v_instr : string;
@@ -23,62 +22,18 @@ let pp_violation ppf v =
      later entrypoint '%s' but is hidden by the buildset"
     v.v_instr v.v_cell v.v_writer v.v_reader
 
-(** IR programs contributed by an action symbol for one instruction. *)
-let action_programs (spec : Lis.Spec.t) (i : Lis.Spec.instr) = function
-  | Lis.Spec.A_fetch -> []
-  | Lis.Spec.A_decode -> [ i.i_decode ]
-  | Lis.Spec.A_read_operands -> [ i.i_read ]
-  | Lis.Spec.A_writeback -> [ i.i_writeback ]
-  | Lis.Spec.A_user name ->
-    ignore spec;
-    [ Lis.Spec.user_action i name ]
-
 (** [check spec bs] returns all hidden-but-crossing cells. An empty list
     means the buildset is safe for any number of in-flight instructions. *)
 let check (spec : Lis.Spec.t) (bs : Lis.Spec.buildset) : violation list =
-  let module Iset = Set.Make (Int) in
-  let violations = ref [] in
-  Array.iter
-    (fun (i : Lis.Spec.instr) ->
-      let eps =
-        Array.map
-          (fun (name, syms) ->
-            let progs = List.concat_map (action_programs spec i) syms in
-            let reads =
-              List.fold_left
-                (fun s p -> Iset.union s (Iset.of_list (Semir.Ir.program_reads p)))
-                Iset.empty progs
-            in
-            let writes =
-              List.fold_left
-                (fun s p ->
-                  Iset.union s (Iset.of_list (Semir.Ir.program_writes p)))
-                Iset.empty progs
-            in
-            (name, reads, writes))
-          bs.bs_entrypoints
-      in
-      let n = Array.length eps in
-      for w = 0 to n - 1 do
-        for r = w + 1 to n - 1 do
-          let wname, _, writes = eps.(w) in
-          let rname, reads, _ = eps.(r) in
-          Iset.iter
-            (fun c ->
-              if Iset.mem c reads && not bs.bs_visible.(c) then
-                violations :=
-                  {
-                    v_instr = i.i_name;
-                    v_cell = Lis.Spec.cell_name spec c;
-                    v_writer = wname;
-                    v_reader = rname;
-                  }
-                  :: !violations)
-            writes
-        done
-      done)
-    spec.instrs;
-  List.rev !violations
+  List.map
+    (fun (x : Analysis.Passes.crossing) ->
+      {
+        v_instr = x.x_instr;
+        v_cell = Lis.Spec.cell_name spec x.x_cell;
+        v_writer = x.x_writer;
+        v_reader = x.x_reader;
+      })
+    (Analysis.Passes.crossings spec bs)
 
 (** Deduplicated (cell, writer, reader) triples across instructions —
     the form a user wants to read. *)

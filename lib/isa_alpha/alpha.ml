@@ -443,13 +443,20 @@ instr UMULH_LIT : op_lit match 0x4C001600 mask 0xFC001FE0 {
 }
 
 // ---------------- counts (opcode 0x1C) -------------------------------
-instr CTPOP : op_rr match 0x70000600 mask 0xFC001FE0 {
+// Not op_rr: the class would also fetch ra, which the count unaries
+// ignore (architecturally R31) — lislint L031 flags the dead fetch.
+class op_count {
+  operand rb : GPR[bits(16,5)] read;
+  operand rc : GPR[bits(0,5)] write;
+  action address { opb = rb; }
+}
+instr CTPOP : op_count match 0x70000600 mask 0xFC001FE0 {
   action evaluate { alu_out = popcount(opb); rc = alu_out; }
 }
-instr CTLZ : op_rr match 0x70000640 mask 0xFC001FE0 {
+instr CTLZ : op_count match 0x70000640 mask 0xFC001FE0 {
   action evaluate { alu_out = clz(opb); rc = alu_out; }
 }
-instr CTTZ : op_rr match 0x70000660 mask 0xFC001FE0 {
+instr CTTZ : op_count match 0x70000660 mask 0xFC001FE0 {
   action evaluate { alu_out = ctz(opb); rc = alu_out; }
 }
 

@@ -110,7 +110,7 @@ let add_cell cells span name kind =
       name;
   let id = cells.next in
   Hashtbl.add cells.table name id;
-  cells.infos <- { Spec.cell_name = name; kind } :: cells.infos;
+  cells.infos <- { Spec.cell_name = name; kind; cell_span = span } :: cells.infos;
   cells.next <- id + 1;
   id
 
@@ -270,13 +270,27 @@ let merge_actions (defs : Ast.action_def list) : (string * Ast.stmt list) list =
 (* Main entry                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let analyze ?(line_stats = Count.zero) (decls : Ast.t) : Spec.t =
+(** [analyze_all decls] resolves as much of the description as it can and
+    returns either the spec or every resolution error found, in source
+    order. Errors in the global scaffolding (ISA header, register classes,
+    sequence, field table) abort immediately; an error inside one
+    instruction, override, buildset or the ABI is recorded and analysis
+    continues with the next unit, so a single [lisim check] run reports
+    them all. *)
+let analyze_all ?(line_stats = Count.zero) (decls : Ast.t) :
+    (Spec.t, (Loc.span * string) list) result =
+ try
   let env = collect decls in
   let props =
     match env.props with
     | Some p -> p
     | None -> err Loc.dummy "missing 'isa' declaration"
   in
+  (* Unit-level error accumulation. [guard] runs one resolution unit and
+     records its first error instead of aborting the whole analysis. *)
+  let errors = ref [] in
+  let record span msg = errors := (span, msg) :: !errors in
+  let guard f = try Some (f ()) with Loc.Error (s, m) -> record s m; None in
   (* Register classes *)
   let reg_classes =
     Array.of_list
@@ -364,22 +378,32 @@ let analyze ?(line_stats = Count.zero) (decls : Ast.t) : Spec.t =
     in
     merge_operands (from_classes @ i.i_body.d_operands)
   in
-  (* Assign operand cells in global discovery order *)
+  (* Assign operand cells in global discovery order. An instruction whose
+     operands fail to resolve is marked broken here (error recorded once)
+     and skipped by the assembly phase below. *)
+  let broken : (string, unit) Hashtbl.t = Hashtbl.create 4 in
   let operand_cells : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
   (* name -> (val_cell, id_cell) *)
   List.iter
     (fun (i : Ast.instr_decl) ->
-      List.iter
-        (fun (o : Ast.operand_decl) ->
-          if not (Hashtbl.mem operand_cells o.o_name.id) then begin
-            let v = add_cell cells o.o_name.span o.o_name.id Spec.K_operand_val in
-            let id =
-              add_cell cells o.o_name.span (o.o_name.id ^ "_id")
-                Spec.K_operand_id
-            in
-            Hashtbl.add operand_cells o.o_name.id (v, id)
-          end)
-        (instr_operand_decls i))
+      match
+        guard (fun () ->
+            List.iter
+              (fun (o : Ast.operand_decl) ->
+                if not (Hashtbl.mem operand_cells o.o_name.id) then begin
+                  let v =
+                    add_cell cells o.o_name.span o.o_name.id Spec.K_operand_val
+                  in
+                  let id =
+                    add_cell cells o.o_name.span (o.o_name.id ^ "_id")
+                      Spec.K_operand_id
+                  in
+                  Hashtbl.add operand_cells o.o_name.id (v, id)
+                end)
+              (instr_operand_decls i))
+      with
+      | Some () -> ()
+      | None -> Hashtbl.replace broken i.i_name.id ())
     env.instrs;
 
   let ctx = { cells_tbl = cells.table; class_tbl } in
@@ -395,119 +419,148 @@ let analyze ?(line_stats = Count.zero) (decls : Ast.t) : Spec.t =
 
   (* Instructions *)
   let instr_tbl = Hashtbl.create 64 in
+  let skipped = ref false in
   let instrs =
     List.mapi
       (fun index (i : Ast.instr_decl) ->
-        if Hashtbl.mem instr_tbl i.i_name.id then
-          err i.i_name.span "duplicate instruction '%s'" i.i_name.id;
-        Hashtbl.add instr_tbl i.i_name.id index;
-        if not (Int64.equal (Int64.logand i.i_match (Int64.lognot i.i_mask)) 0L)
-        then
-          err i.i_name.span
-            "instruction '%s': match value 0x%Lx has bits outside mask 0x%Lx"
-            i.i_name.id i.i_match i.i_mask;
-        let operand_decls = instr_operand_decls i in
-        let operands =
-          Array.of_list
-            (List.map
-               (fun (o : Ast.operand_decl) ->
-                 let cls =
-                   match Hashtbl.find_opt class_tbl o.o_class.id with
-                   | Some c -> c
-                   | None ->
-                     err o.o_class.span "unknown register class '%s'"
-                       o.o_class.id
-                 in
-                 let val_cell, id_cell =
-                   Hashtbl.find operand_cells o.o_name.id
-                 in
-                 {
-                   Spec.op_name = o.o_name.id;
-                   op_cls = cls;
-                   op_lo = o.o_lo;
-                   op_len = o.o_len;
-                   op_read = o.o_read;
-                   op_write = o.o_write;
-                   op_id_cell = id_cell;
-                   op_val_cell = val_cell;
-                 })
-               operand_decls)
-        in
-        (* Generated builtin programs *)
-        let decode_prog =
-          Array.to_list
-            (Array.map
-               (fun (o : Spec.operand) ->
-                 Semir.Ir.Set_cell
-                   (o.op_id_cell, Enc { lo = o.op_lo; len = o.op_len; signed = false }))
-               operands)
-          @ [ Semir.Ir.Set_cell (opclass_cell, Const (Int64.of_int index)) ]
-        in
-        let read_prog =
-          Array.to_list operands
-          |> List.filter (fun (o : Spec.operand) -> o.op_read)
-          |> List.map (fun (o : Spec.operand) ->
-                 Semir.Ir.Set_cell
-                   ( o.op_val_cell,
-                     Reg_read { cls = o.op_cls; index = Cell o.op_id_cell } ))
-        in
-        let writeback_prog =
-          Array.to_list operands
-          |> List.filter (fun (o : Spec.operand) -> o.op_write)
-          |> List.map (fun (o : Spec.operand) ->
-                 Semir.Ir.Reg_write
-                   {
-                     cls = o.op_cls;
-                     index = Cell o.op_id_cell;
-                     value = Cell o.op_val_cell;
-                   })
-        in
-        (* User actions: class actions first, own actions merged in *)
-        let action_defs =
-          List.concat_map (fun c -> (class_body c.id c).d_actions) i.i_classes
-          @ i.i_body.d_actions
-        in
-        let user =
-          List.map
-            (fun (name, body) ->
-              if not (List.mem name user_action_names) then
-                err i.i_name.span
-                  "instruction '%s' defines action '%s' which is not in the \
-                   sequence"
-                  i.i_name.id name;
-              (name, xlate_body i.i_name.span name body))
-            (merge_actions action_defs)
-        in
-        {
-          Spec.i_name = i.i_name.id;
-          i_index = index;
-          i_match = i.i_match;
-          i_mask = i.i_mask;
-          i_operands = operands;
-          i_decode = decode_prog;
-          i_read = read_prog;
-          i_writeback = writeback_prog;
-          i_user = user;
-        })
+        if Hashtbl.mem broken i.i_name.id then begin
+          skipped := true;
+          None
+        end
+        else
+          let built =
+            guard (fun () ->
+                if Hashtbl.mem instr_tbl i.i_name.id then
+                  err i.i_name.span "duplicate instruction '%s'" i.i_name.id;
+                Hashtbl.add instr_tbl i.i_name.id index;
+                if
+                  not
+                    (Int64.equal
+                       (Int64.logand i.i_match (Int64.lognot i.i_mask))
+                       0L)
+                then
+                  err i.i_name.span
+                    "instruction '%s': match value 0x%Lx has bits outside mask 0x%Lx"
+                    i.i_name.id i.i_match i.i_mask;
+                let operand_decls = instr_operand_decls i in
+                let operands =
+                  Array.of_list
+                    (List.map
+                       (fun (o : Ast.operand_decl) ->
+                         let cls =
+                           match Hashtbl.find_opt class_tbl o.o_class.id with
+                           | Some c -> c
+                           | None ->
+                             err o.o_class.span "unknown register class '%s'"
+                               o.o_class.id
+                         in
+                         let val_cell, id_cell =
+                           Hashtbl.find operand_cells o.o_name.id
+                         in
+                         {
+                           Spec.op_name = o.o_name.id;
+                           op_cls = cls;
+                           op_lo = o.o_lo;
+                           op_len = o.o_len;
+                           op_read = o.o_read;
+                           op_write = o.o_write;
+                           op_id_cell = id_cell;
+                           op_val_cell = val_cell;
+                         })
+                       operand_decls)
+                in
+                (* Generated builtin programs *)
+                let decode_prog =
+                  Array.to_list
+                    (Array.map
+                       (fun (o : Spec.operand) ->
+                         Semir.Ir.Set_cell
+                           ( o.op_id_cell,
+                             Enc { lo = o.op_lo; len = o.op_len; signed = false }
+                           ))
+                       operands)
+                  @ [ Semir.Ir.Set_cell (opclass_cell, Const (Int64.of_int index)) ]
+                in
+                let read_prog =
+                  Array.to_list operands
+                  |> List.filter (fun (o : Spec.operand) -> o.op_read)
+                  |> List.map (fun (o : Spec.operand) ->
+                         Semir.Ir.Set_cell
+                           ( o.op_val_cell,
+                             Reg_read { cls = o.op_cls; index = Cell o.op_id_cell }
+                           ))
+                in
+                let writeback_prog =
+                  Array.to_list operands
+                  |> List.filter (fun (o : Spec.operand) -> o.op_write)
+                  |> List.map (fun (o : Spec.operand) ->
+                         Semir.Ir.Reg_write
+                           {
+                             cls = o.op_cls;
+                             index = Cell o.op_id_cell;
+                             value = Cell o.op_val_cell;
+                           })
+                in
+                (* User actions: class actions first, own actions merged in *)
+                let action_defs =
+                  List.concat_map
+                    (fun c -> (class_body c.id c).d_actions)
+                    i.i_classes
+                  @ i.i_body.d_actions
+                in
+                let user =
+                  List.map
+                    (fun (name, body) ->
+                      if not (List.mem name user_action_names) then
+                        err i.i_name.span
+                          "instruction '%s' defines action '%s' which is not \
+                           in the sequence"
+                          i.i_name.id name;
+                      (name, xlate_body i.i_name.span name body))
+                    (merge_actions action_defs)
+                in
+                {
+                  Spec.i_name = i.i_name.id;
+                  i_index = index;
+                  i_match = i.i_match;
+                  i_mask = i.i_mask;
+                  i_operands = operands;
+                  i_decode = decode_prog;
+                  i_read = read_prog;
+                  i_writeback = writeback_prog;
+                  i_user = user;
+                  i_span = i.i_name.span;
+                })
+          in
+          if built = None then skipped := true;
+          built)
       env.instrs
+    |> List.filter_map Fun.id
   in
   let instrs = Array.of_list instrs in
 
-  (* Overrides (the paper's OS-support mechanism) *)
+  (* Overrides (the paper's OS-support mechanism). When instructions were
+     skipped above, the index table no longer lines up with the array, so
+     overrides are checked but not applied (the spec is discarded anyway). *)
   List.iter
     (fun (o : Ast.override_decl) ->
-      let idx =
-        match Hashtbl.find_opt instr_tbl o.ov_instr.id with
-        | Some i -> i
-        | None -> err o.ov_instr.span "unknown instruction '%s'" o.ov_instr.id
-      in
-      let name = o.ov_action.id in
-      if not (List.mem name user_action_names) then
-        err o.ov_action.span "action '%s' is not in the sequence" name;
-      let body = xlate_body o.ov_action.span name o.ov_body in
-      let i = instrs.(idx) in
-      instrs.(idx) <-
-        { i with i_user = (name, body) :: List.remove_assoc name i.i_user })
+      ignore
+        (guard (fun () ->
+             let idx =
+               match Hashtbl.find_opt instr_tbl o.ov_instr.id with
+               | Some i -> i
+               | None ->
+                 err o.ov_instr.span "unknown instruction '%s'" o.ov_instr.id
+             in
+             let name = o.ov_action.id in
+             if not (List.mem name user_action_names) then
+               err o.ov_action.span "action '%s' is not in the sequence" name;
+             let body = xlate_body o.ov_action.span name o.ov_body in
+             if not !skipped then begin
+               let i = instrs.(idx) in
+               instrs.(idx) <-
+                 { i with i_user = (name, body) :: List.remove_assoc name i.i_user }
+             end)))
     env.overrides;
 
   (* Buildsets *)
@@ -542,86 +595,110 @@ let analyze ?(line_stats = Count.zero) (decls : Ast.t) : Spec.t =
     vis
   in
   let buildsets =
-    Array.of_list
-      (List.map
-         (fun (b : Ast.buildset_decl) ->
-           let entrypoints =
-             Array.of_list
-               (List.map
-                  (fun (ep : Ast.entrypoint) ->
-                    ( ep.ep_name.id,
-                      List.map
-                        (fun (a : Ast.ident) ->
-                          if not (List.mem a.id seq_names) then
-                            err a.span
-                              "action '%s' is not in the sequence" a.id;
-                          sym_of_name a.id)
-                        ep.ep_actions ))
-                  b.b_entrypoints)
-           in
-           (* The concatenation of entrypoint actions must equal the
-              sequence exactly: nothing duplicated, nothing left out. *)
-           let flat =
-             Array.to_list entrypoints |> List.concat_map snd
-           in
-           let expected = Array.to_list sequence in
-           if flat <> expected then
-             err b.b_name.span
-               "buildset '%s': entrypoints must partition the action \
-                sequence [%s] in order (got [%s])"
-               b.b_name.id
-               (String.concat ", " (List.map Spec.action_sym_name expected))
-               (String.concat ", " (List.map Spec.action_sym_name flat));
-           {
-             Spec.bs_name = b.b_name.id;
-             bs_speculation = b.b_speculation;
-             bs_block = b.b_block;
-             bs_visible = resolve_vis b.b_visibility;
-             bs_entrypoints = entrypoints;
-           })
-         env.buildsets)
+    List.filter_map
+      (fun (b : Ast.buildset_decl) ->
+        guard (fun () ->
+            let entrypoints =
+              Array.of_list
+                (List.map
+                   (fun (ep : Ast.entrypoint) ->
+                     ( ep.ep_name.id,
+                       List.map
+                         (fun (a : Ast.ident) ->
+                           if not (List.mem a.id seq_names) then
+                             err a.span "action '%s' is not in the sequence"
+                               a.id;
+                           sym_of_name a.id)
+                         ep.ep_actions ))
+                   b.b_entrypoints)
+            in
+            (* The concatenation of entrypoint actions must equal the
+               sequence exactly: nothing duplicated, nothing left out. *)
+            let flat = Array.to_list entrypoints |> List.concat_map snd in
+            let expected = Array.to_list sequence in
+            if flat <> expected then
+              err b.b_name.span
+                "buildset '%s': entrypoints must partition the action \
+                 sequence [%s] in order (got [%s])"
+                b.b_name.id
+                (String.concat ", " (List.map Spec.action_sym_name expected))
+                (String.concat ", " (List.map Spec.action_sym_name flat));
+            {
+              Spec.bs_name = b.b_name.id;
+              bs_speculation = b.b_speculation;
+              bs_block = b.b_block;
+              bs_visible = resolve_vis b.b_visibility;
+              bs_entrypoints = entrypoints;
+              bs_span = b.b_name.span;
+            }))
+      env.buildsets
+    |> Array.of_list
   in
   let bs_seen = Hashtbl.create 8 in
   Array.iter
     (fun (b : Spec.buildset) ->
       if Hashtbl.mem bs_seen b.bs_name then
-        err Loc.dummy "duplicate buildset '%s'" b.bs_name;
+        record Loc.dummy (Printf.sprintf "duplicate buildset '%s'" b.bs_name);
       Hashtbl.add bs_seen b.bs_name ())
     buildsets;
 
   (* ABI *)
   let abi =
-    Option.map
-      (fun (a : Ast.abi_decl) ->
-        let r (id, idx) =
-          match Hashtbl.find_opt class_tbl id.Ast.id with
-          | Some c -> (c, idx)
-          | None -> err id.Ast.span "unknown register class '%s'" id.Ast.id
-        in
-        {
-          Machine.Os_emu.nr = r a.abi_nr;
-          args = Array.of_list (List.map r a.abi_args);
-          ret = r a.abi_ret;
-        })
-      env.abi
+    match env.abi with
+    | None -> None
+    | Some (a : Ast.abi_decl) ->
+      guard (fun () ->
+          let r (id, idx) =
+            match Hashtbl.find_opt class_tbl id.Ast.id with
+            | Some c -> (c, idx)
+            | None -> err id.Ast.span "unknown register class '%s'" id.Ast.id
+          in
+          {
+            Machine.Os_emu.nr = r a.abi_nr;
+            args = Array.of_list (List.map r a.abi_args);
+            ret = r a.abi_ret;
+          })
   in
 
-  {
-    Spec.name = props.p_name;
-    endian = props.p_endian;
-    wordsize = props.p_wordsize;
-    instr_bytes = props.p_instr_bytes;
-    decode_lo = props.p_decode_lo;
-    decode_len = props.p_decode_len;
-    reg_classes;
-    cells = cell_infos;
-    opclass_cell;
-    sequence;
-    instrs;
-    buildsets;
-    abi;
-    line_stats;
-  }
+  match List.rev !errors with
+  | [] ->
+    Ok
+      {
+        Spec.name = props.p_name;
+        endian = props.p_endian;
+        wordsize = props.p_wordsize;
+        instr_bytes = props.p_instr_bytes;
+        decode_lo = props.p_decode_lo;
+        decode_len = props.p_decode_len;
+        reg_classes;
+        cells = cell_infos;
+        opclass_cell;
+        sequence;
+        instrs;
+        buildsets;
+        abi;
+        line_stats;
+        isa_span = props.p_span;
+      }
+  | errs -> Error errs
+ with Loc.Error (span, msg) -> Error [ (span, msg) ]
+
+(** [analyze decls] is {!analyze_all} restricted to the historical
+    interface: the first error (in source order) is raised as
+    {!Loc.Error}. *)
+let analyze ?line_stats (decls : Ast.t) : Spec.t =
+  match analyze_all ?line_stats decls with
+  | Ok spec -> spec
+  | Error ((span, msg) :: _) -> raise (Loc.Error (span, msg))
+  | Error [] -> assert false
+
+(** [load_all sources] parses and analyzes description files, reporting
+    every resolution error (parse errors still abort at the first). *)
+let load_all (sources : Ast.source list) :
+    (Spec.t, (Loc.span * string) list) result =
+  match Parser.parse_sources sources with
+  | exception Loc.Error (span, msg) -> Error [ (span, msg) ]
+  | decls -> analyze_all ~line_stats:(Count.of_sources sources) decls
 
 (** [load sources] parses and analyzes a list of description files. *)
 let load (sources : Ast.source list) : Spec.t =

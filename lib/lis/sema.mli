@@ -16,9 +16,23 @@ val builtin_action_names : string list
 
 val sym_of_name : string -> Spec.action_sym
 
-(** [analyze ?line_stats decls] resolves a parsed description. *)
+(** [analyze ?line_stats decls] resolves a parsed description, raising
+    {!Loc.Error} with the first error in source order. *)
 val analyze : ?line_stats:Count.stats -> Ast.t -> Spec.t
+
+(** [analyze_all decls] resolves as much of the description as it can.
+    Errors in the global scaffolding (ISA header, register classes,
+    sequence, field table) abort immediately, but errors local to one
+    instruction, override, buildset or the ABI are accumulated, so a
+    single run reports them all (in source order). *)
+val analyze_all :
+  ?line_stats:Count.stats -> Ast.t -> (Spec.t, (Loc.span * string) list) result
 
 (** [load sources] parses and analyzes a list of description files,
     attaching their line statistics (paper Table I). *)
 val load : Ast.source list -> Spec.t
+
+(** [load_all sources] is {!load} with {!analyze_all}'s error
+    accumulation (parse errors still abort at the first). *)
+val load_all :
+  Ast.source list -> (Spec.t, (Loc.span * string) list) result

@@ -27,7 +27,11 @@ type cell_kind =
   | K_operand_val
   | K_operand_id
 
-type cell_info = { cell_name : string; kind : cell_kind }
+type cell_info = {
+  cell_name : string;
+  kind : cell_kind;
+  cell_span : Loc.span;  (** declaration site (for diagnostics) *)
+}
 
 type operand = {
   op_name : string;
@@ -51,6 +55,7 @@ type instr = {
   i_writeback : Semir.Ir.program;  (** generated destination commit *)
   i_user : (string * Semir.Ir.program) list;
       (** user action bodies, keyed by user action name *)
+  i_span : Loc.span;  (** declaration site (for diagnostics) *)
 }
 
 type buildset = {
@@ -59,6 +64,7 @@ type buildset = {
   bs_block : bool;
   bs_visible : bool array;  (** per cell: stored in the DI record? *)
   bs_entrypoints : (string * action_sym list) array;
+  bs_span : Loc.span;  (** declaration site (for diagnostics) *)
 }
 
 type t = {
@@ -77,6 +83,7 @@ type t = {
   buildsets : buildset array;
   abi : Machine.Os_emu.abi option;
   line_stats : Count.stats;
+  isa_span : Loc.span;  (** span of the [isa] header declaration *)
 }
 
 let n_cells t = Array.length t.cells

@@ -21,4 +21,5 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("inject", Test_inject.suite);
       ("obs", Test_obs.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -1,0 +1,632 @@
+(** lislint tests: one golden diagnostic per code, a qcheck property
+    pinning the decoder-overlap pass to brute-force decoding, lint
+    stability across a pretty-print round trip, and semantic-error
+    accumulation. *)
+
+let header =
+  {|
+isa "t" { endian little; wordsize 64; instrsize 4; decodekey 26 6; }
+
+regclass GPR 32 width 64 zero 31;
+
+class rr {
+  operand ra : GPR[bits(21,5)] read;
+  operand rb : GPR[bits(16,5)] read;
+  operand rc : GPR[bits(11,5)] write;
+}
+|}
+
+let sources_of ?(bs = "") text : Lis.Ast.source list =
+  { Lis.Ast.src_role = Lis.Ast.Isa_description;
+    src_name = "t.lis";
+    src_text = header ^ text }
+  ::
+  (if bs = "" then []
+   else
+     [ { Lis.Ast.src_role = Lis.Ast.Buildset_file;
+         src_name = "t_buildsets.lis";
+         src_text = bs } ])
+
+let lint ?(flags = []) ?bs text : Analysis.Diag.t list =
+  let spec = Lis.Sema.load (sources_of ?bs text) in
+  match Analysis.Lint.run ~flags spec with
+  | Ok ds -> ds
+  | Error m -> Alcotest.fail m
+
+let codes ds =
+  List.sort_uniq compare (List.map (fun d -> d.Analysis.Diag.code) ds)
+
+let find_code code ds =
+  match List.find_opt (fun d -> d.Analysis.Diag.code = code) ds with
+  | Some d -> d
+  | None ->
+    Alcotest.failf "expected a %s diagnostic, got: %s" code
+      (String.concat " " (codes ds))
+
+let check_code ?severity ?msg code ds =
+  let d = find_code code ds in
+  (match severity with
+  | Some sev ->
+    Alcotest.(check string)
+      (code ^ " severity")
+      (Analysis.Diag.severity_name sev)
+      (Analysis.Diag.severity_name d.Analysis.Diag.severity)
+  | None -> ());
+  match msg with
+  | Some sub ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    if not (contains d.Analysis.Diag.message sub) then
+      Alcotest.failf "%s message %S does not mention %S" code
+        d.Analysis.Diag.message sub
+  | None -> ()
+
+let no_code code ds =
+  if List.exists (fun d -> d.Analysis.Diag.code = code) ds then
+    Alcotest.failf "unexpected %s diagnostic" code
+
+(* ------------------------------------------------------------------ *)
+(* Golden diagnostics, one per code                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_spec () =
+  let ds =
+    lint
+      {|
+instr ADD : rr match 0x40000000 mask 0xFC0007FF {
+  action address { }
+  action memory { }
+  action exception { }
+  action evaluate { rc = ra + rb; }
+}
+|}
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes ds)
+
+let test_l010_shadowed () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+}
+instr B : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra - rb; }
+}
+|}
+  in
+  let d = find_code "L010" ds in
+  Alcotest.(check bool) "error severity" true
+    (d.Analysis.Diag.severity = Analysis.Diag.Error);
+  check_code ~msg:"unreachable" "L010" ds;
+  (* the diagnostic anchors at the shadowed (later) instruction *)
+  Alcotest.(check bool) "related points at the winner" true
+    (d.Analysis.Diag.related <> [])
+
+let test_l010_specialization_exempt () =
+  (* a specialized pattern before the general one is the documented
+     idiom: no diagnostic at all *)
+  let ds =
+    lint
+      {|
+instr SPECIAL : rr match 0x40000001 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+}
+instr GENERAL : rr match 0x40000000 mask 0xFC000000 {
+  action evaluate { rc = ra - rb; }
+}
+|}
+  in
+  no_code "L010" ds;
+  no_code "L011" ds
+
+let test_l011_partial_overlap () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC000700 {
+  action evaluate { rc = ra + rb; }
+}
+instr B : rr match 0x40000000 mask 0xFC000007 {
+  action evaluate { rc = ra - rb; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"overlap" "L011" ds;
+  no_code "L010" ds
+
+let test_l012_coverage_off_by_default () =
+  let body =
+    {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+}
+|}
+  in
+  no_code "L012" (lint body);
+  check_code ~severity:Analysis.Diag.Note "L012" (lint ~flags:[ "coverage" ] body)
+
+let test_l020_uninitialized_read () =
+  let ds =
+    lint
+      {|
+field never_set : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = never_set; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Error ~msg:"never written" "L020" ds
+
+let test_l021_maybe_uninitialized () =
+  let ds =
+    lint
+      {|
+field f : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate {
+    if (ra == 0) { f = rb; }
+    rc = f;
+  }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"some paths" "L021" ds;
+  no_code "L020" ds
+
+let test_l021_guarded_read_is_fine () =
+  let ds =
+    lint
+      {|
+field f : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate {
+    if (ra == 0) { f = rb; }
+    if (ra == 0) { rc = f; } else { rc = rb; }
+  }
+}
+|}
+  in
+  no_code "L021" ds;
+  no_code "L020" ds
+
+let test_l030_write_only_field () =
+  let ds =
+    lint
+      {|
+field dead : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { dead = ra; rc = ra + rb; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"never read" "L030" ds
+
+let test_l031_unused_operand_fetch () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"never used" "L031" ds
+
+let test_l032_statement_after_fault () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+  action exception { fault illegal; rc = 1; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"fault" "L032" ds
+
+let test_l033_dead_next_pc () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate {
+    rc = ra + rb;
+    next_pc = pc + 8;
+    next_pc = pc + 4;
+  }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"overwritten" "L033" ds
+
+let test_l034_undefined_sequence_action () =
+  (* the default sequence names address/memory/exception; an ISA where no
+     instruction defines them gets one L034 per missing action *)
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"no instruction" "L034" ds
+
+let spec_buildsets =
+  {|
+buildset one_all_spec {
+  speculation on;
+  visibility all;
+  entrypoint go = fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+}
+|}
+
+let test_l040_store_after_syscall () =
+  let ds =
+    lint ~bs:spec_buildsets
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+  action exception { syscall; store.u64(ra, 1); }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Error ~msg:"syscall" "L040" ds
+
+let test_l040_needs_speculative_buildset () =
+  (* the same body without any speculative buildset is not a rollback
+     hazard: nothing ever rolls back *)
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+  action exception { syscall; store.u64(ra, 1); }
+}
+|}
+  in
+  no_code "L040" ds
+
+let test_l050_bitfield_out_of_word () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = bits(28, 8); }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Error ~msg:"32 bits" "L050" ds
+
+let test_l051_degenerate_shift () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra << 77; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"modulo" "L051" ds
+
+let test_l052_lossy_extension () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = sext(bits(0,16), 8); }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"discards" "L052" ds
+
+let test_l060_hidden_crossing () =
+  let ds =
+    lint
+      ~bs:
+        {|
+buildset split_min {
+  speculation off;
+  visibility min;
+  entrypoint front = fetch, decode, read_operands, address, evaluate;
+  entrypoint back = memory, writeback, exception;
+}
+|}
+      {|
+field scratch : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action address { scratch = ra + rb; }
+  action memory { rc = scratch; }
+}
+|}
+  in
+  let d = find_code "L060" ds in
+  Alcotest.(check bool) "error severity" true
+    (d.Analysis.Diag.severity = Analysis.Diag.Error);
+  check_code ~msg:"hidden" "L060" ds
+
+let test_l060_visible_crossing_is_fine () =
+  let ds =
+    lint
+      ~bs:
+        {|
+buildset split_all {
+  speculation off;
+  visibility all;
+  entrypoint front = fetch, decode, read_operands, address, evaluate;
+  entrypoint back = memory, writeback, exception;
+}
+|}
+      {|
+field scratch : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action address { scratch = ra + rb; }
+  action memory { rc = scratch; }
+}
+|}
+  in
+  no_code "L060" ds
+
+let test_flag_selection () =
+  let body =
+    {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra; }
+}
+|}
+  in
+  (* -Wno-all silences everything *)
+  Alcotest.(check (list string))
+    "no-all" []
+    (codes (lint ~flags:[ "no-all" ] body));
+  (* -Wno-deadstate keeps other passes *)
+  no_code "L031" (lint ~flags:[ "no-deadstate" ] body);
+  (* unknown pass name is an error, not a crash *)
+  let spec = Lis.Sema.load (sources_of body) in
+  match Analysis.Lint.run ~flags:[ "bogus" ] spec with
+  | Error m ->
+    Alcotest.(check bool) "names the flag" true
+      (String.length m > 0)
+  | Ok _ -> Alcotest.fail "expected an unknown-pass error"
+
+(* ------------------------------------------------------------------ *)
+(* Property: the overlap pass agrees with brute-force decoding          *)
+(* ------------------------------------------------------------------ *)
+
+let overlap_property name (sources : Lis.Ast.source list) =
+  let spec = Lis.Sema.load sources in
+  let decoder = Specsim.Decoder.make spec in
+  let pairs = Analysis.Passes.overlapping_pairs spec in
+  let pair_ok i j = List.mem (min i j, max i j) pairs in
+  let n = Array.length spec.instrs in
+  let word_bits = spec.instr_bytes * 8 in
+  let word_mask =
+    if word_bits >= 64 then -1L
+    else Int64.sub (Int64.shift_left 1L word_bits) 1L
+  in
+  (* mix uniform encodings with mutations of real match patterns so the
+     property regularly exercises encodings that decode successfully *)
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (1, map (fun b -> Int64.logand b word_mask) int64);
+          ( 3,
+            map2
+              (fun idx noise ->
+                let i = spec.instrs.(abs idx mod n) in
+                Int64.logand
+                  (Int64.logor i.i_match
+                     (Int64.logand noise (Int64.lognot i.i_mask)))
+                  word_mask)
+              int int64 );
+        ])
+  in
+  let arb =
+    QCheck.make ~print:(fun e -> Printf.sprintf "0x%Lx" e) gen
+  in
+  QCheck.Test.make ~count:500
+    ~name:(name ^ ": overlap pass agrees with brute-force decode")
+    arb
+    (fun enc ->
+      let matching = ref [] in
+      for i = n - 1 downto 0 do
+        let ins = spec.instrs.(i) in
+        if Int64.equal (Int64.logand enc ins.i_mask) ins.i_match then
+          matching := i :: !matching
+      done;
+      (* 1. the decoder returns the first declared match *)
+      let expect = match !matching with [] -> -1 | i :: _ -> i in
+      let got = Specsim.Decoder.decode decoder enc in
+      if got <> expect then
+        QCheck.Test.fail_reportf
+          "decode 0x%Lx: decoder says %d, brute force says %d" enc got expect;
+      (* 2. any two instructions sharing this encoding are reported as an
+         overlapping pair by the analysis *)
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if i < j && not (pair_ok i j) then
+                QCheck.Test.fail_reportf
+                  "0x%Lx matches both %s and %s but the pair is not \
+                   reported by overlapping_pairs"
+                  enc spec.instrs.(i).i_name spec.instrs.(j).i_name)
+            !matching)
+        !matching;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Lint stability across a pretty-print round trip                      *)
+(* ------------------------------------------------------------------ *)
+
+let reprint (sources : Lis.Ast.source list) : Lis.Ast.source list =
+  List.map
+    (fun (s : Lis.Ast.source) ->
+      let decls = Lis.Parser.parse ~file:s.src_name s.src_text in
+      { s with src_text = Lis.Pretty.to_string decls })
+    sources
+
+let lint_signature sources =
+  let spec = Lis.Sema.load sources in
+  match Analysis.Lint.run ~flags:[ "all" ] spec with
+  | Ok ds ->
+    List.sort compare
+      (List.map (fun d -> (d.Analysis.Diag.code, d.Analysis.Diag.message)) ds)
+  | Error m -> Alcotest.fail m
+
+let check_lint_roundtrip name sources () =
+  let before = lint_signature sources in
+  let after = lint_signature (reprint sources) in
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": lint unchanged by reprint")
+    before after
+
+(* a defect-dense description so the round trip compares something
+   non-trivial: shadowing, uninitialized reads, dead state, rollback,
+   width defects and a hidden crossing all at once *)
+let dirty_sources =
+  sources_of
+    ~bs:
+      {|
+buildset split_min {
+  speculation off;
+  visibility min;
+  entrypoint front = fetch, decode, read_operands, address, evaluate;
+  entrypoint back = memory, writeback, exception;
+}
+buildset one_all_spec {
+  speculation on;
+  visibility all;
+  entrypoint go = fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+}
+|}
+    {|
+field scratch : u64;
+field dead : u64;
+field never_set : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action address { scratch = ra + rb; }
+  action memory { rc = scratch + never_set; }
+}
+instr B : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { dead = ra << 99; rc = sext(bits(0,16), 8); }
+  action exception { syscall; store.u64(ra, 1); }
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Sema error accumulation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sema_accumulates_errors () =
+  let sources =
+    sources_of
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = bogus_cell_a; }
+}
+instr B : rr match 0x40000001 mask 0xFC0007FF {
+  action evaluate { rc = bogus_cell_b; }
+}
+|}
+  in
+  match Lis.Sema.load_all sources with
+  | Ok _ -> Alcotest.fail "expected resolution errors"
+  | Error errs ->
+    Alcotest.(check bool)
+      "both bad instructions reported" true
+      (List.length errs >= 2);
+    let text = String.concat "\n" (List.map snd errs) in
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length text
+        && (String.sub text i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "mentions first" true (contains "bogus_cell_a");
+    Alcotest.(check bool) "mentions second" true (contains "bogus_cell_b")
+
+let test_sema_load_all_ok () =
+  match Lis.Sema.load_all Demo_isa.sources with
+  | Ok spec -> Alcotest.(check string) "name" "demo" spec.name
+  | Error _ -> Alcotest.fail "demo must resolve"
+
+(* ------------------------------------------------------------------ *)
+
+let shipped_clean name sources () =
+  let spec = Lis.Sema.load sources in
+  match Analysis.Lint.run spec with
+  | Ok [] -> ()
+  | Ok ds ->
+    Alcotest.failf "%s: expected a clean lint, got %d diagnostics (%s)" name
+      (List.length ds)
+      (String.concat " " (codes ds))
+  | Error m -> Alcotest.fail m
+
+let suite =
+  [
+    Alcotest.test_case "clean spec" `Quick test_clean_spec;
+    Alcotest.test_case "L010 shadowed instruction" `Quick test_l010_shadowed;
+    Alcotest.test_case "L010 specialization exempt" `Quick
+      test_l010_specialization_exempt;
+    Alcotest.test_case "L011 partial overlap" `Quick test_l011_partial_overlap;
+    Alcotest.test_case "L012 coverage opt-in" `Quick
+      test_l012_coverage_off_by_default;
+    Alcotest.test_case "L020 uninitialized read" `Quick
+      test_l020_uninitialized_read;
+    Alcotest.test_case "L021 maybe-uninitialized" `Quick
+      test_l021_maybe_uninitialized;
+    Alcotest.test_case "L021 guarded read ok" `Quick
+      test_l021_guarded_read_is_fine;
+    Alcotest.test_case "L030 write-only field" `Quick test_l030_write_only_field;
+    Alcotest.test_case "L031 unused operand fetch" `Quick
+      test_l031_unused_operand_fetch;
+    Alcotest.test_case "L032 statement after fault" `Quick
+      test_l032_statement_after_fault;
+    Alcotest.test_case "L033 dead next_pc write" `Quick test_l033_dead_next_pc;
+    Alcotest.test_case "L034 undefined sequence action" `Quick
+      test_l034_undefined_sequence_action;
+    Alcotest.test_case "L040 store after syscall" `Quick
+      test_l040_store_after_syscall;
+    Alcotest.test_case "L040 needs speculation" `Quick
+      test_l040_needs_speculative_buildset;
+    Alcotest.test_case "L050 bitfield out of word" `Quick
+      test_l050_bitfield_out_of_word;
+    Alcotest.test_case "L051 degenerate shift" `Quick test_l051_degenerate_shift;
+    Alcotest.test_case "L052 lossy extension" `Quick test_l052_lossy_extension;
+    Alcotest.test_case "L060 hidden crossing" `Quick test_l060_hidden_crossing;
+    Alcotest.test_case "L060 visible crossing ok" `Quick
+      test_l060_visible_crossing_is_fine;
+    Alcotest.test_case "-W flag selection" `Quick test_flag_selection;
+    QCheck_alcotest.to_alcotest (overlap_property "demo" Demo_isa.sources);
+    QCheck_alcotest.to_alcotest
+      (overlap_property "alpha" Isa_alpha.Alpha.sources);
+    QCheck_alcotest.to_alcotest (overlap_property "arm" Isa_arm.Arm.sources);
+    QCheck_alcotest.to_alcotest (overlap_property "ppc" Isa_ppc.Ppc.sources);
+    Alcotest.test_case "lint roundtrip: dirty spec" `Quick
+      (check_lint_roundtrip "dirty" dirty_sources);
+    Alcotest.test_case "lint roundtrip: demo" `Quick
+      (check_lint_roundtrip "demo" Demo_isa.sources);
+    Alcotest.test_case "lint roundtrip: alpha" `Quick
+      (check_lint_roundtrip "alpha" Isa_alpha.Alpha.sources);
+    Alcotest.test_case "sema accumulates errors" `Quick
+      test_sema_accumulates_errors;
+    Alcotest.test_case "sema load_all ok" `Quick test_sema_load_all_ok;
+    Alcotest.test_case "alpha lints clean" `Quick
+      (shipped_clean "alpha" Isa_alpha.Alpha.sources);
+    Alcotest.test_case "arm lints clean" `Quick
+      (shipped_clean "arm" Isa_arm.Arm.sources);
+    Alcotest.test_case "ppc lints clean" `Quick
+      (shipped_clean "ppc" Isa_ppc.Ppc.sources);
+    Alcotest.test_case "demo lints clean" `Quick
+      (shipped_clean "demo" Demo_isa.sources);
+  ]

@@ -19,7 +19,10 @@ let check_same_spec name (a : Lis.Spec.t) (b : Lis.Spec.t) =
     (name ^ ": instruction count")
     (Array.length a.instrs) (Array.length b.instrs);
   Alcotest.(check int) (name ^ ": cells") (Lis.Spec.n_cells a) (Lis.Spec.n_cells b);
-  Alcotest.(check bool) (name ^ ": cells table") true (a.cells = b.cells);
+  (* Compare span-stripped: spans legitimately differ after reprinting. *)
+  let cell_key (c : Lis.Spec.cell_info) = (c.cell_name, c.kind) in
+  Alcotest.(check bool) (name ^ ": cells table") true
+    (Array.map cell_key a.cells = Array.map cell_key b.cells);
   Alcotest.(check bool) (name ^ ": register classes") true
     (a.reg_classes = b.reg_classes);
   Alcotest.(check bool) (name ^ ": sequence") true (a.sequence = b.sequence);

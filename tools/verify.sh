@@ -15,6 +15,22 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== lislint: shipped descriptions must be clean, all buildsets =="
+dune exec bin/lisim.exe -- check --builtin all
+
+echo "== lislint: the seeded bad spec must fail with its error codes =="
+if dune exec bin/lisim.exe -- check examples >"$tmp" 2>&1; then
+  echo "FAIL: lint of examples/lint_badspec.lis exited zero" >&2
+  exit 1
+fi
+for code in L010 L040 L060; do
+  if ! grep -q "\[$code\]" "$tmp"; then
+    echo "FAIL: seeded defect $code not reported" >&2
+    cat "$tmp" >&2
+    exit 1
+  fi
+done
+
 echo "== smoke injection campaign (seed 42, all ISAs) =="
 dune exec bin/lisim.exe -- inject --isa all --seed 42 --rate 1e-3 \
   --sites reg,mem,pc,fault --min-coverage 95
