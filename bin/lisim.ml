@@ -383,8 +383,26 @@ let run_cmd =
              and write them to FILE at the end of the run (format per \
              --format; most recent events win when the ring wraps).")
   in
+  let no_chain =
+    Arg.(
+      value & flag
+      & info [ "no-chain" ]
+          ~doc:
+            "Disable direct block chaining: every block dispatch probes the \
+             block hash table (the pre-translation-cache behaviour, for A/B \
+             comparison).")
+  in
+  let no_site_cache =
+    Arg.(
+      value & flag
+      & info [ "no-site-cache" ]
+          ~doc:
+            "Disable the shared (instruction, encoding) site cache and the \
+             per-site memory fast paths: every block compiles its own sites \
+             (the pre-translation-cache behaviour, for A/B comparison).")
+  in
   let run isa buildset kernel max_instructions max_seconds stats trace_out
-      format =
+      format no_chain no_site_cache =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
     let obs =
@@ -392,7 +410,10 @@ let run_cmd =
         Some (Obs.create ~trace:(trace_out <> None) ())
       else None
     in
-    let l = Workload.load ?obs t ~buildset k.program in
+    let l =
+      Workload.load ~chain:(not no_chain) ~site_cache:(not no_site_cache) ?obs t
+        ~buildset k.program
+    in
     let t0 = Unix.gettimeofday () in
     Inject.Watchdog.run_guarded
       ~config:{ max_instructions; max_seconds; check_interval = 4096 }
@@ -440,7 +461,8 @@ let run_cmd =
           compiled in; with --trace-out the event ring is exported.")
     Term.(
       const run $ isa_arg $ buildset_arg $ kernel_arg $ max_instrs
-      $ max_seconds $ stats_flag $ trace_out $ format_arg ~default:"chrome")
+      $ max_seconds $ stats_flag $ trace_out $ format_arg ~default:"chrome"
+      $ no_chain $ no_site_cache)
 
 (* ---------------- export ------------------------------------------ *)
 

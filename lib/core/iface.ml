@@ -18,9 +18,18 @@
 type stats = {
   mutable blocks_compiled : int;
   mutable block_hits : int;
-  mutable block_invalidations : int;  (** [flush_code_cache] calls *)
+      (** block dispatches served from the cache (chained or probed) *)
+  mutable block_invalidations : int;
+      (** [flush_code_cache] calls plus blocks killed by code writes *)
   mutable sites_compiled : int;
       (** specialized per-site closures built (block mode) *)
+  mutable site_cache_hits : int;
+      (** site compilations avoided by the shared [(instr, encoding)]
+          translation cache *)
+  mutable chain_taken : int;
+      (** block dispatches resolved by a predecessor's successor cache *)
+  mutable chain_miss : int;
+      (** chained dispatches that fell back to the block hash table *)
   mutable instrs_executed : int64;  (** via this interface's calls *)
 }
 
@@ -49,6 +58,12 @@ type t = {
   commit_ckpt : int -> unit;
   flush_code_cache : unit -> unit;
       (** drop compiled blocks (needed after writing code memory) *)
+  run_fast : int -> int;
+      (** [run_fast n] executes at least [n] instructions (rounding up to
+          a block boundary) through the fastest dispatch path of this
+          interface — chained block-to-block dispatch when available —
+          and returns the number actually executed (less than [n] only on
+          halt/fault). Produces no DI records. *)
   stats : stats;
 }
 
@@ -78,20 +93,10 @@ let rollback_di t (di : Di.t) =
   t.rollback di.ckpt
 
 (** [run_n t n] executes up to [n] instructions through the fastest call
-    style of this interface (blocks when available) and returns the number
-    actually executed (less than [n] on halt/fault). This is the paper's
-    "fast-forward" entry used during sampling. *)
-let run_n t n =
-  let start = t.st.instr_count in
-  let executed () = Int64.to_int (Int64.sub t.st.instr_count start) in
-  if t.bs.bs_block then
-    while executed () < n && not t.st.halted do
-      ignore (t.run_block ())
-    done
-  else begin
-    let di = Di.create ~info_slots:t.slots.di_size in
-    while executed () < n && not t.st.halted do
-      t.run_one di
-    done
-  end;
-  executed ()
+    style of this interface (chained blocks when available) and returns
+    the number actually executed (less than [n] on halt/fault). This is
+    the paper's "fast-forward" entry used during sampling. Each call
+    returns after at most [n] instructions (plus block slack), which is
+    the preemption point watchdogs and injectors rely on: chained
+    dispatch cannot spin past the slice. *)
+let run_n t n = t.run_fast n

@@ -65,11 +65,54 @@ module Iset = Set.Make (Int)
 let reads_of (p : Semir.Ir.program) = Iset.of_list (Semir.Ir.program_reads p)
 
 (* ------------------------------------------------------------------ *)
+(* Translation cache                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A compiled, cached basic block. [b_pcs] has len+1 entries; the last
+   one is the fall-through pc, so the execution loop does no per-
+   instruction address arithmetic. [b_s1]/[b_s2] form a bi-morphic
+   inline cache on exit pc: when the previous block's exit lands on a
+   remembered successor, dispatch goes block-to-block without touching
+   the hash table. [b_valid] is cleared when a write lands on a page
+   holding this block's code (or on [flush_code_cache]); the execution
+   loop re-checks it after every site so a block that rewrites itself
+   stops at the site that did the write. *)
+type block = {
+  b_pc0 : int64;
+  b_codes : Semir.Compile.code array;
+  b_encs : int64 array;
+  b_idxs : int array;
+  b_pcs : int64 array;
+  mutable b_valid : bool;
+  mutable b_s1_pc : int64;
+  mutable b_s1 : block;
+  mutable b_s2_pc : int64;
+  mutable b_s2 : block;
+}
+
+(* Sentinel predecessor/successor: never valid, so it can neither be
+   dispatched through nor receive successor installs. *)
+let rec dummy_block =
+  {
+    b_pc0 = -1L;
+    b_codes = [||];
+    b_encs = [||];
+    b_idxs = [||];
+    b_pcs = [||];
+    b_valid = false;
+    b_s1_pc = -1L;
+    b_s1 = dummy_block;
+    b_s2_pc = -1L;
+    b_s2 = dummy_block;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Synthesis                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
-    (spec : Lis.Spec.t) (bs_name : string) : Iface.t =
+let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
+    ?(site_cache = true) ?obs ?st (spec : Lis.Spec.t) (bs_name : string) :
+    Iface.t =
   let bs = Lis.Spec.find_buildset spec bs_name in
   let st = match st with Some s -> s | None -> Lis.Spec.make_machine spec in
   let slots = Slots.make spec bs in
@@ -102,13 +145,16 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
       block_hits = 0;
       block_invalidations = 0;
       sites_compiled = 0;
+      site_cache_hits = 0;
+      chain_taken = 0;
+      chain_miss = 0;
       instrs_executed = 0L;
     }
   in
 
-  let compile_program ir =
+  let compile_program ?(mem_fast_path = false) ir =
     match backend with
-    | Compiled -> Semir.Compile.program ?hooks ~layout ~loc ir
+    | Compiled -> Semir.Compile.program ?hooks ~layout ~mem_fast_path ~loc ir
     | Interpreted -> fun st fr -> Semir.Eval.exec ?hooks ~loc st fr ir
   in
 
@@ -304,23 +350,58 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
 
   let max_block = 64 in
   let module Bcache = Hashtbl in
-  (* A compiled block: parallel arrays of specialized sites, plus the
-     per-site pcs (len+1 entries: pcs.(len) is the fall-through pc), so
-     the execution loop does no per-instruction address arithmetic. *)
-  let blocks :
-      ( int64,
-        Semir.Compile.code array * int64 array * int array * int64 array )
-      Bcache.t =
-    Bcache.create 1024
+  let blocks : (int64, block) Bcache.t = Bcache.create 1024 in
+  (* Shared translation cache: specialization depends only on the
+     encoding, never on the pc, so loops entered at several pcs,
+     duplicated code and rebuilt blocks reuse compiled sites instead of
+     recompiling. The cache survives [flush_code_cache]: entries keyed
+     by [(instr, encoding)] stay correct whatever memory now holds. *)
+  let site_tbl : (int * int64, Semir.Compile.code) Hashtbl.t =
+    Hashtbl.create 256
   in
   let compile_site enc idx =
-    stats.Iface.sites_compiled <- stats.Iface.sites_compiled + 1;
-    let ir = Semir.Opt.optimize ~enc ~keep:block_keep chain_ir.(idx) in
-    compile_program ir
+    let build () =
+      stats.Iface.sites_compiled <- stats.Iface.sites_compiled + 1;
+      let ir = Semir.Opt.optimize ~enc ~keep:block_keep chain_ir.(idx) in
+      compile_program ~mem_fast_path:site_cache ir
+    in
+    if site_cache then begin
+      let key = (idx, enc) in
+      match Hashtbl.find_opt site_tbl key with
+      | Some c ->
+        stats.Iface.site_cache_hits <- stats.Iface.site_cache_hits + 1;
+        c
+      | None ->
+        let c = build () in
+        Hashtbl.add site_tbl key c;
+        c
+    end
+    else build ()
   in
   let illegal_site : Semir.Compile.code =
    fun st fr -> State.raise_fault st (Fault.Illegal_instruction fr.enc)
   in
+  (* Pages holding translated code, mapped to the blocks compiled from
+     them; a write to such a page invalidates those blocks (and thereby
+     every chain link into them, since dispatch re-checks [b_valid]). *)
+  let page_blocks : (int, block list ref) Hashtbl.t = Hashtbl.create 16 in
+  let last_block = ref dummy_block in
+  if bs.bs_block then
+    Memory.add_code_write_hook st.mem (fun pidx ->
+        match Hashtbl.find_opt page_blocks pidx with
+        | None -> ()
+        | Some l ->
+          List.iter
+            (fun b ->
+              if b.b_valid then begin
+                b.b_valid <- false;
+                Bcache.remove blocks b.b_pc0;
+                stats.Iface.block_invalidations <-
+                  stats.Iface.block_invalidations + 1
+              end)
+            !l;
+          l := [];
+          last_block := dummy_block);
   let build_block pc0 =
     let codes = ref [] and encs = ref [] and idxs = ref [] in
     let n = ref 0 in
@@ -347,12 +428,78 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
     done;
     stats.Iface.blocks_compiled <- stats.Iface.blocks_compiled + 1;
     let pcs =
-      Array.init (!n + 1) (fun i -> Int64.add pc0 (Int64.of_int (4 * i)))
+      Array.init (!n + 1) (fun i ->
+          Int64.add pc0 (Int64.mul instr_bytes64 (Int64.of_int i)))
     in
-    ( Array.of_list (List.rev !codes),
-      Array.of_list (List.rev !encs),
-      Array.of_list (List.rev !idxs),
-      pcs )
+    let b =
+      {
+        b_pc0 = pc0;
+        b_codes = Array.of_list (List.rev !codes);
+        b_encs = Array.of_list (List.rev !encs);
+        b_idxs = Array.of_list (List.rev !idxs);
+        b_pcs = pcs;
+        b_valid = true;
+        b_s1_pc = -1L;
+        b_s1 = dummy_block;
+        b_s2_pc = -1L;
+        b_s2 = dummy_block;
+      }
+    in
+    (* Register the code pages this block was translated from. *)
+    let lo = Memory.addr_int pc0 lsr Memory.page_bits in
+    let hi = Memory.addr_int (Int64.sub pcs.(!n) 1L) lsr Memory.page_bits in
+    for pidx = lo to hi do
+      Memory.note_code_page st.mem pidx;
+      let l =
+        match Hashtbl.find_opt page_blocks pidx with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add page_blocks pidx l;
+          l
+      in
+      l := b :: !l
+    done;
+    b
+  in
+  let find_block pc0 =
+    match Bcache.find_opt blocks pc0 with
+    | Some b ->
+      stats.Iface.block_hits <- stats.Iface.block_hits + 1;
+      b
+    | None ->
+      let b = build_block pc0 in
+      Bcache.add blocks pc0 b;
+      b
+  in
+  (* Chained dispatch: try the predecessor's successor cache before the
+     hash table, installing / promoting on the way (most recent first). *)
+  let lookup_from prev pc0 =
+    if not (chain && prev.b_valid) then find_block pc0
+    else if Int64.equal prev.b_s1_pc pc0 && prev.b_s1.b_valid then begin
+      stats.Iface.chain_taken <- stats.Iface.chain_taken + 1;
+      stats.Iface.block_hits <- stats.Iface.block_hits + 1;
+      prev.b_s1
+    end
+    else if Int64.equal prev.b_s2_pc pc0 && prev.b_s2.b_valid then begin
+      let b = prev.b_s2 in
+      prev.b_s2_pc <- prev.b_s1_pc;
+      prev.b_s2 <- prev.b_s1;
+      prev.b_s1_pc <- pc0;
+      prev.b_s1 <- b;
+      stats.Iface.chain_taken <- stats.Iface.chain_taken + 1;
+      stats.Iface.block_hits <- stats.Iface.block_hits + 1;
+      b
+    end
+    else begin
+      stats.Iface.chain_miss <- stats.Iface.chain_miss + 1;
+      let b = find_block pc0 in
+      prev.b_s2_pc <- prev.b_s1_pc;
+      prev.b_s2 <- prev.b_s1;
+      prev.b_s1_pc <- pc0;
+      prev.b_s1 <- b;
+      b
+    end
   in
   (* Engine-owned DI ring returned by [run_block]. *)
   let dis = ref (Array.init 4 (fun _ -> Di.create ~info_slots:slots.di_size)) in
@@ -370,22 +517,21 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
     if st.halted then (!dis, 0)
     else begin
       let pc0 = st.pc in
-      let codes, encs, idxs, pcs =
-        match Bcache.find_opt blocks pc0 with
-        | Some b ->
-          stats.block_hits <- stats.block_hits + 1;
-          b
-        | None ->
-          let b = build_block pc0 in
-          Bcache.add blocks pc0 b;
-          b
-      in
+      let b = lookup_from !last_block pc0 in
+      last_block := b;
+      let codes = b.b_codes
+      and encs = b.b_encs
+      and idxs = b.b_idxs
+      and pcs = b.b_pcs in
       let len = Array.length codes in
       ensure_dis len;
       let dis = !dis in
       let executed = ref 0 in
       let k = ref 0 in
-      while !k < len && not st.halted do
+      (* [b_valid] re-checked per site: a store that hits this block's
+         own code page stops execution after the faulting-free site that
+         performed it, so stale sites never run. *)
+      while !k < len && not st.halted && b.b_valid do
         let di = Array.unsafe_get dis !k in
         let pc = Array.unsafe_get pcs !k in
         di.pc <- pc;
@@ -453,7 +599,15 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
   in
   let flush_code_cache () =
     stats.Iface.block_invalidations <- stats.Iface.block_invalidations + 1;
-    Bcache.reset blocks
+    (* Invalidate before dropping: chain links and [last_block] may still
+       point at these blocks, and dispatch trusts only [b_valid]. The
+       shared site cache survives — [(instr, encoding)] keys stay correct
+       whatever memory now holds. The memory's code-page set also stays:
+       other interfaces on the same machine may still have live blocks. *)
+    Bcache.iter (fun _ b -> b.b_valid <- false) blocks;
+    Bcache.reset blocks;
+    Hashtbl.reset page_blocks;
+    last_block := dummy_block
   in
 
   (* --- observability --------------------------------------------------- *)
@@ -512,7 +666,13 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
         R.probe reg "core.block_cache.compiled" (fun () ->
             R.Int stats.Iface.blocks_compiled);
         R.probe reg "core.block_cache.invalidations" (fun () ->
-            R.Int stats.Iface.block_invalidations)
+            R.Int stats.Iface.block_invalidations);
+        R.probe reg "core.block_cache.chain_taken" (fun () ->
+            R.Int stats.Iface.chain_taken);
+        R.probe reg "core.block_cache.chain_miss" (fun () ->
+            R.Int stats.Iface.chain_miss);
+        R.probe reg "core.block_cache.site_cache_hits" (fun () ->
+            R.Int stats.Iface.site_cache_hits)
       end;
       R.probe reg "core.fused_closures_compiled" (fun () ->
           R.Int
@@ -619,6 +779,69 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
       in
       (run_one_obs, run_block_obs, step_obs)
   in
+
+  (* --- fast dispatch --------------------------------------------------- *)
+  (* The generic loop reproduces the historical [run_n] exactly (and is
+     what instrumented, journaled, per-instruction and unchained
+     interfaces get); the chained loop below it is the translation-cache
+     hot path: block-to-block dispatch through the successor caches, no
+     DI materialization, no per-instruction bookkeeping. Both return
+     after at most [n] instructions plus block slack — the preemption
+     point watchdogs rely on, so chained dispatch cannot spin past a
+     slice. *)
+  let run_fast_generic n =
+    let start = st.instr_count in
+    let executed () = Int64.to_int (Int64.sub st.instr_count start) in
+    if bs.bs_block then
+      while executed () < n && not st.halted do
+        ignore (run_block ())
+      done
+    else begin
+      let di = Di.create ~info_slots:slots.di_size in
+      while executed () < n && not st.halted do
+        run_one di
+      done
+    end;
+    executed ()
+  in
+  let fast_di = Array.make (max 1 slots.di_size) 0L in
+  let run_fast_chained n =
+    let executed = ref 0 in
+    frame.di <- fast_di;
+    while !executed < n && not st.halted do
+      let pc0 = st.pc in
+      let b = lookup_from !last_block pc0 in
+      last_block := b;
+      let codes = b.b_codes and encs = b.b_encs and pcs = b.b_pcs in
+      let len = Array.length codes in
+      let k = ref 0 in
+      let go = ref true in
+      while !go do
+        frame.pc <- Array.unsafe_get pcs !k;
+        frame.enc <- Array.unsafe_get encs !k;
+        frame.next_pc <- Array.unsafe_get pcs (!k + 1);
+        (Array.unsafe_get codes !k) st frame;
+        if st.halted then go := false
+        else begin
+          incr k;
+          if !k >= len || not b.b_valid then go := false
+        end
+      done;
+      if !k > 0 then begin
+        if not st.halted then st.pc <- frame.next_pc;
+        st.instr_count <- Int64.add st.instr_count (Int64.of_int !k);
+        stats.Iface.instrs_executed <-
+          Int64.add stats.Iface.instrs_executed (Int64.of_int !k);
+        executed := !executed + !k
+      end
+    done;
+    !executed
+  in
+  let run_fast =
+    if bs.bs_block && chain && Option.is_none journal && Option.is_none obs
+    then run_fast_chained
+    else run_fast_generic
+  in
   {
     Iface.spec;
     bs;
@@ -635,5 +858,6 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?obs ?st
     rollback;
     commit_ckpt;
     flush_code_cache;
+    run_fast;
     stats;
   }

@@ -33,10 +33,21 @@ val sym_ir : Lis.Spec.instr -> Lis.Spec.action_sym -> Semir.Ir.program
 
 val seg_ir : Lis.Spec.instr -> seg -> Semir.Ir.program
 
-(** [make ?backend ?allow_hidden_crossing ?obs ?st spec buildset]
-    synthesizes the interface. A fresh machine is created unless [st] is
-    given (sharing [st] across interfaces is how sampling and rotating
-    validation work).
+(** [make ?backend ?allow_hidden_crossing ?chain ?site_cache ?obs ?st
+    spec buildset] synthesizes the interface. A fresh machine is created
+    unless [st] is given (sharing [st] across interfaces is how sampling
+    and rotating validation work).
+
+    Block-semantic buildsets get a translation-cache engine: compiled
+    blocks carry a bi-morphic successor cache so hot edges dispatch
+    block-to-block without a hash probe ([chain], default on; stats
+    [chain_taken]/[chain_miss]), compiled sites are shared across blocks
+    through an [(instr, encoding)] cache and get per-site memory fast
+    paths ([site_cache], default on; stat [site_cache_hits]), and pages
+    holding translated code are tracked so writes to them invalidate the
+    affected blocks and chain links — self-modifying code observes its
+    own stores. Disabling both flags reproduces the pre-cache engine for
+    A/B comparison.
 
     [obs], when given, compiles instrumentation into the interface's
     call paths: every entrypoint crossing is counted
@@ -54,6 +65,8 @@ val seg_ir : Lis.Spec.instr -> seg -> Semir.Ir.program
 val make :
   ?backend:backend ->
   ?allow_hidden_crossing:bool ->
+  ?chain:bool ->
+  ?site_cache:bool ->
   ?obs:Obs.t ->
   ?st:Machine.State.t ->
   Lis.Spec.t ->

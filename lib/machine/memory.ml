@@ -11,24 +11,69 @@ type t = {
      and stack traffic hit the same page repeatedly. *)
   mutable last_index : int;
   mutable last_page : Bytes.t;
+  (* Bumped whenever the page table may have moved under an external
+     cache: on [clear] and when a page is newly marked as holding
+     translated code. Per-site page caches compare this before trusting
+     a remembered [Bytes.t]. *)
+  mutable generation : int;
+  (* Pages known to hold translated code. [code_lo]/[code_hi] bound the
+     marked page indices so the common data-store case pays two integer
+     compares, not a hash probe. *)
+  code_pages : (int, unit) Hashtbl.t;
+  mutable code_lo : int;
+  mutable code_hi : int;
+  mutable on_code_write : int -> unit;
 }
 
 let no_page = Bytes.create 0
 
 let create endian =
-  { endian; pages = Hashtbl.create 64; last_index = -1; last_page = no_page }
+  {
+    endian;
+    pages = Hashtbl.create 64;
+    last_index = -1;
+    last_page = no_page;
+    generation = 0;
+    code_pages = Hashtbl.create 8;
+    code_lo = max_int;
+    code_hi = min_int;
+    on_code_write = ignore;
+  }
 
 let endian t = t.endian
 let page_count t = Hashtbl.length t.pages
+let generation t = t.generation
 
 let clear t =
   Hashtbl.reset t.pages;
   t.last_index <- -1;
-  t.last_page <- no_page
+  t.last_page <- no_page;
+  Hashtbl.reset t.code_pages;
+  t.code_lo <- max_int;
+  t.code_hi <- min_int;
+  t.generation <- t.generation + 1
+
+let note_code_page t index =
+  if not (Hashtbl.mem t.code_pages index) then begin
+    Hashtbl.replace t.code_pages index ();
+    if index < t.code_lo then t.code_lo <- index;
+    if index > t.code_hi then t.code_hi <- index;
+    (* A per-site cache may hold this page from when it was plain data;
+       force those caches to revalidate so stores take the guarded path. *)
+    t.generation <- t.generation + 1
+  end
+
+let is_code_page t index =
+  index >= t.code_lo && index <= t.code_hi && Hashtbl.mem t.code_pages index
+
+let add_code_write_hook t f =
+  let prev = t.on_code_write in
+  t.on_code_write <- (fun idx -> prev idx; f idx)
 
 (* Addresses are truncated to the native-int range; programs in this
    simulator live far below 2^62 so the truncation is lossless. *)
 let to_int (a : int64) = Int64.to_int a land max_int
+let addr_int = to_int
 
 let page t index =
   if index = t.last_index then t.last_page
@@ -45,16 +90,19 @@ let page t index =
     t.last_page <- p;
     p
 
+let lookup_page = page
+
 let read_byte t addr =
   let a = to_int addr in
   Bytes.unsafe_get (page t (a lsr page_bits)) (a land page_mask) |> Char.code
 
 let write_byte t addr v =
   let a = to_int addr in
-  Bytes.unsafe_set
-    (page t (a lsr page_bits))
-    (a land page_mask)
-    (Char.unsafe_chr (v land 0xff))
+  let idx = a lsr page_bits in
+  Bytes.unsafe_set (page t idx) (a land page_mask)
+    (Char.unsafe_chr (v land 0xff));
+  if idx >= t.code_lo && idx <= t.code_hi && Hashtbl.mem t.code_pages idx then
+    t.on_code_write idx
 
 let check_width width =
   match width with
@@ -126,8 +174,9 @@ let write t ~addr ~width v =
   let a = to_int addr in
   let off = a land page_mask in
   if off + width <= page_size then begin
-    let p = page t (a lsr page_bits) in
-    match (width, t.endian) with
+    let idx = a lsr page_bits in
+    let p = page t idx in
+    (match (width, t.endian) with
     | 1, _ -> Bytes.unsafe_set p off (Char.unsafe_chr (Int64.to_int v land 0xff))
     | 2, Little -> Bytes.set_uint16_le p off (Int64.to_int v land 0xffff)
     | 2, Big -> Bytes.set_uint16_be p off (Int64.to_int v land 0xffff)
@@ -135,7 +184,9 @@ let write t ~addr ~width v =
     | 4, Big -> Bytes.set_int32_be p off (Int64.to_int32 v)
     | 8, Little -> Bytes.set_int64_le p off v
     | 8, Big -> Bytes.set_int64_be p off v
-    | _ -> assert false
+    | _ -> assert false);
+    if idx >= t.code_lo && idx <= t.code_hi && Hashtbl.mem t.code_pages idx
+    then t.on_code_write idx
   end
   else write_bytes_slow t a width v
 

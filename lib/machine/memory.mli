@@ -49,6 +49,43 @@ val fold_pages : t -> init:'a -> f:('a -> int -> bytes -> 'a) -> 'a
 (** Page size in bytes (4096). *)
 val page_size : int
 
+(** log2 of {!page_size}: [addr lsr page_bits] is the page index. *)
+val page_bits : int
+
+(** [page_size - 1]: [addr land page_mask] is the in-page offset. *)
+val page_mask : int
+
+(** [addr_int a] is the canonical native-int form of address [a] (the
+    full 64-bit space is truncated losslessly for programs living below
+    [max_int]). Page index and offset are derived from this value. *)
+val addr_int : int64 -> int
+
+(** [lookup_page mem index] returns the backing bytes of page [index],
+    allocating it on demand. The returned buffer is live: writes through
+    it are visible to subsequent reads, but bypass code-page write hooks
+    — callers caching it must revalidate via {!generation}. *)
+val lookup_page : t -> int -> bytes
+
+(** [generation mem] changes whenever previously handed-out page buffers
+    may no longer be trusted: on {!clear} and when a page is newly marked
+    as code. A one-entry per-site page cache is valid only while the
+    generation it captured still matches. *)
+val generation : t -> int
+
+(** [note_code_page mem index] marks page [index] as holding translated
+    code: subsequent writes to it invoke the code-write hooks. Bumps
+    {!generation} the first time a page is marked. *)
+val note_code_page : t -> int -> unit
+
+val is_code_page : t -> int -> bool
+
+(** [add_code_write_hook mem f] arranges for [f index] to run after any
+    write that touches a page previously passed to {!note_code_page}.
+    Hooks compose: earlier hooks still run (several synthesized
+    interfaces may share one memory). {!clear} drops the code-page set
+    but keeps the hooks installed. *)
+val add_code_write_hook : t -> (int -> unit) -> unit
+
 (** [digest mem] is a 64-bit hash of the allocated contents. All-zero
     pages hash like absent pages, so two memories with the same byte
     contents digest equally regardless of which addresses were merely

@@ -21,6 +21,222 @@ let nop : code = fun _ _ -> ()
    register numbers resolve to flat indices with no per-access lookup. *)
 let layout : Machine.Regfile.t option ref = ref None
 
+(* ------------------------------------------------------------------ *)
+(* Per-site memory fast path (software TLB)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* When enabled, each compiled load/store site carries a one-entry page
+   cache: a hit costs a few integer compares plus a direct [Bytes]
+   access. A different memory, a page cross, or a stale generation
+   ([Memory.clear], or the page being newly marked as code) falls back
+   to {!Memory}. Store sites never cache code pages, and marking a page
+   as code bumps the generation, so fast-path stores can never bypass
+   the code-write hooks. *)
+let fast_mem = ref false
+
+type site_tlb = {
+  mutable tl_mem : Memory.t;
+  mutable tl_gen : int;
+  mutable tl_idx : int;
+  mutable tl_page : Bytes.t;
+  mutable tl_le : bool;
+}
+
+let tlb_dummy_mem = lazy (Memory.create Little)
+
+let fresh_tlb () =
+  {
+    tl_mem = Lazy.force tlb_dummy_mem;
+    tl_gen = -1;
+    tl_idx = -1;
+    tl_page = Bytes.empty;
+    tl_le = true;
+  }
+
+let tlb_refill tl m idx =
+  tl.tl_mem <- m;
+  tl.tl_gen <- Memory.generation m;
+  tl.tl_idx <- idx;
+  tl.tl_page <- Memory.lookup_page m idx;
+  tl.tl_le <- Memory.endian m = Memory.Little
+
+let mk_fast_load ~signed ~w (ca : ecode) : ecode =
+  let tl = fresh_tlb () in
+  let max_off = Memory.page_size - w in
+  let slow st a off idx =
+    let m = st.Machine.State.mem in
+    let v =
+      if signed then Memory.read_signed m ~addr:a ~width:w
+      else Memory.read m ~addr:a ~width:w
+    in
+    if off <= max_off then tlb_refill tl m idx;
+    v
+  in
+  match (w, signed) with
+  | 1, false ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if idx = tl.tl_idx && m == tl.tl_mem && tl.tl_gen = Memory.generation m
+      then Int64.of_int (Char.code (Bytes.unsafe_get tl.tl_page off))
+      else slow st a off idx
+  | 1, true ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if idx = tl.tl_idx && m == tl.tl_mem && tl.tl_gen = Memory.generation m
+      then Int64.of_int (Bytes.get_int8 tl.tl_page off)
+      else slow st a off idx
+  | 2, false ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        Int64.of_int
+          (if tl.tl_le then Bytes.get_uint16_le tl.tl_page off
+           else Bytes.get_uint16_be tl.tl_page off)
+      else slow st a off idx
+  | 2, true ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        Int64.of_int
+          (if tl.tl_le then Bytes.get_int16_le tl.tl_page off
+           else Bytes.get_int16_be tl.tl_page off)
+      else slow st a off idx
+  | 4, false ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        Int64.logand
+          (Int64.of_int32
+             (if tl.tl_le then Bytes.get_int32_le tl.tl_page off
+              else Bytes.get_int32_be tl.tl_page off))
+          0xFFFFFFFFL
+      else slow st a off idx
+  | 4, true ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        Int64.of_int32
+          (if tl.tl_le then Bytes.get_int32_le tl.tl_page off
+           else Bytes.get_int32_be tl.tl_page off)
+      else slow st a off idx
+  | _ ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        if tl.tl_le then Bytes.get_int64_le tl.tl_page off
+        else Bytes.get_int64_be tl.tl_page off
+      else slow st a off idx
+
+let mk_fast_store ~w (ca : ecode) (cv : ecode) : code =
+  let tl = fresh_tlb () in
+  let max_off = Memory.page_size - w in
+  let slow st a v off idx =
+    let m = st.Machine.State.mem in
+    Memory.write m ~addr:a ~width:w v;
+    (* Never cache a code page: a fast-path hit must imply the write
+       needs no code-write hook. *)
+    if off <= max_off && not (Memory.is_code_page m idx) then
+      tlb_refill tl m idx
+  in
+  match w with
+  | 1 ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if idx = tl.tl_idx && m == tl.tl_mem && tl.tl_gen = Memory.generation m
+      then
+        Bytes.unsafe_set tl.tl_page off
+          (Char.unsafe_chr (Int64.to_int (cv st fr) land 0xff))
+      else slow st a (cv st fr) off idx
+  | 2 ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        let v = Int64.to_int (cv st fr) land 0xffff in
+        if tl.tl_le then Bytes.set_uint16_le tl.tl_page off v
+        else Bytes.set_uint16_be tl.tl_page off v
+      else slow st a (cv st fr) off idx
+  | 4 ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        let v = Int64.to_int32 (cv st fr) in
+        if tl.tl_le then Bytes.set_int32_le tl.tl_page off v
+        else Bytes.set_int32_be tl.tl_page off v
+      else slow st a (cv st fr) off idx
+  | _ ->
+    fun st fr ->
+      let a = ca st fr in
+      let ai = Memory.addr_int a in
+      let off = ai land Memory.page_mask and idx = ai lsr Memory.page_bits in
+      let m = st.Machine.State.mem in
+      if
+        idx = tl.tl_idx && m == tl.tl_mem
+        && tl.tl_gen = Memory.generation m
+        && off <= max_off
+      then
+        let v = cv st fr in
+        if tl.tl_le then Bytes.set_int64_le tl.tl_page off v
+        else Bytes.set_int64_be tl.tl_page off v
+      else slow st a (cv st fr) off idx
+
 let rec expr (loc : Frame.location array) (e : Ir.expr) : ecode =
   match e with
   | Const v -> fun _ _ -> v
@@ -48,7 +264,8 @@ let rec expr (loc : Frame.location array) (e : Ir.expr) : ecode =
   | Load { width; signed; addr } ->
     let ca = expr loc addr in
     let w = Ir.bytes_of_width width in
-    if signed then fun st fr ->
+    if !fast_mem then mk_fast_load ~signed ~w ca
+    else if signed then fun st fr ->
       Memory.read_signed st.mem ~addr:(ca st fr) ~width:w
     else fun st fr -> Memory.read st.mem ~addr:(ca st fr) ~width:w
   | Reg_read { cls; index } -> (
@@ -106,8 +323,12 @@ let rec stmt (hooks : Hooks.t option) (loc : Frame.location array)
     let w = Ir.bytes_of_width width in
     match hooks with
     | None ->
-      fun st fr -> Memory.write st.mem ~addr:(ca st fr) ~width:w (cv st fr)
+      if !fast_mem then mk_fast_store ~w ca cv
+      else fun st fr ->
+        Memory.write st.mem ~addr:(ca st fr) ~width:w (cv st fr)
     | Some h ->
+      (* Journaled stores keep the slow path: the hook must see every
+         store, and speculation dominates the cost anyway. *)
       fun st fr ->
         let a = ca st fr in
         h.on_store st a w;
@@ -186,9 +407,12 @@ and block hooks (loc : Frame.location array) (stmts : Ir.stmt list) : code =
 (** [program ~loc p] compiles a whole action body. [hooks] intercept
     architectural writes for speculation journaling; [layout], when given,
     lets static register numbers compile to single array accesses. *)
-let program ?hooks ?layout:l ~loc (p : Ir.program) : code =
+let program ?hooks ?layout:l ?(mem_fast_path = false) ~loc (p : Ir.program) :
+    code =
   layout := l;
+  fast_mem := mem_fast_path;
   let c = block hooks loc p in
+  fast_mem := false;
   layout := None;
   c
 

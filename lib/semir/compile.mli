@@ -14,14 +14,21 @@ val nop : code
 (** [expr loc e] compiles one expression under the cell-location map. *)
 val expr : Frame.location array -> Ir.expr -> ecode
 
-(** [program ?hooks ?layout ~loc p] compiles a whole action body.
-    [hooks] intercept architectural writes for speculation journaling;
-    [layout], when given, lets static register numbers compile to single
-    array accesses (it must match the register file of every machine the
-    code will run against). *)
+(** [program ?hooks ?layout ?mem_fast_path ~loc p] compiles a whole
+    action body. [hooks] intercept architectural writes for speculation
+    journaling; [layout], when given, lets static register numbers
+    compile to single array accesses (it must match the register file of
+    every machine the code will run against). [mem_fast_path] (default
+    off) gives every load/store site a one-entry page cache — a per-site
+    software TLB — hitting the backing bytes directly and falling back
+    to {!Machine.Memory} on page cross, memory change, or generation
+    mismatch. Fast-path stores never cache code pages, so code-write
+    hooks still fire; journaled stores (with [hooks]) always take the
+    slow path. *)
 val program :
   ?hooks:Hooks.t ->
   ?layout:Machine.Regfile.t ->
+  ?mem_fast_path:bool ->
   loc:Frame.location array ->
   Ir.program ->
   code

@@ -48,10 +48,10 @@ type loaded = {
     kernel and installs it at the code base with the OS emulator hooked up.
     [obs] compiles instrumentation into the interface (see
     {!Specsim.Synth.make}); omitted, the interface is uninstrumented. *)
-let load ?(backend = Specsim.Synth.Compiled) ?obs ?input (t : target) ~buildset
-    (program : Vir.Lang.program) : loaded =
+let load ?(backend = Specsim.Synth.Compiled) ?chain ?site_cache ?obs ?input
+    (t : target) ~buildset (program : Vir.Lang.program) : loaded =
   let spec = Lazy.force t.spec in
-  let iface = Specsim.Synth.make ~backend ?obs spec buildset in
+  let iface = Specsim.Synth.make ~backend ?chain ?site_cache ?obs spec buildset in
   let st = iface.st in
   let os = Machine.Os_emu.create ?input () in
   (match spec.abi with
@@ -105,8 +105,10 @@ let run_to_completion ?(budget = 1_000_000_000) (l : loaded) : outcome =
         | None -> "halted without exit status")
 
 (** [run target ~buildset kernel] — load and run in one step. *)
-let run ?backend ?obs ?input ?budget (t : target) ~buildset program : outcome =
-  run_to_completion ?budget (load ?backend ?obs ?input t ~buildset program)
+let run ?backend ?chain ?site_cache ?obs ?input ?budget (t : target) ~buildset
+    program : outcome =
+  run_to_completion ?budget
+    (load ?backend ?chain ?site_cache ?obs ?input t ~buildset program)
 
 (** [reference kernel] runs the VIR reference executor. *)
 let reference ?input (program : Vir.Lang.program) : outcome =

@@ -22,4 +22,5 @@ let () =
       ("inject", Test_inject.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("dispatch", Test_dispatch.suite);
     ]

@@ -1,0 +1,425 @@
+(** Tests for the block engine's translation-cache machinery: direct
+    block chaining, the shared per-(instruction, encoding) site cache,
+    per-site memory fast paths, self-modifying-code invalidation, and
+    the stride handling of block construction (via a 2-byte-instruction
+    toy ISA — a spec whose [instrsize] differs from the demo's 4). *)
+
+(* ----------------------------------------------------------------- *)
+(* Shared demo-ISA harness (like test_synth's, but exposes the iface)  *)
+(* ----------------------------------------------------------------- *)
+
+let demo_spec () = Lazy.force Demo_isa.spec
+
+(** Run [program] under buildset [bs]; returns the interface (for stats)
+    plus (exit status, instructions retired). [patch] runs after the
+    image is loaded, before execution — used to pre-stage data. *)
+let run_demo ?chain ?site_cache ?(patch = fun _ -> ()) bs program =
+  let spec = demo_spec () in
+  let iface = Specsim.Synth.make ?chain ?site_cache spec bs in
+  let st = iface.st in
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with
+  | Some abi -> Machine.Os_emu.install os abi st
+  | None -> Alcotest.fail "demo ISA has no abi");
+  Demo_isa.load_program st ~base:0x1000L program;
+  patch st;
+  let budget = 1_000_000 in
+  let executed = Specsim.Iface.run_n iface budget in
+  if executed >= budget && not st.halted then
+    Alcotest.fail "program did not terminate";
+  (iface, Machine.State.exit_status st, st.instr_count)
+
+(* ----------------------------------------------------------------- *)
+(* Chaining and site-cache A/B                                         *)
+(* ----------------------------------------------------------------- *)
+
+(* A counted loop whose back edge re-enters the middle of the entry
+   block, so the loop-head block is a strict suffix of the entry block:
+   its sites must come from the shared site cache, and after the first
+   iteration every block-to-block transfer should ride a chain link. *)
+let loop_program =
+  Demo_isa.
+    [
+      addi ~ra:31 ~imm:10 ~rc:1 (* r1 = n *);
+      addi ~ra:31 ~imm:0 ~rc:2 (* r2 = acc *);
+      (* loop: *)
+      add ~ra:2 ~rb:1 ~rc:2 (* acc += r1 *);
+      addi ~ra:1 ~imm:(-1) ~rc:1;
+      beqz ~ra:1 ~off:1 (* done when r1 == 0 *);
+      br ~off:(-4) (* back to loop *);
+      addi ~ra:31 ~imm:0 ~rc:0 (* nr = sys_exit *);
+      add ~ra:2 ~rb:31 ~rc:1 (* arg0 = acc *);
+      sys;
+    ]
+
+let test_chain_and_site_cache () =
+  let iface, status, count = run_demo "block_min" loop_program in
+  Alcotest.(check (option int)) "exit status" (Some 55) status;
+  let s = iface.stats in
+  Alcotest.(check bool)
+    "chain links taken" true
+    (s.Specsim.Iface.chain_taken > 0);
+  Alcotest.(check bool)
+    "some chain misses (cold edges)" true
+    (s.Specsim.Iface.chain_miss > 0);
+  Alcotest.(check bool)
+    "site cache reused compiled sites" true
+    (s.Specsim.Iface.site_cache_hits >= 3);
+  (* Disabling both caches must reproduce the same architectural run,
+     with the new counters pinned at zero. *)
+  let iface', status', count' =
+    run_demo ~chain:false ~site_cache:false "block_min" loop_program
+  in
+  Alcotest.(check (option int)) "exit status (caches off)" (Some 55) status';
+  Alcotest.(check int64) "instruction counts agree" count count';
+  let s' = iface'.stats in
+  Alcotest.(check int) "no chain hits when disabled" 0
+    s'.Specsim.Iface.chain_taken;
+  Alcotest.(check int) "no chain misses when disabled" 0
+    s'.Specsim.Iface.chain_miss;
+  Alcotest.(check int) "no site-cache hits when disabled" 0
+    s'.Specsim.Iface.site_cache_hits
+
+(* One-mode interfaces must never touch the block machinery. *)
+let test_one_mode_counters_stay_zero () =
+  let iface, status, _ = run_demo "one_all" loop_program in
+  Alcotest.(check (option int)) "exit status" (Some 55) status;
+  let s = iface.stats in
+  Alcotest.(check int) "no chaining in One mode" 0 s.Specsim.Iface.chain_taken;
+  Alcotest.(check int) "no site cache in One mode" 0
+    s.Specsim.Iface.site_cache_hits
+
+(* ----------------------------------------------------------------- *)
+(* Self-modifying code                                                 *)
+(* ----------------------------------------------------------------- *)
+
+(* The program stores over one of its own loop-body instructions and
+   must observe the new semantics on the next iteration. The
+   replacement pair (the rewritten ADDI plus the unchanged ADD that
+   shares its 8-byte store) is staged at 0x800 by the harness.
+
+     0x1000  addi r5 = 2            loop counter
+     0x1004  ldq  r7 = [0x800]      replacement pair
+     0x1008  addi r2 = 5            <- rewritten to addi r2 = 99
+     0x100c  add  r3 += r2
+     0x1010  stq  [0x1008] = r7     the self-modifying store
+     0x1014  addi r5 -= 1
+     0x1018  beqz r5, +1
+     0x101c  br   -7                back to 0x1004
+     0x1020  addi r0 = 0            sys_exit
+     0x1024  add  r1 = r3
+     0x1028  sys
+
+   Iteration 1 adds 5, rewrites; iteration 2 must add 99: exit 104.
+   A stale translation cache would add 5 twice and exit 10. *)
+let smc_program =
+  Demo_isa.
+    [
+      addi ~ra:31 ~imm:2 ~rc:5;
+      ldq ~ra:31 ~imm:0x800 ~rc:7;
+      addi ~ra:31 ~imm:5 ~rc:2;
+      add ~ra:3 ~rb:2 ~rc:3;
+      stq ~ra:31 ~imm:0x1008 ~rb:7;
+      addi ~ra:5 ~imm:(-1) ~rc:5;
+      beqz ~ra:5 ~off:1;
+      br ~off:(-7);
+      addi ~ra:31 ~imm:0 ~rc:0;
+      add ~ra:3 ~rb:31 ~rc:1;
+      sys;
+    ]
+
+let smc_patch (st : Machine.State.t) =
+  let repl =
+    Int64.logor
+      (Demo_isa.addi ~ra:31 ~imm:99 ~rc:2)
+      (Int64.shift_left (Demo_isa.add ~ra:3 ~rb:2 ~rc:3) 32)
+  in
+  Machine.Memory.write st.mem ~addr:0x800L ~width:8 repl
+
+let test_smc_block_mode () =
+  let iface, status, _ = run_demo ~patch:smc_patch "block_min" smc_program in
+  Alcotest.(check (option int)) "rewritten instruction observed" (Some 104)
+    status;
+  Alcotest.(check bool) "code writes invalidated blocks" true
+    (iface.stats.Specsim.Iface.block_invalidations > 0)
+
+let test_smc_matches_one_mode () =
+  let _, block_status, block_count =
+    run_demo ~patch:smc_patch "block_min" smc_program
+  in
+  let _, one_status, one_count =
+    run_demo ~patch:smc_patch "one_all" smc_program
+  in
+  Alcotest.(check (option int)) "modes agree on exit" one_status block_status;
+  Alcotest.(check int64) "modes agree on count" one_count block_count
+
+(* ----------------------------------------------------------------- *)
+(* Stride regression: a toy ISA with 2-byte instructions               *)
+(* ----------------------------------------------------------------- *)
+
+(* Block construction used to advance the recorded per-site PCs by a
+   hard-coded 4 bytes; any spec with a different [instrsize] then
+   resumed at the wrong address after a block. This 16-bit-encoding ISA
+   (3-bit opcode in bits 13..15) exercises that path end to end. *)
+let tiny_isa_text =
+  {|
+isa "tiny16" {
+  endian little;
+  wordsize 64;
+  instrsize 2;
+  decodekey 13 3;
+}
+
+regclass R 8 width 64 zero 7;
+
+field alu_out : u64;
+
+class ri {
+  operand ra : R[bits(10,3)] read;
+  operand rc : R[bits(7,3)] write;
+}
+
+instr ADDI : ri match 0x0000 mask 0xE000 {
+  action evaluate { alu_out = ra + sbits(0,7); rc = alu_out; }
+}
+
+instr BEQZ match 0x2000 mask 0xE000 {
+  operand ra : R[bits(10,3)] read;
+  action evaluate { if (ra == 0) { next_pc = pc + 2 + (sbits(0,10) << 1); } }
+}
+
+instr SYS match 0x4000 mask 0xE000 {
+  action exception { syscall; }
+}
+
+instr ADD match 0x6000 mask 0xE000 {
+  operand ra : R[bits(10,3)] read;
+  operand rb : R[bits(7,3)] read;
+  operand rc : R[bits(4,3)] write;
+  action evaluate { alu_out = ra + rb; rc = alu_out; }
+}
+
+abi {
+  nr = R[0];
+  arg0 = R[1];
+  arg1 = R[2];
+  arg2 = R[3];
+  ret = R[0];
+}
+|}
+
+let tiny_spec =
+  lazy
+    (Lis.Sema.load
+       [
+         {
+           Lis.Ast.src_role = Lis.Ast.Isa_description;
+           src_name = "tiny16.lis";
+           src_text = tiny_isa_text;
+         };
+         {
+           Lis.Ast.src_role = Lis.Ast.Buildset_file;
+           src_name = "tiny16_buildsets.lis";
+           src_text = Specsim.Detail.canonical_buildset_file ();
+         };
+       ])
+
+let tiny_addi ~ra ~imm ~rc =
+  Int64.of_int ((0 lsl 13) lor (ra lsl 10) lor (rc lsl 7) lor (imm land 0x7F))
+
+let tiny_beqz ~ra ~off =
+  Int64.of_int ((1 lsl 13) lor (ra lsl 10) lor (off land 0x3FF))
+
+let tiny_sys = Int64.of_int (2 lsl 13)
+
+let tiny_add ~ra ~rb ~rc =
+  Int64.of_int ((3 lsl 13) lor (ra lsl 10) lor (rb lsl 7) lor (rc lsl 4))
+
+(* Sum 5..1 with a backward branch: 15. R7 is the zero register. *)
+let tiny_program =
+  [
+    tiny_addi ~ra:7 ~imm:5 ~rc:1 (* r1 = 5 *);
+    tiny_addi ~ra:7 ~imm:0 ~rc:2 (* r2 = 0 *);
+    (* loop: *)
+    tiny_add ~ra:2 ~rb:1 ~rc:2;
+    tiny_addi ~ra:1 ~imm:(-1) ~rc:1;
+    tiny_beqz ~ra:1 ~off:1 (* done when r1 == 0 *);
+    tiny_beqz ~ra:7 ~off:(-4) (* always taken: back to loop *);
+    tiny_addi ~ra:7 ~imm:0 ~rc:0 (* nr = sys_exit *);
+    tiny_add ~ra:2 ~rb:7 ~rc:1 (* arg0 = sum *);
+    tiny_sys;
+  ]
+
+let run_tiny bs =
+  let spec = Lazy.force tiny_spec in
+  let iface = Specsim.Synth.make spec bs in
+  let st = iface.st in
+  let os = Machine.Os_emu.create () in
+  (match spec.abi with
+  | Some abi -> Machine.Os_emu.install os abi st
+  | None -> Alcotest.fail "tiny16 has no abi");
+  List.iteri
+    (fun i w ->
+      Machine.Memory.write st.mem
+        ~addr:(Int64.add 0x1000L (Int64.of_int (2 * i)))
+        ~width:2 w)
+    tiny_program;
+  Machine.State.reset st ~pc:0x1000L;
+  let executed = Specsim.Iface.run_n iface 100_000 in
+  if not st.halted then Alcotest.fail "tiny16 program did not terminate";
+  (Machine.State.exit_status st, Int64.to_int st.instr_count, executed)
+
+let test_tiny_stride () =
+  let one_status, one_count, _ = run_tiny "one_all" in
+  Alcotest.(check (option int)) "One-mode sum" (Some 15) one_status;
+  let block_status, block_count, _ = run_tiny "block_min" in
+  Alcotest.(check (option int)) "Block-mode sum" (Some 15) block_status;
+  Alcotest.(check int) "modes agree on count" one_count block_count
+
+(* ----------------------------------------------------------------- *)
+(* Watchdog preemption of chained dispatch                             *)
+(* ----------------------------------------------------------------- *)
+
+(* Chained dispatch transfers block-to-block without returning to the
+   driver, so a tight infinite loop is the worst case: the watchdog can
+   only trip if run_n still honours its slice bound. *)
+let test_watchdog_preempts_chained_loop () =
+  let spin =
+    List.find
+      (fun (k : Vir.Kernels.sized) -> String.equal k.kname "spin")
+      Vir.Kernels.pathological
+  in
+  let l = Workload.load Workload.alpha ~buildset:"block_min" spin.program in
+  let config =
+    {
+      Inject.Watchdog.max_instructions = 50_000;
+      max_seconds = Some 30.;
+      check_interval = 4096;
+    }
+  in
+  match Inject.Watchdog.run_guarded ~config l.iface with
+  | () -> Alcotest.fail "spin loop terminated?!"
+  | exception Machine.Sim_error.Error _ ->
+    Alcotest.(check bool) "chained loop stayed preemptible" true true
+
+(* ----------------------------------------------------------------- *)
+(* Property: Block mode == One mode on random workloads, all ISAs      *)
+(* ----------------------------------------------------------------- *)
+
+(* Small terminating VIR programs: a random straight-line body inside a
+   counted loop, with aligned word loads/stores into a scratch buffer,
+   exiting with the accumulator's low byte. *)
+let vir_of_choices (choices : int list) ~iters : Vir.Lang.program =
+  let open Vir.Lang in
+  let body =
+    List.map
+      (fun n ->
+        let d = 1 + ((n lsr 4) land 3) in
+        let a = 1 + ((n lsr 6) land 3) in
+        let b = 1 + ((n lsr 8) land 3) in
+        let imm = (n lsr 10) land 0xFFF in
+        match n land 7 with
+        | 0 -> Add (d, a, b)
+        | 1 -> Sub (d, a, b)
+        | 2 -> Mul (d, a, b)
+        | 3 -> Xor_ (d, a, b)
+        | 4 -> Addi (d, a, imm - 2048)
+        | 5 -> Shli (d, a, imm land 15)
+        | 6 -> Stw (a, 5, 4 * (imm land 31))
+        | _ -> Ldw (d, 5, 4 * (imm land 31)))
+      choices
+  in
+  [
+    Li (1, 3l); Li (2, 5l); Li (3, 7l); Li (4, 11l);
+    Li (5, 0x4000l) (* scratch buffer *);
+    Li (6, Int32.of_int iters);
+    Li (7, 0l) (* accumulator *);
+    Li (8, 0l);
+    Label "loop";
+  ]
+  @ body
+  @ [
+      Add (7, 7, 1);
+      Xor_ (7, 7, 2);
+      Addi (6, 6, -1);
+      Bcond (Ne, 6, 8, "loop");
+      Andi (7, 7, 0xff);
+      Li (0, 0l);
+      Mv (1, 7);
+      Sys;
+    ]
+
+let outcome_pair (o : Workload.outcome) = (o.exit_status, o.output)
+
+let prop_block_equals_one =
+  QCheck.Test.make ~count:20
+    ~name:"Block mode matches One mode on random VIR loops (all ISAs)"
+    QCheck.(pair (list_of_size (Gen.int_range 1 10) (int_bound (1 lsl 22)))
+              (int_range 1 12))
+    (fun (choices, iters) ->
+      let program = vir_of_choices choices ~iters in
+      List.for_all
+        (fun t ->
+          let block =
+            Workload.run t ~buildset:"block_min" ~budget:1_000_000 program
+          in
+          let one =
+            Workload.run t ~buildset:"one_all" ~budget:1_000_000 program
+          in
+          outcome_pair block = outcome_pair one)
+        Workload.targets)
+
+(* A store that targets the program's own code pages (rewriting an
+   instruction word with its own value) forces invalidation and block
+   rebuild on every iteration; Block and One mode must still agree. *)
+let self_store_program : Vir.Lang.program =
+  let open Vir.Lang in
+  [
+    Li (2, 0x1000l) (* code base *);
+    Li (4, 0l);
+    Li (5, 3l);
+    Li (8, 0l);
+    Label "loop";
+    Ldw (3, 2, 0);
+    Stw (3, 2, 0) (* rewrite first instruction with itself *);
+    Addi (4, 4, 1);
+    Bcond (Lt, 4, 5, "loop");
+    Li (0, 0l);
+    Li (1, 42l);
+    Sys;
+  ]
+
+let test_self_store_equivalence () =
+  List.iter
+    (fun t ->
+      let block =
+        Workload.run t ~buildset:"block_min" ~budget:1_000_000
+          self_store_program
+      in
+      let one =
+        Workload.run t ~buildset:"one_all" ~budget:1_000_000 self_store_program
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: exit status" t.Workload.tname)
+        one.Workload.exit_status block.Workload.exit_status;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: exits 42" t.Workload.tname)
+        42 block.Workload.exit_status)
+    Workload.targets
+
+let suite =
+  [
+    Alcotest.test_case "chain + site cache A/B" `Quick
+      test_chain_and_site_cache;
+    Alcotest.test_case "One mode keeps block counters at zero" `Quick
+      test_one_mode_counters_stay_zero;
+    Alcotest.test_case "SMC: rewritten instruction observed" `Quick
+      test_smc_block_mode;
+    Alcotest.test_case "SMC: Block matches One" `Quick test_smc_matches_one_mode;
+    Alcotest.test_case "2-byte-instruction ISA stride" `Quick test_tiny_stride;
+    Alcotest.test_case "watchdog preempts chained loop" `Quick
+      test_watchdog_preempts_chained_loop;
+    QCheck_alcotest.to_alcotest prop_block_equals_one;
+    Alcotest.test_case "self-store equivalence (all ISAs)" `Quick
+      test_self_store_equivalence;
+  ]

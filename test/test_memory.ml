@@ -60,6 +60,56 @@ let test_clear () =
   Alcotest.(check int) "no pages" 0 (Memory.page_count m);
   Alcotest.(check int64) "cleared" 0L (Memory.read m ~addr:0x10L ~width:8)
 
+(* The generation counter is the revalidation token for external page
+   caches (the per-site TLBs in Semir.Compile): it must move whenever a
+   cached page pointer could have gone stale. *)
+let test_generation () =
+  let m = Memory.create Little in
+  let g0 = Memory.generation m in
+  Memory.write m ~addr:0x10L ~width:8 42L;
+  Alcotest.(check int) "plain writes keep generation" g0 (Memory.generation m);
+  Memory.clear m;
+  Alcotest.(check bool) "clear bumps generation" true (Memory.generation m > g0);
+  let g1 = Memory.generation m in
+  Memory.note_code_page m 3;
+  Alcotest.(check bool) "marking a code page bumps generation" true
+    (Memory.generation m > g1);
+  let g2 = Memory.generation m in
+  Memory.note_code_page m 3;
+  Alcotest.(check int) "re-marking the same page is idempotent" g2
+    (Memory.generation m);
+  Alcotest.(check bool) "marked page is a code page" true
+    (Memory.is_code_page m 3);
+  Alcotest.(check bool) "unmarked page is not" false (Memory.is_code_page m 4)
+
+let test_code_write_hook () =
+  let m = Memory.create Little in
+  let page = 0x1000 lsr Memory.page_bits in
+  let hits = ref [] in
+  Memory.add_code_write_hook m (fun idx -> hits := idx :: !hits);
+  Memory.write m ~addr:0x1008L ~width:4 1L;
+  Alcotest.(check int) "no hook before the page is marked" 0 (List.length !hits);
+  Memory.note_code_page m page;
+  Memory.write m ~addr:0x1008L ~width:4 2L;
+  Alcotest.(check (list int)) "hook fires on marked page" [ page ] !hits;
+  Memory.write_byte m 0x1001L 7;
+  Alcotest.(check int) "byte stores fire too" 2 (List.length !hits);
+  Memory.write m ~addr:0x2000L ~width:8 3L;
+  Alcotest.(check int) "other pages stay silent" 2 (List.length !hits);
+  (* Hooks compose: a second observer sees the same writes. *)
+  let second = ref 0 in
+  Memory.add_code_write_hook m (fun _ -> incr second);
+  Memory.write m ~addr:0x1000L ~width:4 4L;
+  Alcotest.(check int) "first hook still active" 3 (List.length !hits);
+  Alcotest.(check int) "second hook sees the write" 1 !second;
+  (* clear drops the code-page set (but keeps the hooks installed). *)
+  Memory.clear m;
+  Memory.write m ~addr:0x1008L ~width:4 5L;
+  Alcotest.(check int) "no hook after clear until re-marked" 3
+    (List.length !hits);
+  Alcotest.(check int64) "writes after clear land" 5L
+    (Memory.read m ~addr:0x1008L ~width:4)
+
 (* Property: value round-trips through write/read at every width, under
    both endiannesses, including page-spanning addresses. *)
 let prop_roundtrip =
@@ -97,6 +147,8 @@ let suite =
     Alcotest.test_case "bad width" `Quick test_bad_width;
     Alcotest.test_case "load/dump bytes" `Quick test_load_dump;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "generation counter" `Quick test_generation;
+    Alcotest.test_case "code-write hooks" `Quick test_code_write_hook;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_isolation;
   ]

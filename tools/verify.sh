@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repo verification: build, full test suite, then a smoke fault-injection
 # campaign (fixed seed, all three ISAs) that must hit the coverage bar,
-# a watchdog check that a non-terminating kernel halts cleanly, and an
-# instrumented-run check that the observability counters are live.
+# a watchdog check that a non-terminating kernel halts cleanly, an
+# instrumented-run check that the observability counters are live, and a
+# dispatch-stats check that block chaining and site sharing engage.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -54,5 +55,26 @@ if ! grep -E "synth\.entrypoint_calls +[1-9]" "$tmp" >/dev/null; then
   cat "$tmp" >&2
   exit 1
 fi
+
+echo "== dispatch: block engine must chain and share sites on a hot loop =="
+dune exec bin/lisim.exe -- run --kernel sort -b block_min --stats >"$tmp"
+for counter in chain_taken site_cache_hits; do
+  if ! grep -E "core\.block_cache\.$counter +[1-9]" "$tmp" >/dev/null; then
+    echo "FAIL: block_min run reported zero $counter" >&2
+    cat "$tmp" >&2
+    exit 1
+  fi
+done
+
+echo "== dispatch: --no-chain --no-site-cache must run with caches cold =="
+dune exec bin/lisim.exe -- run --kernel sort -b block_min --stats \
+  --no-chain --no-site-cache >"$tmp"
+for counter in chain_taken chain_miss site_cache_hits; do
+  if grep -E "core\.block_cache\.$counter +[1-9]" "$tmp" >/dev/null; then
+    echo "FAIL: $counter nonzero with translation caches disabled" >&2
+    cat "$tmp" >&2
+    exit 1
+  fi
+done
 
 echo "verify: OK"
