@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --bechamel -- Bechamel micro-benchmarks
 
    Experiments: table1 table2 table3 dispatch fig1 fig24 ablation sampling
-   inject overhead validate.
+   inject fuzz overhead validate.
    Absolute numbers are host- and substrate-dependent; the reproduction
    targets are the *shapes*: which interface wins, by roughly what factor,
    and where the costs come from. See EXPERIMENTS.md.
@@ -819,6 +819,59 @@ let overhead () =
           paper_table2))
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz throughput: cost of the 12-way conformance oracle               *)
+(* ------------------------------------------------------------------ *)
+
+(* One oracle execution = one candidate/reference lockstep run of a
+   generated program with periodic digest comparison. The rate bounds
+   how large a nightly campaign budget is affordable, and the
+   generator-only rate shows the oracle (not generation) dominates. *)
+let fuzz_bench () =
+  print_endline
+    "=== Fuzz throughput: spec-derived generator and 12-way oracle ===";
+  let budget = if !quick then 300 else 1_500 in
+  Printf.printf "%-6s %10s %10s %12s %12s %12s\n" "isa" "programs" "execs"
+    "execs/s" "programs/s" "gen-only/s";
+  let sections =
+    List.map
+      (fun isa ->
+        (* generation alone: the same programs the campaign would test *)
+        let spec = Fuzz.Driver.spec_of_isa isa in
+        let cx = Fuzz.Gen.make_ctx ~isa spec in
+        let gen_n = if !quick then 2_000 else 10_000 in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to gen_n - 1 do
+          ignore (Fuzz.Gen.generate cx ~seed:42L ~index:i)
+        done;
+        let gen_rate = float_of_int gen_n /. (Unix.gettimeofday () -. t0) in
+        (* full campaign: generate + run the 12-way oracle (seed 42 is a
+           verified-healthy seed, so the budget is spent end to end) *)
+        let t0 = Unix.gettimeofday () in
+        let o = Fuzz.Driver.hunt ~isa ~seed:42L ~budget () in
+        let dt = Unix.gettimeofday () -. t0 in
+        assert (o.Fuzz.Driver.o_found = None);
+        let execs_s = float_of_int o.Fuzz.Driver.o_execs /. dt in
+        let progs_s = float_of_int o.Fuzz.Driver.o_programs /. dt in
+        Printf.printf "%-6s %10d %10d %12.0f %12.1f %12.0f\n" isa
+          o.Fuzz.Driver.o_programs o.Fuzz.Driver.o_execs execs_s progs_s
+          gen_rate;
+        ( isa,
+          Obs.Export.Obj
+            [
+              ("oracle_execs_per_sec", Obs.Export.Float execs_s);
+              ("programs_per_sec", Obs.Export.Float progs_s);
+              ("generator_only_per_sec", Obs.Export.Float gen_rate);
+            ] ))
+      Fuzz.Driver.all_isas
+  in
+  add_json "fuzz" (Obs.Export.Obj sections);
+  print_endline
+    "(an oracle execution runs candidate and reference in lockstep with\n\
+    \ digest checks every 16 instructions; generation is noise by\n\
+    \ comparison, so campaign budgets are oracle-bound — see the nightly\n\
+    \ workflow's 20k-execution budget)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Validation (paper §V-D)                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -948,6 +1001,7 @@ let () =
     if want "ablation" then ablation ();
     if want "sampling" then sampling_accuracy ();
     if want "inject" then inject ();
+    if want "fuzz" then fuzz_bench ();
     if want "overhead" then overhead ();
     if want "validate" then validate ();
     write_json_results ()

@@ -14,6 +14,9 @@
     - [lisim validate] runs the rotating-interface validation (§V-D).
     - [lisim inject] runs a deterministic fault-injection campaign and
       reports detection coverage, latency and recovery statistics.
+    - [lisim fuzz] runs the differential conformance fuzzer: spec-derived
+      programs through all twelve interfaces in lockstep against the
+      Step/All reference, with shrinking reproducers on divergence.
 
     Structured simulator errors ({!Machine.Sim_error}) are rendered as
     diagnostics with a per-component exit code, never as backtraces. *)
@@ -766,6 +769,181 @@ let validate_cmd =
              instruction or basic block runs through a different interface.")
     Term.(const run $ isa_arg $ kernel_arg)
 
+(* ---------------- fuzz ------------------------------------------- *)
+
+let fuzz_cmd =
+  let isa =
+    Arg.(
+      value & opt string "all"
+      & info [ "isa" ] ~docv:"ISA"
+          ~doc:"Instruction set to fuzz: alpha, arm, ppc, tiny (the 2-byte \
+                toy ISA) or all.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed (splitmix convention shared with 'lisim \
+                inject' and the test suites). Same seed, same campaign, \
+                draw for draw.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 10_000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Oracle-execution budget per ISA; one execution is one \
+                candidate interface run in lockstep against the reference.")
+  in
+  let max_instrs =
+    Arg.(
+      value & opt int 2048
+      & info [ "max-instructions" ] ~docv:"N"
+          ~doc:"Retirement budget per program run.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a written reproducer instead of searching: rebuild \
+                the recorded machines and report per-buildset verdicts \
+                (byte-for-byte deterministic).")
+  in
+  let out =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory reproducer files are written into.")
+  in
+  let no_chain =
+    Arg.(
+      value & flag
+      & info [ "no-chain" ]
+          ~doc:"Fuzz candidate block engines with successor chaining \
+                disabled (A/B against the cached engine).")
+  in
+  let no_site =
+    Arg.(
+      value & flag
+      & info [ "no-site-cache" ]
+          ~doc:"Fuzz candidate block engines with the shared site cache \
+                and memory fast paths disabled.")
+  in
+  let mutate =
+    Arg.(
+      value & opt (some string) None
+      & info [ "mutate" ] ~docv:"MUTATION"
+          ~doc:"Fuzzer self-test: deliberately re-break the candidate \
+                engine with one of stale-chain, skip-invalidate or stride4 \
+                and check the campaign finds it (exit 1 expected).")
+  in
+  let run isa seed budget max_instrs replay out no_chain no_site mutate =
+    let mutate =
+      Option.map
+        (fun m ->
+          match Specsim.Synth.mutation_of_string m with
+          | Some m -> m
+          | None ->
+            Machine.Sim_error.raisef ~component:"cli"
+              ~context:[ ("mutation", m) ]
+              "unknown mutation (expected stale-chain, skip-invalidate or \
+               stride4)")
+        mutate
+    in
+    let cfg =
+      {
+        Fuzz.Oracle.default_config with
+        chain = not no_chain;
+        site_cache = not no_site;
+        mutate;
+        max_instrs;
+      }
+    in
+    match replay with
+    | Some path ->
+      let r = Fuzz.Repro.load ~path in
+      let rcfg = r.Fuzz.Repro.r_cfg in
+      let rcfg =
+        {
+          rcfg with
+          Fuzz.Oracle.chain = rcfg.Fuzz.Oracle.chain && not no_chain;
+          site_cache = rcfg.Fuzz.Oracle.site_cache && not no_site;
+          mutate =
+            (match mutate with Some _ -> mutate | None -> rcfg.Fuzz.Oracle.mutate);
+        }
+      in
+      let tc = r.Fuzz.Repro.r_tc in
+      Printf.printf "replay %s: isa %s, %d instruction(s), seed 0x%Lx\n" path
+        tc.Fuzz.Gen.tc_isa
+        (Array.length tc.Fuzz.Gen.tc_code)
+        tc.Fuzz.Gen.tc_seed;
+      let results = Fuzz.Driver.replay { r with Fuzz.Repro.r_cfg = rcfg } in
+      List.iter
+        (fun (bs, dv) ->
+          match dv with
+          | None -> Printf.printf "  %-16s ok\n" bs
+          | Some (d : Fuzz.Oracle.divergence) ->
+            Printf.printf "  %-16s DIVERGES — %s after %Ld instruction(s): %s\n"
+              bs d.Fuzz.Oracle.d_kind d.Fuzz.Oracle.d_retired
+              d.Fuzz.Oracle.d_detail)
+        results;
+      let n =
+        List.length (List.filter (fun (_, d) -> Option.is_some d) results)
+      in
+      Printf.printf "replay %s: %d diverging / %d checked\n" path n
+        (List.length results);
+      if n > 0 then 1 else 0
+    | None ->
+      let isas =
+        match isa with "all" -> Fuzz.Driver.all_isas | i -> [ i ]
+      in
+      let rc = ref 0 in
+      List.iter
+        (fun isa ->
+          let o = Fuzz.Driver.hunt ~cfg ~isa ~seed ~budget () in
+          match o.Fuzz.Driver.o_found with
+          | None ->
+            Printf.printf
+              "fuzz %s: no divergence (%d programs, %d oracle executions, \
+               seed %Ld)\n"
+              isa o.Fuzz.Driver.o_programs o.Fuzz.Driver.o_execs seed
+          | Some (_, d) ->
+            rc := 1;
+            Printf.printf
+              "fuzz %s: DIVERGENCE after %d oracle executions (seed %Ld)\n"
+              isa o.Fuzz.Driver.o_execs seed;
+            Printf.printf "  %s\n" (Fuzz.Oracle.pp_divergence d);
+            (match o.Fuzz.Driver.o_shrunk with
+            | None -> ()
+            | Some (stc, sd) ->
+              Printf.printf
+                "  shrunk to %d instruction(s) in %d oracle executions\n"
+                (Array.length stc.Fuzz.Gen.tc_code)
+                o.Fuzz.Driver.o_shrink_tests;
+              Printf.printf "  %s\n" (Fuzz.Oracle.pp_divergence sd);
+              let path =
+                Filename.concat out
+                  (Printf.sprintf "fuzz-%s-%s.repro" isa
+                     sd.Fuzz.Oracle.d_buildset)
+              in
+              Fuzz.Repro.write ~path cfg ~buildset:sd.Fuzz.Oracle.d_buildset
+                stc;
+              Printf.printf "  reproducer written to %s\n" path))
+        isas;
+      !rc
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: generate random-but-valid \
+          programs from the resolved LIS spec, run them through all twelve \
+          synthesized interfaces in lockstep against the Step/All \
+          reference (architectural state, memory digests, exit codes and \
+          Obs crossing counts compared at every sync point), and shrink \
+          any divergence to a minimal deterministic reproducer.")
+    Term.(
+      const run $ isa $ seed $ budget $ max_instrs $ replay $ out $ no_chain
+      $ no_site $ mutate)
+
 let () =
   let info =
     Cmd.info "lisim" ~version:"1.0.0"
@@ -774,7 +952,7 @@ let () =
   let group =
     Cmd.group info
       [ list_cmd; check_cmd; emit_cmd; run_cmd; export_cmd; trace_cmd; mix_cmd;
-        inject_cmd; validate_cmd; stats_cmd ]
+        inject_cmd; validate_cmd; stats_cmd; fuzz_cmd ]
   in
   try exit (Cmd.eval' ~catch:false group) with
   | Machine.Sim_error.Error e ->

@@ -19,6 +19,28 @@ let synth_error fmt = Format.kasprintf (fun m -> raise (Synth_error m)) fmt
     [Interpreted] AST walker (paper footnote 5's baseline). *)
 type backend = Compiled | Interpreted
 
+(** Deliberate engine defects used to mutation-test the conformance
+    fuzzer ([lisim fuzz --mutate]). Each reintroduces a bug class the
+    translation-cache engine defends against: [Stale_chain] trusts
+    successor-cache links and cached blocks without re-checking
+    [b_valid]; [Skip_invalidate] never registers the code-write hook, so
+    stores to translated code leave stale blocks live; [Stride4]
+    hard-codes a 4-byte stride in block pc arrays (wrong for any other
+    instruction size). [None] (the default) leaves the engine exactly as
+    shipped. *)
+type mutation = Stale_chain | Skip_invalidate | Stride4
+
+let mutation_to_string = function
+  | Stale_chain -> "stale-chain"
+  | Skip_invalidate -> "skip-invalidate"
+  | Stride4 -> "stride4"
+
+let mutation_of_string = function
+  | "stale-chain" -> Some Stale_chain
+  | "skip-invalidate" -> Some Skip_invalidate
+  | "stride4" -> Some Stride4
+  | _ -> None
+
 (* An entrypoint is a sequence of items; fetch and decode are engine
    builtins, everything else is per-instruction compiled code. *)
 type item =
@@ -111,8 +133,8 @@ let rec dummy_block =
 (* ------------------------------------------------------------------ *)
 
 let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
-    ?(site_cache = true) ?obs ?st (spec : Lis.Spec.t) (bs_name : string) :
-    Iface.t =
+    ?(site_cache = true) ?mutate ?obs ?st (spec : Lis.Spec.t) (bs_name : string)
+    : Iface.t =
   let bs = Lis.Spec.find_buildset spec bs_name in
   let st = match st with Some s -> s | None -> Lis.Spec.make_machine spec in
   let slots = Slots.make spec bs in
@@ -139,6 +161,9 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
   let n_instrs = Array.length spec.instrs in
   let decoder = Decoder.make spec in
   let instr_bytes64 = Int64.of_int spec.instr_bytes in
+  let stale_chain = mutate = Some Stale_chain in
+  let skip_invalidate = mutate = Some Skip_invalidate in
+  let block_stride = if mutate = Some Stride4 then 4L else instr_bytes64 in
   let stats =
     {
       Iface.blocks_compiled = 0;
@@ -386,7 +411,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
      every chain link into them, since dispatch re-checks [b_valid]). *)
   let page_blocks : (int, block list ref) Hashtbl.t = Hashtbl.create 16 in
   let last_block = ref dummy_block in
-  if bs.bs_block then
+  if bs.bs_block && not skip_invalidate then
     Memory.add_code_write_hook st.mem (fun pidx ->
         match Hashtbl.find_opt page_blocks pidx with
         | None -> ()
@@ -429,7 +454,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
     stats.Iface.blocks_compiled <- stats.Iface.blocks_compiled + 1;
     let pcs =
       Array.init (!n + 1) (fun i ->
-          Int64.add pc0 (Int64.mul instr_bytes64 (Int64.of_int i)))
+          Int64.add pc0 (Int64.mul block_stride (Int64.of_int i)))
     in
     let b =
       {
@@ -474,14 +499,17 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
   in
   (* Chained dispatch: try the predecessor's successor cache before the
      hash table, installing / promoting on the way (most recent first). *)
+  (* [trust] is the single-trust invariant ([b_valid] is the only thing
+     dispatch believes); [Stale_chain] breaks it for every real block. *)
+  let trust b = b.b_valid || (stale_chain && not (Int64.equal b.b_pc0 (-1L))) in
   let lookup_from prev pc0 =
-    if not (chain && prev.b_valid) then find_block pc0
-    else if Int64.equal prev.b_s1_pc pc0 && prev.b_s1.b_valid then begin
+    if not (chain && trust prev) then find_block pc0
+    else if Int64.equal prev.b_s1_pc pc0 && trust prev.b_s1 then begin
       stats.Iface.chain_taken <- stats.Iface.chain_taken + 1;
       stats.Iface.block_hits <- stats.Iface.block_hits + 1;
       prev.b_s1
     end
-    else if Int64.equal prev.b_s2_pc pc0 && prev.b_s2.b_valid then begin
+    else if Int64.equal prev.b_s2_pc pc0 && trust prev.b_s2 then begin
       let b = prev.b_s2 in
       prev.b_s2_pc <- prev.b_s1_pc;
       prev.b_s2 <- prev.b_s1;
@@ -531,7 +559,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
       (* [b_valid] re-checked per site: a store that hits this block's
          own code page stops execution after the faulting-free site that
          performed it, so stale sites never run. *)
-      while !k < len && not st.halted && b.b_valid do
+      while !k < len && not st.halted && (b.b_valid || stale_chain) do
         let di = Array.unsafe_get dis !k in
         let pc = Array.unsafe_get pcs !k in
         di.pc <- pc;

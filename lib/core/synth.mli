@@ -15,6 +15,19 @@ exception Synth_error of string
     [Interpreted] AST walker (paper footnote 5's baseline). *)
 type backend = Compiled | Interpreted
 
+(** Deliberate engine defects for mutation-testing the conformance fuzzer
+    ([lisim fuzz --mutate]): [Stale_chain] trusts successor-cache links and
+    cached blocks without re-checking [b_valid], [Skip_invalidate] drops
+    the code-write hook so stores never invalidate translated blocks, and
+    [Stride4] hard-codes a 4-byte stride in block pc arrays. A healthy
+    differential fuzzer must detect all three (see {!Fuzz.Driver}). *)
+type mutation = Stale_chain | Skip_invalidate | Stride4
+
+val mutation_to_string : mutation -> string
+
+(** Inverse of {!mutation_to_string}; [None] on unknown names. *)
+val mutation_of_string : string -> mutation option
+
 (** Internal plan/segment types, exposed for {!Emit} and for tests. *)
 type item =
   | I_fetch
@@ -47,7 +60,9 @@ val seg_ir : Lis.Spec.instr -> seg -> Semir.Ir.program
     holding translated code are tracked so writes to them invalidate the
     affected blocks and chain links — self-modifying code observes its
     own stores. Disabling both flags reproduces the pre-cache engine for
-    A/B comparison.
+    A/B comparison. [mutate] deliberately re-breaks the engine (one
+    {!mutation} bug class) — for fuzzer validation only, never for real
+    simulation.
 
     [obs], when given, compiles instrumentation into the interface's
     call paths: every entrypoint crossing is counted
@@ -67,6 +82,7 @@ val make :
   ?allow_hidden_crossing:bool ->
   ?chain:bool ->
   ?site_cache:bool ->
+  ?mutate:mutation ->
   ?obs:Obs.t ->
   ?st:Machine.State.t ->
   Lis.Spec.t ->

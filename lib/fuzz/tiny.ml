@@ -1,0 +1,106 @@
+(** tiny16 — a 2-byte-instruction toy ISA (3-bit opcode in bits 13..15)
+    shipped as a first-class fuzz target.
+
+    Its reason to exist is the stride bug class: on the three real ISAs
+    every instruction is 4 bytes, so an engine that hard-codes a 4-byte
+    stride ({!Specsim.Synth.Stride4}) is observationally correct there and
+    only a spec with a different [instrsize] can expose it. The dispatch
+    test suite uses the same spec for its stride regression. *)
+
+let isa_text =
+  {|
+isa "tiny16" {
+  endian little;
+  wordsize 64;
+  instrsize 2;
+  decodekey 13 3;
+}
+
+regclass R 8 width 64 zero 7;
+
+field alu_out : u64;
+field eff : u64;
+
+class ri {
+  operand ra : R[bits(10,3)] read;
+  operand rc : R[bits(7,3)] write;
+}
+
+instr ADDI : ri match 0x0000 mask 0xE000 {
+  action evaluate { alu_out = ra + sbits(0,7); rc = alu_out; }
+}
+
+instr BEQZ match 0x2000 mask 0xE000 {
+  operand ra : R[bits(10,3)] read;
+  action evaluate { if (ra == 0) { next_pc = pc + 2 + (sbits(0,10) << 1); } }
+}
+
+instr SYS match 0x4000 mask 0xE000 {
+  action exception { syscall; }
+}
+
+instr ADD match 0x6000 mask 0xE000 {
+  operand ra : R[bits(10,3)] read;
+  operand rb : R[bits(7,3)] read;
+  operand rc : R[bits(4,3)] write;
+  action evaluate { alu_out = ra + rb; rc = alu_out; }
+}
+
+instr STW match 0x8000 mask 0xE000 {
+  operand ra : R[bits(10,3)] read;
+  operand rb : R[bits(7,3)] read;
+  action evaluate { eff = ra + sbits(0,7); }
+  action memory { store.u32(eff, rb); }
+}
+
+instr LDW match 0xA000 mask 0xE000 {
+  operand ra : R[bits(10,3)] read;
+  operand rc : R[bits(7,3)] write;
+  action evaluate { eff = ra + sbits(0,7); }
+  action memory { rc = load.u32(eff); }
+}
+
+abi {
+  nr = R[0];
+  arg0 = R[1];
+  arg1 = R[2];
+  arg2 = R[3];
+  ret = R[0];
+}
+|}
+
+(** Resolved spec with the twelve canonical buildsets attached. *)
+let spec =
+  lazy
+    (Lis.Sema.load
+       [
+         {
+           Lis.Ast.src_role = Lis.Ast.Isa_description;
+           src_name = "tiny16.lis";
+           src_text = isa_text;
+         };
+         {
+           Lis.Ast.src_role = Lis.Ast.Buildset_file;
+           src_name = "tiny16_buildsets.lis";
+           src_text = Specsim.Detail.canonical_buildset_file ();
+         };
+       ])
+
+(* Hand encoders, for directed tests. *)
+
+let addi ~ra ~imm ~rc =
+  Int64.of_int ((0 lsl 13) lor (ra lsl 10) lor (rc lsl 7) lor (imm land 0x7F))
+
+let beqz ~ra ~off =
+  Int64.of_int ((1 lsl 13) lor (ra lsl 10) lor (off land 0x3FF))
+
+let sys = Int64.of_int (2 lsl 13)
+
+let add ~ra ~rb ~rc =
+  Int64.of_int ((3 lsl 13) lor (ra lsl 10) lor (rb lsl 7) lor (rc lsl 4))
+
+let stw ~ra ~rb ~imm =
+  Int64.of_int ((4 lsl 13) lor (ra lsl 10) lor (rb lsl 7) lor (imm land 0x7F))
+
+let ldw ~ra ~imm ~rc =
+  Int64.of_int ((5 lsl 13) lor (ra lsl 10) lor (rc lsl 7) lor (imm land 0x7F))

@@ -28,6 +28,13 @@ let uniform ~seed ~index ~salt =
   let bits = Int64.shift_right_logical (draw ~seed ~index ~salt) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0 (* 2^53 *))
 
+(** [derive ~seed ~salt] is an independent sub-seed: the one-seed
+    convention used across the repo (injection campaigns, the conformance
+    fuzzer, the test suites) hands out per-stream seeds through this so
+    every draw anywhere is reproducible from the single top-level seed. *)
+let derive ~seed ~salt =
+  mix (Int64.add (mix seed) (Int64.mul (Int64.of_int (salt + 1)) golden))
+
 (** [below ~seed ~index ~salt n] is a uniform int in [0, n). *)
 let below ~seed ~index ~salt n =
   if n <= 0 then 0

@@ -78,6 +78,41 @@ let save (st : State.t) : string =
       Buffer.add_bytes b page);
   Buffer.contents b
 
+(* splitmix64 finalizer, same step as {!Memory.digest} uses. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [digest st] is a canonical 64-bit digest of the architectural state:
+    registers, control state (pc, instruction count, halt flag, fault) and
+    memory contents. Memory goes through {!Memory.digest}, so machines
+    that merely touched different addresses still compare equal — unlike
+    hashing {!save} output, where zero-page allocation shows up. This is
+    the state-comparison primitive of the conformance fuzzer. *)
+let digest (st : State.t) : int64 =
+  let h = ref (Memory.digest st.mem) in
+  let mixin v = h := mix64 (Int64.logxor !h v) in
+  let n_classes = Regfile.class_count st.regs in
+  for c = 0 to n_classes - 1 do
+    let def = Regfile.class_def st.regs c in
+    for i = 0 to def.count - 1 do
+      mixin (Regfile.read st.regs ~cls:c ~idx:i)
+    done
+  done;
+  mixin st.pc;
+  mixin st.instr_count;
+  mixin (if st.halted then 1L else 0L);
+  (match st.fault with
+  | None -> mixin 0L
+  | Some (Fault.Illegal_instruction e) -> mixin 1L; mixin e
+  | Some (Fault.Unaligned_access a) -> mixin 2L; mixin a
+  | Some (Fault.Arith m) ->
+    mixin 3L;
+    String.iter (fun ch -> mixin (Int64.of_int (Char.code ch))) m
+  | Some (Fault.Exit c) -> mixin 4L; mixin (Int64.of_int c));
+  !h
+
 (** [restore st data] overwrites [st] with the checkpointed state.
     @raise Corrupt if the data is malformed or the register layout,
     endianness or class shapes do not match [st]. *)

@@ -1,4 +1,5 @@
 let () =
+  Gen_common.init_seed ();
   Alcotest.run "lisim"
     [
       ("memory", Test_memory.suite);
@@ -23,4 +24,6 @@ let () =
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
       ("dispatch", Test_dispatch.suite);
+      ("export", Test_export.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

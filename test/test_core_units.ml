@@ -105,7 +105,9 @@ let test_classify_arm () =
 
 (* For a random instruction of the spec and random bits in the don't-care
    positions, the decoder must return an instruction whose (mask, match)
-   actually matches the encoding. *)
+   actually matches the encoding. The encoding construction is the
+   shared {!Gen_common.encoding_with_noise} — the same one the fuzzer
+   generates whole programs with. *)
 let prop_decoder isa_name spec_lazy =
   QCheck.Test.make ~count:500
     ~name:(Printf.sprintf "%s: decode returns a matching instruction" isa_name)
@@ -114,11 +116,7 @@ let prop_decoder isa_name spec_lazy =
       let spec = Lazy.force spec_lazy in
       let d = Specsim.Decoder.make spec in
       let i = spec.instrs.(pick mod Array.length spec.instrs) in
-      let enc =
-        Int64.logor i.i_match
-          (Int64.logand noise
-             (Int64.logand (Int64.lognot i.i_mask) 0xFFFFFFFFL))
-      in
+      let enc = Gen_common.encoding_with_noise spec i noise in
       let idx = Specsim.Decoder.decode d enc in
       idx >= 0
       &&

@@ -1,33 +1,11 @@
 (** Tests for the block engine's translation-cache machinery: direct
     block chaining, the shared per-(instruction, encoding) site cache,
     per-site memory fast paths, self-modifying-code invalidation, and
-    the stride handling of block construction (via a 2-byte-instruction
-    toy ISA — a spec whose [instrsize] differs from the demo's 4). *)
+    the stride handling of block construction (via {!Fuzz.Tiny}, the
+    2-byte-instruction toy ISA — a spec whose [instrsize] differs from
+    the demo's 4). Program harnesses live in {!Gen_common}. *)
 
-(* ----------------------------------------------------------------- *)
-(* Shared demo-ISA harness (like test_synth's, but exposes the iface)  *)
-(* ----------------------------------------------------------------- *)
-
-let demo_spec () = Lazy.force Demo_isa.spec
-
-(** Run [program] under buildset [bs]; returns the interface (for stats)
-    plus (exit status, instructions retired). [patch] runs after the
-    image is loaded, before execution — used to pre-stage data. *)
-let run_demo ?chain ?site_cache ?(patch = fun _ -> ()) bs program =
-  let spec = demo_spec () in
-  let iface = Specsim.Synth.make ?chain ?site_cache spec bs in
-  let st = iface.st in
-  let os = Machine.Os_emu.create () in
-  (match spec.abi with
-  | Some abi -> Machine.Os_emu.install os abi st
-  | None -> Alcotest.fail "demo ISA has no abi");
-  Demo_isa.load_program st ~base:0x1000L program;
-  patch st;
-  let budget = 1_000_000 in
-  let executed = Specsim.Iface.run_n iface budget in
-  if executed >= budget && not st.halted then
-    Alcotest.fail "program did not terminate";
-  (iface, Machine.State.exit_status st, st.instr_count)
+let run_demo = Gen_common.run_demo
 
 (* ----------------------------------------------------------------- *)
 (* Chaining and site-cache A/B                                         *)
@@ -154,104 +132,34 @@ let test_smc_matches_one_mode () =
   Alcotest.(check int64) "modes agree on count" one_count block_count
 
 (* ----------------------------------------------------------------- *)
-(* Stride regression: a toy ISA with 2-byte instructions               *)
+(* Stride regression: the tiny16 2-byte-instruction ISA                *)
 (* ----------------------------------------------------------------- *)
 
 (* Block construction used to advance the recorded per-site PCs by a
    hard-coded 4 bytes; any spec with a different [instrsize] then
-   resumed at the wrong address after a block. This 16-bit-encoding ISA
-   (3-bit opcode in bits 13..15) exercises that path end to end. *)
-let tiny_isa_text =
-  {|
-isa "tiny16" {
-  endian little;
-  wordsize 64;
-  instrsize 2;
-  decodekey 13 3;
-}
-
-regclass R 8 width 64 zero 7;
-
-field alu_out : u64;
-
-class ri {
-  operand ra : R[bits(10,3)] read;
-  operand rc : R[bits(7,3)] write;
-}
-
-instr ADDI : ri match 0x0000 mask 0xE000 {
-  action evaluate { alu_out = ra + sbits(0,7); rc = alu_out; }
-}
-
-instr BEQZ match 0x2000 mask 0xE000 {
-  operand ra : R[bits(10,3)] read;
-  action evaluate { if (ra == 0) { next_pc = pc + 2 + (sbits(0,10) << 1); } }
-}
-
-instr SYS match 0x4000 mask 0xE000 {
-  action exception { syscall; }
-}
-
-instr ADD match 0x6000 mask 0xE000 {
-  operand ra : R[bits(10,3)] read;
-  operand rb : R[bits(7,3)] read;
-  operand rc : R[bits(4,3)] write;
-  action evaluate { alu_out = ra + rb; rc = alu_out; }
-}
-
-abi {
-  nr = R[0];
-  arg0 = R[1];
-  arg1 = R[2];
-  arg2 = R[3];
-  ret = R[0];
-}
-|}
-
-let tiny_spec =
-  lazy
-    (Lis.Sema.load
-       [
-         {
-           Lis.Ast.src_role = Lis.Ast.Isa_description;
-           src_name = "tiny16.lis";
-           src_text = tiny_isa_text;
-         };
-         {
-           Lis.Ast.src_role = Lis.Ast.Buildset_file;
-           src_name = "tiny16_buildsets.lis";
-           src_text = Specsim.Detail.canonical_buildset_file ();
-         };
-       ])
-
-let tiny_addi ~ra ~imm ~rc =
-  Int64.of_int ((0 lsl 13) lor (ra lsl 10) lor (rc lsl 7) lor (imm land 0x7F))
-
-let tiny_beqz ~ra ~off =
-  Int64.of_int ((1 lsl 13) lor (ra lsl 10) lor (off land 0x3FF))
-
-let tiny_sys = Int64.of_int (2 lsl 13)
-
-let tiny_add ~ra ~rb ~rc =
-  Int64.of_int ((3 lsl 13) lor (ra lsl 10) lor (rb lsl 7) lor (rc lsl 4))
+   resumed at the wrong address after a block. The fuzzer's tiny16
+   target (3-bit opcode in bits 13..15) exercises that path end to
+   end — the same defect survives as the deliberate
+   {!Specsim.Synth.Stride4} mutation. *)
 
 (* Sum 5..1 with a backward branch: 15. R7 is the zero register. *)
 let tiny_program =
-  [
-    tiny_addi ~ra:7 ~imm:5 ~rc:1 (* r1 = 5 *);
-    tiny_addi ~ra:7 ~imm:0 ~rc:2 (* r2 = 0 *);
-    (* loop: *)
-    tiny_add ~ra:2 ~rb:1 ~rc:2;
-    tiny_addi ~ra:1 ~imm:(-1) ~rc:1;
-    tiny_beqz ~ra:1 ~off:1 (* done when r1 == 0 *);
-    tiny_beqz ~ra:7 ~off:(-4) (* always taken: back to loop *);
-    tiny_addi ~ra:7 ~imm:0 ~rc:0 (* nr = sys_exit *);
-    tiny_add ~ra:2 ~rb:7 ~rc:1 (* arg0 = sum *);
-    tiny_sys;
-  ]
+  Fuzz.Tiny.
+    [
+      addi ~ra:7 ~imm:5 ~rc:1 (* r1 = 5 *);
+      addi ~ra:7 ~imm:0 ~rc:2 (* r2 = 0 *);
+      (* loop: *)
+      add ~ra:2 ~rb:1 ~rc:2;
+      addi ~ra:1 ~imm:(-1) ~rc:1;
+      beqz ~ra:1 ~off:1 (* done when r1 == 0 *);
+      beqz ~ra:7 ~off:(-4) (* always taken: back to loop *);
+      addi ~ra:7 ~imm:0 ~rc:0 (* nr = sys_exit *);
+      add ~ra:2 ~rb:7 ~rc:1 (* arg0 = sum *);
+      sys;
+    ]
 
 let run_tiny bs =
-  let spec = Lazy.force tiny_spec in
+  let spec = Lazy.force Fuzz.Tiny.spec in
   let iface = Specsim.Synth.make spec bs in
   let st = iface.st in
   let os = Machine.Os_emu.create () in
@@ -306,58 +214,13 @@ let test_watchdog_preempts_chained_loop () =
 (* Property: Block mode == One mode on random workloads, all ISAs      *)
 (* ----------------------------------------------------------------- *)
 
-(* Small terminating VIR programs: a random straight-line body inside a
-   counted loop, with aligned word loads/stores into a scratch buffer,
-   exiting with the accumulator's low byte. *)
-let vir_of_choices (choices : int list) ~iters : Vir.Lang.program =
-  let open Vir.Lang in
-  let body =
-    List.map
-      (fun n ->
-        let d = 1 + ((n lsr 4) land 3) in
-        let a = 1 + ((n lsr 6) land 3) in
-        let b = 1 + ((n lsr 8) land 3) in
-        let imm = (n lsr 10) land 0xFFF in
-        match n land 7 with
-        | 0 -> Add (d, a, b)
-        | 1 -> Sub (d, a, b)
-        | 2 -> Mul (d, a, b)
-        | 3 -> Xor_ (d, a, b)
-        | 4 -> Addi (d, a, imm - 2048)
-        | 5 -> Shli (d, a, imm land 15)
-        | 6 -> Stw (a, 5, 4 * (imm land 31))
-        | _ -> Ldw (d, 5, 4 * (imm land 31)))
-      choices
-  in
-  [
-    Li (1, 3l); Li (2, 5l); Li (3, 7l); Li (4, 11l);
-    Li (5, 0x4000l) (* scratch buffer *);
-    Li (6, Int32.of_int iters);
-    Li (7, 0l) (* accumulator *);
-    Li (8, 0l);
-    Label "loop";
-  ]
-  @ body
-  @ [
-      Add (7, 7, 1);
-      Xor_ (7, 7, 2);
-      Addi (6, 6, -1);
-      Bcond (Ne, 6, 8, "loop");
-      Andi (7, 7, 0xff);
-      Li (0, 0l);
-      Mv (1, 7);
-      Sys;
-    ]
-
-let outcome_pair (o : Workload.outcome) = (o.exit_status, o.output)
-
 let prop_block_equals_one =
   QCheck.Test.make ~count:20
     ~name:"Block mode matches One mode on random VIR loops (all ISAs)"
     QCheck.(pair (list_of_size (Gen.int_range 1 10) (int_bound (1 lsl 22)))
               (int_range 1 12))
     (fun (choices, iters) ->
-      let program = vir_of_choices choices ~iters in
+      let program = Gen_common.vir_of_choices choices ~iters in
       List.for_all
         (fun t ->
           let block =
@@ -366,7 +229,7 @@ let prop_block_equals_one =
           let one =
             Workload.run t ~buildset:"one_all" ~budget:1_000_000 program
           in
-          outcome_pair block = outcome_pair one)
+          Gen_common.outcome_pair block = Gen_common.outcome_pair one)
         Workload.targets)
 
 (* A store that targets the program's own code pages (rewriting an

@@ -1,0 +1,157 @@
+(** End-to-end checks of the structured export paths the CLI exposes:
+    the `run --trace-out --format chrome` document must be valid JSON
+    whose events are complete ("X" phase) and time-ordered, and the
+    `check --json` lislint report must round-trip through the JSON
+    parser with counts that match its diagnostics array. *)
+
+open Obs.Export
+
+(* ----------------------------------------------------------------- *)
+(* Chrome trace from an instrumented run                               *)
+(* ----------------------------------------------------------------- *)
+
+let test_chrome_trace_valid_and_monotonic () =
+  let o = Obs.create ~ring_capacity:256 () in
+  let k = List.hd Vir.Kernels.pathological (* spin: never halts *) in
+  let l = Workload.load ~obs:o Workload.alpha ~buildset:"one_all" k.program in
+  ignore (Specsim.Iface.run_n l.iface 300);
+  let events = Obs.events o in
+  Alcotest.(check bool) "instrumented run recorded events" true (events <> []);
+  let doc = to_string (chrome_of_events events) in
+  let j =
+    match parse_opt doc with
+    | Some j -> j
+    | None -> Alcotest.fail "chrome document is not valid JSON"
+  in
+  Alcotest.(check bool) "displayTimeUnit present" true
+    (member "displayTimeUnit" j = Some (Str "ns"));
+  match member "traceEvents" j with
+  | Some (Arr evs) ->
+    Alcotest.(check int) "every ring event exported" (List.length events)
+      (List.length evs);
+    let ts e =
+      match member "ts" e with
+      | Some (Float f) -> f
+      | Some (Int i) -> Int64.to_float i
+      | _ -> Alcotest.fail "event without a numeric ts"
+    in
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "complete event phase" true
+          (member "ph" e = Some (Str "X"));
+        Alcotest.(check bool) "non-negative duration" true
+          (match member "dur" e with
+          | Some (Float d) -> d >= 0.
+          | Some (Int d) -> d >= 0L
+          | _ -> false))
+      evs;
+    let rec monotone = function
+      | a :: (b :: _ as rest) -> ts a <= ts b && monotone rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "timestamps oldest-first and monotone" true
+      (monotone evs)
+  | _ -> Alcotest.fail "traceEvents missing"
+
+(* ----------------------------------------------------------------- *)
+(* lislint --json round trip                                           *)
+(* ----------------------------------------------------------------- *)
+
+(* A spec seeded with one warning (rb fetched but unused: L031), linted
+   the way `lisim check --json` does it. *)
+let warned_spec_text =
+  {|
+isa "t" { endian little; wordsize 64; instrsize 4; decodekey 26 6; }
+
+regclass GPR 32 width 64 zero 31;
+
+instr A match 0x40000000 mask 0xFC0007FF {
+  operand ra : GPR[bits(21,5)] read;
+  operand rb : GPR[bits(16,5)] read;
+  operand rc : GPR[bits(11,5)] write;
+  action evaluate { rc = ra; }
+}
+|}
+
+let lint_diags text =
+  let spec =
+    Lis.Sema.load
+      [
+        {
+          Lis.Ast.src_role = Lis.Ast.Isa_description;
+          src_name = "t.lis";
+          src_text = text;
+        };
+      ]
+  in
+  match Analysis.Lint.run spec with
+  | Ok ds -> ds
+  | Error m -> Alcotest.fail m
+
+let ints_of = function
+  | Some (Int i) -> Int64.to_int i
+  | _ -> Alcotest.fail "expected an integer field"
+
+let test_lint_json_roundtrip () =
+  let ds = lint_diags warned_spec_text in
+  Alcotest.(check bool) "the seeded L031 fires" true
+    (List.exists (fun d -> d.Analysis.Diag.code = "L031") ds);
+  let report = Analysis.Diag.json_report ~unit_name:"t.lis" ds in
+  let j =
+    match parse_opt report with
+    | Some j -> j
+    | None -> Alcotest.fail "--json report is not valid JSON"
+  in
+  Alcotest.(check bool) "unit name round-trips" true
+    (member "unit" j = Some (Str "t.lis"));
+  let errors, warnings, notes = Analysis.Diag.counts ds in
+  Alcotest.(check int) "errors count" errors (ints_of (member "errors" j));
+  Alcotest.(check int) "warnings count" warnings (ints_of (member "warnings" j));
+  Alcotest.(check int) "notes count" notes (ints_of (member "notes" j));
+  match member "diagnostics" j with
+  | Some (Arr djs) ->
+    Alcotest.(check int) "one object per diagnostic" (List.length ds)
+      (List.length djs);
+    List.iter2
+      (fun (d : Analysis.Diag.t) dj ->
+        Alcotest.(check bool) (d.code ^ ": code round-trips") true
+          (member "code" dj = Some (Str d.code));
+        Alcotest.(check bool) (d.code ^ ": severity round-trips") true
+          (member "severity" dj
+          = Some (Str (Analysis.Diag.severity_name d.severity)));
+        Alcotest.(check bool) (d.code ^ ": pass round-trips") true
+          (member "pass" dj = Some (Str d.pass));
+        Alcotest.(check bool) (d.code ^ ": message round-trips") true
+          (member "message" dj = Some (Str d.message));
+        Alcotest.(check bool) (d.code ^ ": line is positive") true
+          (ints_of (member "line" dj) >= 1))
+      ds djs
+  | _ -> Alcotest.fail "diagnostics array missing"
+
+(* A clean spec must render a report with empty diagnostics, still
+   valid JSON — the shape tooling keys on. *)
+let test_lint_json_clean () =
+  let ds =
+    match Analysis.Lint.run (Lazy.force Isa_alpha.Alpha.spec) with
+    | Ok ds -> ds
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check int) "alpha lints clean" 0 (List.length ds);
+  let j =
+    match parse_opt (Analysis.Diag.json_report ~unit_name:"alpha" ds) with
+    | Some j -> j
+    | None -> Alcotest.fail "--json report is not valid JSON"
+  in
+  Alcotest.(check bool) "zero errors" true (member "errors" j = Some (Int 0L));
+  Alcotest.(check bool) "empty diagnostics array" true
+    (member "diagnostics" j = Some (Arr []))
+
+let suite =
+  [
+    Alcotest.test_case "chrome trace: valid JSON, monotone events" `Quick
+      test_chrome_trace_valid_and_monotonic;
+    Alcotest.test_case "lislint --json round trip" `Quick
+      test_lint_json_roundtrip;
+    Alcotest.test_case "lislint --json on a clean spec" `Quick
+      test_lint_json_clean;
+  ]

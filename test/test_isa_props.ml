@@ -1,6 +1,12 @@
 (** Model-based property tests for the trickiest ISA semantics: the ARM
     shifter operand, PPC's rlwinm mask machinery, and Alpha's byte-zapper
-    are each checked against independent OCaml models on random inputs. *)
+    are each checked against independent OCaml models on random inputs.
+    All four properties drive {!Gen_common.run_single} — one shared
+    interface per ISA, one staged instruction per check. *)
+
+let arm_iface = Gen_common.one_all Isa_arm.Arm.spec
+let ppc_iface = Gen_common.one_all Isa_ppc.Ppc.spec
+let alpha_iface = Gen_common.one_all Isa_alpha.Alpha.spec
 
 (* ----------------------------------------------------------------- *)
 (* ARM shifter operand (register shifted by immediate)                 *)
@@ -29,22 +35,16 @@ let arm_shifter_model ~typ ~imm5 ~rm ~carry_in =
            (Int64.shift_right_logical rm imm5)
            (Int64.shift_left rm (32 - imm5)))
 
-let arm_iface =
-  lazy (Specsim.Synth.make (Lazy.force Isa_arm.Arm.spec) "one_all")
-
 let run_arm_mov ~typ ~imm5 ~rm_val ~carry_in =
-  let iface = Lazy.force arm_iface in
-  let st = iface.st in
-  Machine.Regfile.write st.regs ~cls:0 ~idx:2 rm_val;
-  Machine.Regfile.write st.regs ~cls:1 ~idx:2 (if carry_in then 1L else 0L);
-  let word =
-    Isa_arm.Arm_asm.dp_reg ~op:13 ~rn:0 ~rd:1 ~rm:2 ~shift_type:typ
-      ~shift_imm:imm5 ()
+  let st =
+    Gen_common.run_single arm_iface
+      ~pre:(fun st ->
+        Machine.Regfile.write st.regs ~cls:0 ~idx:2 rm_val;
+        Machine.Regfile.write st.regs ~cls:1 ~idx:2
+          (if carry_in then 1L else 0L))
+      (Isa_arm.Arm_asm.dp_reg ~op:13 ~rn:0 ~rd:1 ~rm:2 ~shift_type:typ
+         ~shift_imm:imm5 ())
   in
-  Machine.Memory.write st.mem ~addr:0x1000L ~width:4 word;
-  Machine.State.reset st ~pc:0x1000L;
-  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
-  iface.run_one di;
   Machine.Regfile.read st.regs ~cls:0 ~idx:1
 
 let prop_arm_shifter =
@@ -78,18 +78,12 @@ let rlwinm_model ~rs ~sh ~mb ~me =
   done;
   Int64.logand rot !mask
 
-let ppc_iface =
-  lazy (Specsim.Synth.make (Lazy.force Isa_ppc.Ppc.spec) "one_all")
-
 let run_ppc_rlwinm ~rs_val ~sh ~mb ~me =
-  let iface = Lazy.force ppc_iface in
-  let st = iface.st in
-  Machine.Regfile.write st.regs ~cls:0 ~idx:5 rs_val;
-  Machine.Memory.write st.mem ~addr:0x1000L ~width:4
-    (Isa_ppc.Ppc_asm.rlwinm ~ra:3 ~rs:5 ~sh ~mb ~me ());
-  Machine.State.reset st ~pc:0x1000L;
-  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
-  iface.run_one di;
+  let st =
+    Gen_common.run_single ppc_iface
+      ~pre:(fun st -> Machine.Regfile.write st.regs ~cls:0 ~idx:5 rs_val)
+      (Isa_ppc.Ppc_asm.rlwinm ~ra:3 ~rs:5 ~sh ~mb ~me ())
+  in
   Machine.Regfile.read st.regs ~cls:0 ~idx:3
 
 let prop_ppc_rlwinm =
@@ -112,18 +106,12 @@ let zapnot_model ~ra ~lit =
   done;
   Int64.logand ra !m
 
-let alpha_iface =
-  lazy (Specsim.Synth.make (Lazy.force Isa_alpha.Alpha.spec) "one_all")
-
 let run_alpha_zapnot ~ra_val ~lit =
-  let iface = Lazy.force alpha_iface in
-  let st = iface.st in
-  Machine.Regfile.write st.regs ~cls:0 ~idx:2 ra_val;
-  Machine.Memory.write st.mem ~addr:0x1000L ~width:4
-    (Isa_alpha.Alpha_asm.zapnot_lit ~ra:2 ~lit ~rc:1);
-  Machine.State.reset st ~pc:0x1000L;
-  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
-  iface.run_one di;
+  let st =
+    Gen_common.run_single alpha_iface
+      ~pre:(fun st -> Machine.Regfile.write st.regs ~cls:0 ~idx:2 ra_val)
+      (Isa_alpha.Alpha_asm.zapnot_lit ~ra:2 ~lit ~rc:1)
+  in
   Machine.Regfile.read st.regs ~cls:0 ~idx:1
 
 let prop_alpha_zapnot =
@@ -137,15 +125,13 @@ let prop_alpha_zapnot =
 (* ----------------------------------------------------------------- *)
 
 let run_arm_adds ~a ~b =
-  let iface = Lazy.force arm_iface in
-  let st = iface.st in
-  Machine.Regfile.write st.regs ~cls:0 ~idx:2 a;
-  Machine.Regfile.write st.regs ~cls:0 ~idx:3 b;
-  Machine.Memory.write st.mem ~addr:0x1000L ~width:4
-    (Isa_arm.Arm_asm.dp_reg ~s:true ~op:4 ~rn:2 ~rd:1 ~rm:3 ());
-  Machine.State.reset st ~pc:0x1000L;
-  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
-  iface.run_one di;
+  let st =
+    Gen_common.run_single arm_iface
+      ~pre:(fun st ->
+        Machine.Regfile.write st.regs ~cls:0 ~idx:2 a;
+        Machine.Regfile.write st.regs ~cls:0 ~idx:3 b)
+      (Isa_arm.Arm_asm.dp_reg ~s:true ~op:4 ~rn:2 ~rd:1 ~rm:3 ())
+  in
   let f i = Machine.Regfile.read st.regs ~cls:1 ~idx:i in
   (Machine.Regfile.read st.regs ~cls:0 ~idx:1, f 0, f 1, f 2, f 3)
 

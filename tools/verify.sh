@@ -77,4 +77,38 @@ for counter in chain_taken chain_miss site_cache_hits; do
   fi
 done
 
+echo "== fuzz: bounded healthy campaign must stay quiet (seed 42) =="
+# per-ISA budgets sized to ~1-2s each at measured oracle throughput
+for pair in alpha:600 arm:200 ppc:600 tiny:300; do
+  isa=${pair%:*}
+  budget=${pair#*:}
+  dune exec bin/lisim.exe -- fuzz --isa "$isa" --seed 42 --budget "$budget"
+done
+
+echo "== fuzz: a seeded defect must be caught, shrunk and replayable =="
+fuzzdir=$(mktemp -d)
+trap 'rm -f "$tmp"; rm -rf "$fuzzdir"' EXIT INT TERM
+if dune exec bin/lisim.exe -- fuzz --isa tiny --seed 42 --budget 50 \
+    --mutate stride4 --out "$fuzzdir" >"$tmp" 2>&1; then
+  echo "FAIL: stride4 mutation not detected" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+if ! grep -q "shrunk to" "$tmp"; then
+  echo "FAIL: divergence was not shrunk" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+repro=$(ls "$fuzzdir"/fuzz-tiny-*.repro)
+if dune exec bin/lisim.exe -- fuzz --isa tiny --replay "$repro" >"$tmp" 2>&1; then
+  echo "FAIL: reproducer replayed clean" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+if ! grep -q "DIVERGES" "$tmp"; then
+  echo "FAIL: replay did not report the divergence" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+
 echo "verify: OK"
