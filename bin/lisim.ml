@@ -153,7 +153,22 @@ let profile_aux_passes (o : Obs.t) (t : Workload.target)
     ignore
       (Timing.Timingfirst.run ~obs:aux ~timing:lt.iface ~checker:lc.iface
          ~budget:(min budget 50_000) ())
-  end
+  end;
+  (* a short supervised degradation window drives the super.* family *)
+  let stats = Super.Supervisor.of_registry o.Obs.reg in
+  let session =
+    Super.Degrade.create ~stats ~spec ~buildset
+      ~load:(fun st -> ignore (Workload.load_image t k.program st))
+      ()
+  in
+  ignore (Super.Degrade.run ~budget:(min budget 20_000) session)
+
+let parse_mutation m =
+  match Specsim.Synth.mutation_of_string m with
+  | Some m -> m
+  | None ->
+    Machine.Sim_error.raisef ~component:"cli" ~context:[ ("mutation", m) ]
+      "unknown mutation (expected stale-chain, skip-invalidate or stride4)"
 
 (* ---------------- list ------------------------------------------- *)
 
@@ -404,22 +419,101 @@ let run_cmd =
              per-site memory fast paths: every block compiles its own sites \
              (the pre-translation-cache behaviour, for A/B comparison).")
   in
+  let supervised =
+    Arg.(
+      value & flag
+      & info [ "supervised" ]
+          ~doc:
+            "Run under the supervised execution runtime: a step_all shadow \
+             verifies every slice, and engine misbehaviour demotes the \
+             interface down the chain / site-cache / step_all ladder \
+             instead of aborting.")
+  in
+  let mutate_r =
+    Arg.(
+      value & opt (some string) None
+      & info [ "mutate" ] ~docv:"MUTATION"
+          ~doc:
+            "With --supervised: seed a deliberate engine defect \
+             (stale-chain, skip-invalidate or stride4) to exercise the \
+             demotion ladder.")
+  in
+  let run_supervised (t : Workload.target) (k : Vir.Kernels.sized) ~buildset
+      ~budget ~deadline ~mutate ~chain ~site_cache (obs : Obs.t option) =
+    let spec = Lazy.force t.spec in
+    let stats = Option.map (fun (o : Obs.t) -> Super.Supervisor.of_registry o.Obs.reg) obs in
+    let oses = ref [] in
+    let load st = oses := (st, Workload.load_image t k.program st) :: !oses in
+    let session =
+      Super.Degrade.create ?obs ?stats ?mutate ~chain ~site_cache ~spec
+        ~buildset ~load ()
+    in
+    let r = Super.Degrade.run ?deadline ~budget session in
+    let sst = Super.Degrade.shadow_state session in
+    let code =
+      match Machine.State.exit_status sst with
+      | Some s ->
+        let output =
+          match List.assq_opt sst !oses with
+          | Some os -> Machine.Os_emu.output os
+          | None -> ""
+        in
+        Printf.printf "%s on %s/%s (supervised): exit=%d output=%S\n" k.kname
+          t.Workload.tname buildset (s land 0xff) output;
+        0
+      | None ->
+        Printf.printf "%s on %s/%s (supervised): %s%s\n" k.kname
+          t.Workload.tname buildset
+          (if r.Super.Degrade.r_halted then "halted without exit status"
+           else "instruction budget exhausted before halt")
+          (match sst.fault with
+          | Some f -> " (" ^ Machine.Fault.to_string f ^ ")"
+          | None -> "");
+        1
+    in
+    Printf.printf
+      "supervision: level=%s demotions=%d replays=%d verified slices=%d \
+       instructions=%Ld digest=0x%Lx\n"
+      r.Super.Degrade.r_final_level r.Super.Degrade.r_demotions
+      r.Super.Degrade.r_replays r.Super.Degrade.r_slices
+      r.Super.Degrade.r_instructions r.Super.Degrade.r_digest;
+    code
+  in
   let run isa buildset kernel max_instructions max_seconds stats trace_out
-      format no_chain no_site_cache =
+      format no_chain no_site_cache supervised mutate =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
+    let mutate = Option.map parse_mutation mutate in
     let obs =
       if stats || trace_out <> None then
         Some (Obs.create ~trace:(trace_out <> None) ())
       else None
     in
+    if supervised then begin
+      let deadline =
+        Option.map (fun s -> Unix.gettimeofday () +. s) max_seconds
+      in
+      let code =
+        run_supervised t k ~buildset ~budget:max_instructions ~deadline ~mutate
+          ~chain:(not no_chain) ~site_cache:(not no_site_cache) obs
+      in
+      (match obs with Some o when stats -> print_counters o | _ -> ());
+      code
+    end
+    else begin
+    (match mutate with
+    | Some _ ->
+      Machine.Sim_error.raisef ~component:"cli"
+        "--mutate requires --supervised (a seeded defect without the \
+         supervising shadow would just corrupt the run)"
+    | None -> ());
     let l =
       Workload.load ~chain:(not no_chain) ~site_cache:(not no_site_cache) ?obs t
         ~buildset k.program
     in
     let t0 = Unix.gettimeofday () in
     Inject.Watchdog.run_guarded
-      ~config:{ max_instructions; max_seconds; check_interval = 4096 }
+      ~config:{ max_instructions; max_seconds; deadline = None; check_interval = 4096 }
       l.iface;
     let dt = Unix.gettimeofday () -. t0 in
     let code =
@@ -455,6 +549,7 @@ let run_cmd =
         Printf.printf "wrote %d trace events to %s (%s)\n" (List.length events)
           path format));
     code
+    end
   in
   Cmd.v
     (Cmd.info "run"
@@ -465,7 +560,7 @@ let run_cmd =
     Term.(
       const run $ isa_arg $ buildset_arg $ kernel_arg $ max_instrs
       $ max_seconds $ stats_flag $ trace_out $ format_arg ~default:"chrome"
-      $ no_chain $ no_site_cache)
+      $ no_chain $ no_site_cache $ supervised $ mutate_r)
 
 (* ---------------- export ------------------------------------------ *)
 
@@ -664,7 +759,30 @@ let inject_cmd =
       value & opt string "one_min"
       & info [ "buildset"; "b" ] ~docv:"NAME" ~doc:"Interface buildset.")
   in
-  let run isa seed rate budget sites min_coverage kernel buildset stats =
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Run the campaign supervised: one durable JSONL record per ISA \
+             cell appended to FILE, deterministic failures quarantined as \
+             replay-command files instead of aborting the sweep.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"With --journal: skip cells the journal already records.")
+  in
+  let quarantine =
+    Arg.(
+      value & opt string "quarantine"
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:"Directory quarantined replay files are written into (with \
+                --journal).")
+  in
+  let run isa seed rate budget sites min_coverage kernel buildset stats journal
+      resume quarantine =
     let isas =
       match isa with "all" -> [ "alpha"; "arm"; "ppc" ] | i -> [ i ]
     in
@@ -685,9 +803,27 @@ let inject_cmd =
       { Inject.Campaign.default_config with seed; rate; budget; sites; buildset }
     in
     let obs = if stats then Some (Obs.create ()) else None in
-    let reports = Inject.Campaign.run ?obs ~isas ~kernel cfg in
-    List.iter (Format.printf "%a@." Inject.Campaign.pp_report) reports;
-    Format.printf "%a" Inject.Campaign.pp_summary reports;
+    let reports =
+      match journal with
+      | Some journal ->
+        let sstats =
+          Option.map
+            (fun (o : Obs.t) -> Super.Supervisor.of_registry o.Obs.reg)
+            obs
+        in
+        let cells =
+          Super.Inject_run.run ~isas ~kernel ?obs ?stats:sstats ~journal
+            ~quarantine ~resume cfg
+        in
+        Format.printf "%a" Super.Inject_run.pp_cells cells;
+        (* coverage gating applies only to cells executed this run *)
+        List.filter_map (fun c -> c.Super.Inject_run.c_report) cells
+      | None ->
+        let reports = Inject.Campaign.run ?obs ~isas ~kernel cfg in
+        List.iter (Format.printf "%a@." Inject.Campaign.pp_report) reports;
+        Format.printf "%a" Inject.Campaign.pp_summary reports;
+        reports
+    in
     (match obs with Some o -> print_counters o | None -> ());
     match min_coverage with
     | None -> 0
@@ -705,7 +841,7 @@ let inject_cmd =
              latency and recovery statistics.")
     Term.(
       const run $ isa $ seed $ rate $ budget $ sites $ min_coverage $ kernel_c
-      $ buildset_c $ stats_flag)
+      $ buildset_c $ stats_flag $ journal $ resume $ quarantine)
 
 (* ---------------- stats ------------------------------------------ *)
 
@@ -834,21 +970,39 @@ let fuzz_cmd =
       & info [ "mutate" ] ~docv:"MUTATION"
           ~doc:"Fuzzer self-test: deliberately re-break the candidate \
                 engine with one of stale-chain, skip-invalidate or stride4 \
-                and check the campaign finds it (exit 1 expected).")
+                and check the campaign finds it (exit 1 expected; with \
+                --journal the supervised campaign quarantines it and exits \
+                0).")
   in
-  let run isa seed budget max_instrs replay out no_chain no_site mutate =
-    let mutate =
-      Option.map
-        (fun m ->
-          match Specsim.Synth.mutation_of_string m with
-          | Some m -> m
-          | None ->
-            Machine.Sim_error.raisef ~component:"cli"
-              ~context:[ ("mutation", m) ]
-              "unknown mutation (expected stale-chain, skip-invalidate or \
-               stride4)")
-        mutate
-    in
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Run the supervised campaign: append one durable JSONL record \
+             per case to FILE, quarantine divergences as replayable \
+             reproducers instead of aborting, and exit 0. Combine with \
+             --resume to skip cases the journal already has.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "With --journal: load the journal first and skip completed \
+             cases (their budget slots are still consumed, so the case \
+             window is identical to the interrupted run).")
+  in
+  let quarantine =
+    Arg.(
+      value & opt string "quarantine"
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:"Directory quarantined reproducers are written into (with \
+                --journal).")
+  in
+  let run isa seed budget max_instrs replay out no_chain no_site mutate journal
+      resume quarantine =
+    let mutate = Option.map parse_mutation mutate in
     let cfg =
       {
         Fuzz.Oracle.default_config with
@@ -892,6 +1046,26 @@ let fuzz_cmd =
       Printf.printf "replay %s: %d diverging / %d checked\n" path n
         (List.length results);
       if n > 0 then 1 else 0
+    | None when journal <> None ->
+      let journal = Option.get journal in
+      let isas =
+        match isa with "all" -> Fuzz.Driver.all_isas | i -> [ i ]
+      in
+      let o = Obs.create () in
+      let stats = Super.Supervisor.of_registry o.Obs.reg in
+      (* case ids embed the isa, so one journal serves the whole sweep *)
+      List.iter
+        (fun isa ->
+          let p =
+            Fuzz.Campaign.run ~cfg ~stats ~isa ~seed ~budget ~journal
+              ~quarantine ~resume ()
+          in
+          Format.printf "%a" Fuzz.Campaign.pp_report p)
+        isas;
+      Printf.printf "journal: %s\nquarantine: %d reproducer(s) in %s\n" journal
+        (Super.Quarantine.count (Super.Quarantine.create ~dir:quarantine))
+        quarantine;
+      0
     | None ->
       let isas =
         match isa with "all" -> Fuzz.Driver.all_isas | i -> [ i ]
@@ -942,7 +1116,7 @@ let fuzz_cmd =
           any divergence to a minimal deterministic reproducer.")
     Term.(
       const run $ isa $ seed $ budget $ max_instrs $ replay $ out $ no_chain
-      $ no_site $ mutate)
+      $ no_site $ mutate $ journal $ resume $ quarantine)
 
 let () =
   let info =
@@ -956,5 +1130,6 @@ let () =
   in
   try exit (Cmd.eval' ~catch:false group) with
   | Machine.Sim_error.Error e ->
-    Format.eprintf "lisim: %a@." Machine.Sim_error.pp e;
+    (* stable one-line diagnostic + stable exit code (see README table) *)
+    Format.eprintf "lisim: %s@." (Machine.Sim_error.one_line e);
     exit (Machine.Sim_error.exit_code e)

@@ -128,6 +128,23 @@ let rec dummy_block =
     b_s2 = dummy_block;
   }
 
+(* A block handed to dispatch must start at the pc that was requested —
+   the one structural invariant the successor caches could silently
+   break. The check is a single 64-bit compare per block dispatch; a
+   violation is reported as an "engine" {!Sim_error} (exit code 5), the
+   structured signal the supervised runtime's degradation ladder
+   demotes on instead of executing wrong code. *)
+let dispatch_invariant_violation (st : State.t) ~want ~got =
+  Sim_error.raisef ~component:"engine"
+    ~context:
+      [
+        ("pc", Printf.sprintf "0x%Lx" want);
+        ("block_pc0", Printf.sprintf "0x%Lx" got);
+        ("instructions", Int64.to_string st.State.instr_count);
+      ]
+    "block dispatch invariant violated: cached block does not start at the \
+     dispatch pc"
+
 (* ------------------------------------------------------------------ *)
 (* Synthesis                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -546,6 +563,8 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
     else begin
       let pc0 = st.pc in
       let b = lookup_from !last_block pc0 in
+      if not (Int64.equal b.b_pc0 pc0) then
+        dispatch_invariant_violation st ~want:pc0 ~got:b.b_pc0;
       last_block := b;
       let codes = b.b_codes
       and encs = b.b_encs
@@ -839,6 +858,8 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
     while !executed < n && not st.halted do
       let pc0 = st.pc in
       let b = lookup_from !last_block pc0 in
+      if not (Int64.equal b.b_pc0 pc0) then
+        dispatch_invariant_violation st ~want:pc0 ~got:b.b_pc0;
       last_block := b;
       let codes = b.b_codes and encs = b.b_encs and pcs = b.b_pcs in
       let len = Array.length codes in

@@ -1,0 +1,180 @@
+(** Supervised fuzz campaign: the {!Driver} search loop ported onto the
+    supervised execution runtime ({!Super}).
+
+    Differences from the bare {!Driver.hunt}:
+
+    - every oracle execution is a supervised {e case} with a stable id
+      ([fuzz/<isa>/0x<seed>/<index>/<buildset>]), run under the
+      supervisor's deadline/retry policy;
+    - a divergence does not end the campaign: the testcase is shrunk,
+      persisted to the quarantine directory as a replayable reproducer
+      (same format as [--repro-out]), demonstrated to degrade gracefully
+      down the demotion ladder, and the campaign moves on;
+    - every case outcome is appended to a durable journal; a rerun with
+      the same (seed, budget) and [resume] skips completed cases while
+      consuming their budget slots, so the case window is identical.
+
+    Everything downstream of (isa, seed) stays deterministic — the
+    supervisor's retry jitter comes from the same splitmix stream. *)
+
+type report = {
+  p_isa : string;
+  p_programs : int;  (** testcases generated *)
+  p_execs : int;  (** budget slots consumed (executed + skipped) *)
+  p_cases : int;  (** cases actually executed this run *)
+  p_skipped : int;  (** cases skipped because the journal has them *)
+  p_clean : int;
+  p_quarantined : int;
+  p_gave_up : int;  (** transient failures that exhausted their retries *)
+  p_retries : int;
+  p_demotions : int;  (** ladder steps across all degradation sessions *)
+  p_torn : int;  (** unparsable journal lines tolerated on resume *)
+}
+
+let case_id ~isa ~seed ~index ~buildset =
+  Printf.sprintf "fuzz/%s/0x%Lx/%d/%s" isa seed index buildset
+
+(* After a divergence is quarantined, demonstrate that a supervised
+   session over the same (shrunk) testcase completes by demoting down
+   the ladder — the degraded-but-alive path a campaign takes when the
+   block engine itself is defective. *)
+let degrade_session ?obs ?stats (cfg : Oracle.config) spec ~buildset tc
+    ~deadline =
+  let session =
+    Super.Degrade.create ?obs ?stats ?mutate:cfg.Oracle.mutate
+      ~chain:cfg.chain ~site_cache:cfg.site_cache ~reference:cfg.reference
+      ~spec ~buildset
+      ~load:(Oracle.load_image spec tc)
+      ()
+  in
+  Super.Degrade.run ?deadline ~slice:64 ~budget:cfg.max_instrs session
+
+let run ?(cfg = Oracle.default_config) ?obs ?stats
+    ?(super = Super.Supervisor.default) ~isa ~seed ~budget ~journal ~quarantine
+    ?(resume = false) () : report =
+  let spec = Driver.spec_of_isa isa in
+  let cx = Gen.make_ctx ~isa spec in
+  let view =
+    if resume then Super.Journal.load ~path:journal
+    else Super.Journal.empty_view ()
+  in
+  let q = Super.Quarantine.create ~dir:quarantine in
+  let w =
+    Super.Journal.open_ ~path:journal
+      ~meta:
+        [
+          ("campaign", Obs.Export.Str "fuzz");
+          ("isa", Obs.Export.Str isa);
+          ("seed", Obs.Export.Str (Printf.sprintf "0x%Lx" seed));
+          ("budget", Obs.Export.Int (Int64.of_int budget));
+        ]
+  in
+  let scfg = { super with Super.Supervisor.seed } in
+  let execs = ref 0 in
+  let programs = ref 0 in
+  let cases = ref 0 and skipped = ref 0 in
+  let clean = ref 0 and quarantined = ref 0 and gave_up = ref 0 in
+  let retries = ref 0 and demotions = ref 0 in
+  let index = ref 0 in
+  let quarantine_case ?digest ?level ~case ~attempts ~detail contents =
+    let path =
+      Super.Quarantine.put q ~name:(case ^ ".repro") ~contents
+    in
+    Option.iter
+      (fun s -> Obs.Registry.incr s.Super.Supervisor.s_quarantined)
+      stats;
+    incr quarantined;
+    Super.Journal.record w
+      (Super.Journal.entry ?digest ?level ~attempts
+         ~outcome:Super.Journal.Quarantined
+         ~detail:(detail ^ " -> " ^ path) case)
+  in
+  (try
+     while !execs < budget do
+       let tc = Gen.generate cx ~seed ~index:!index in
+       incr programs;
+       let tc_index = !index in
+       incr index;
+       List.iter
+         (fun bs ->
+           if !execs < budget then begin
+             incr execs;
+             let case = case_id ~isa ~seed ~index:tc_index ~buildset:bs in
+             if Super.Journal.is_complete view case then incr skipped
+             else begin
+               incr cases;
+               match
+                 Super.Supervisor.run_case ?stats scfg
+                   ~index:(Int64.of_int !execs)
+                   (fun ~deadline:_ -> Oracle.run_pair spec cfg tc ~buildset:bs)
+               with
+               | Super.Supervisor.Done (None, attempts) ->
+                 incr clean;
+                 retries := !retries + attempts - 1;
+                 Super.Journal.record w
+                   (Super.Journal.entry ~attempts ~outcome:Super.Journal.Pass
+                      case)
+               | Super.Supervisor.Done (Some d, attempts) ->
+                 retries := !retries + attempts - 1;
+                 (* shrink, persist, then prove graceful degradation *)
+                 let { Shrink.s_tc; s_tests = _ } =
+                   Shrink.shrink spec cfg ~buildset:bs tc
+                 in
+                 let r =
+                   degrade_session ?obs ?stats cfg spec ~buildset:bs s_tc
+                     ~deadline:None
+                 in
+                 demotions := !demotions + r.Super.Degrade.r_demotions;
+                 quarantine_case ~digest:r.Super.Degrade.r_digest
+                   ~level:r.Super.Degrade.r_final_level ~case ~attempts
+                   ~detail:(Oracle.pp_divergence d)
+                   (Repro.to_string cfg ~buildset:bs s_tc)
+               | Super.Supervisor.Gave_up (f, attempts) -> (
+                 retries := !retries + attempts - 1;
+                 match f.Super.Taxonomy.f_severity with
+                 | Super.Taxonomy.Deterministic ->
+                   (* deterministic crash: no verified divergence to
+                      shrink against, quarantine the testcase as-is *)
+                   quarantine_case ~case ~attempts
+                     ~detail:
+                       (f.Super.Taxonomy.f_kind ^ ": "
+                      ^ f.Super.Taxonomy.f_detail)
+                     (Repro.to_string cfg ~buildset:bs tc)
+                 | _ ->
+                   incr gave_up;
+                   Super.Journal.record w
+                     (Super.Journal.entry ~attempts
+                        ~outcome:Super.Journal.Gave_up
+                        ~detail:f.Super.Taxonomy.f_kind case))
+             end
+           end)
+         cfg.Oracle.buildsets
+     done
+   with exn ->
+     Super.Journal.close w;
+     raise exn);
+  Super.Journal.close w;
+  {
+    p_isa = isa;
+    p_programs = !programs;
+    p_execs = !execs;
+    p_cases = !cases;
+    p_skipped = !skipped;
+    p_clean = !clean;
+    p_quarantined = !quarantined;
+    p_gave_up = !gave_up;
+    p_retries = !retries;
+    p_demotions = !demotions;
+    p_torn = view.Super.Journal.v_torn;
+  }
+
+let pp_report ppf (p : report) =
+  Format.fprintf ppf
+    "%s: %d programs, %d budget slots (%d executed, %d resumed)@\n" p.p_isa
+    p.p_programs p.p_execs p.p_cases p.p_skipped;
+  Format.fprintf ppf
+    "  clean %d, quarantined %d, gave up %d; retries %d, demotions %d@\n"
+    p.p_clean p.p_quarantined p.p_gave_up p.p_retries p.p_demotions;
+  if p.p_torn > 0 then
+    Format.fprintf ppf "  (tolerated %d torn journal line(s) on resume)@\n"
+      p.p_torn

@@ -75,12 +75,12 @@ let install_pseudo_os (spec : Lis.Spec.t) (st : Machine.State.t) =
           Machine.Regfile.write st.regs ~cls:rc ~idx:ri !h
         end)
 
-(** [boot spec tc ...] synthesizes an interface on a fresh machine loaded
-    with the testcase image, pseudo-OS installed, pc at the code base. *)
-let boot (spec : Lis.Spec.t) (tc : Gen.testcase) ~buildset ~chain ~site_cache
-    ?mutate ?obs () : Specsim.Iface.t =
-  let iface = Specsim.Synth.make ~chain ~site_cache ?mutate ?obs spec buildset in
-  let st = iface.st in
+(** [load_image spec tc st] loads a testcase image into [st]: data
+    words, code words at {!Gen.code_base}, initial registers, the
+    pseudo-OS, and a reset with the pc at the code base. Shared by
+    {!boot} and by the supervised runtime's degradation sessions, which
+    need to prepare several machines identically. *)
+let load_image (spec : Lis.Spec.t) (tc : Gen.testcase) (st : Machine.State.t) =
   Array.iter
     (fun (addr, w) -> Machine.Memory.write st.mem ~addr ~width:8 w)
     tc.Gen.tc_mem;
@@ -94,7 +94,14 @@ let boot (spec : Lis.Spec.t) (tc : Gen.testcase) ~buildset ~chain ~site_cache
     (fun (c, i, v) -> Machine.Regfile.write st.regs ~cls:c ~idx:i v)
     tc.tc_regs;
   install_pseudo_os spec st;
-  Machine.State.reset st ~pc:Gen.code_base;
+  Machine.State.reset st ~pc:Gen.code_base
+
+(** [boot spec tc ...] synthesizes an interface on a fresh machine loaded
+    with the testcase image, pseudo-OS installed, pc at the code base. *)
+let boot (spec : Lis.Spec.t) (tc : Gen.testcase) ~buildset ~chain ~site_cache
+    ?mutate ?obs () : Specsim.Iface.t =
+  let iface = Specsim.Synth.make ~chain ~site_cache ?mutate ?obs spec buildset in
+  load_image spec tc iface.st;
   iface
 
 (* One lockstep participant: interface plus its call-style driver. *)

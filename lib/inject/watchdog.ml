@@ -16,21 +16,35 @@
     The check interval bounds both the overshoot past the budget and the
     latency of spin detection. *)
 
-type reason = Budget_exceeded | Wall_clock_exceeded | No_progress
+type reason =
+  | Budget_exceeded
+  | Wall_clock_exceeded
+  | Deadline_exceeded
+  | No_progress
 
 let reason_to_string = function
   | Budget_exceeded -> "instruction budget exceeded"
   | Wall_clock_exceeded -> "wall-clock limit exceeded"
+  | Deadline_exceeded -> "wall-clock deadline exceeded"
   | No_progress -> "no forward progress (architectural state is a fixed point)"
 
 type config = {
   max_instructions : int;
-  max_seconds : float option;
+  max_seconds : float option;  (** relative limit, from the start of the run *)
+  deadline : float option;
+      (** absolute wall-clock time ([Unix.gettimeofday] scale) after which
+          the run trips, whatever progress it is making — the supervised
+          runtime's per-case deadline *)
   check_interval : int;
 }
 
 let default =
-  { max_instructions = 1_000_000_000; max_seconds = None; check_interval = 4096 }
+  {
+    max_instructions = 1_000_000_000;
+    max_seconds = None;
+    deadline = None;
+    check_interval = 4096;
+  }
 
 let regs_digest (regs : Machine.Regfile.t) =
   let h = ref 0x2545F4914F6CDD1DL in
@@ -50,6 +64,16 @@ let trip reason (st : Machine.State.t) extra =
       @ extra)
     "simulation halted by watchdog"
 
+(** [check_deadline ?deadline st] trips {!Deadline_exceeded} when the
+    absolute wall-clock [deadline] has passed. Slice-driven runners (the
+    supervised degradation session, campaign cells) call this at their
+    preemption points to share the watchdog's structured error. *)
+let check_deadline ?deadline (st : Machine.State.t) =
+  match deadline with
+  | Some d when Unix.gettimeofday () > d ->
+    trip Deadline_exceeded st [ ("deadline", Printf.sprintf "%.3f" d) ]
+  | _ -> ()
+
 (** [run_guarded ?config iface] drives [iface] until the machine halts.
     @raise Machine.Sim_error.Error when a watchdog condition trips. *)
 let run_guarded ?(config = default) (iface : Specsim.Iface.t) =
@@ -68,6 +92,7 @@ let run_guarded ?(config = default) (iface : Specsim.Iface.t) =
       | Some limit when Unix.gettimeofday () -. t0 > limit ->
         trip Wall_clock_exceeded st [ ("limit_s", string_of_float limit) ]
       | _ -> ());
+      check_deadline ?deadline:config.deadline st;
       let sample = (regs_digest st.regs, Machine.Memory.digest st.mem) in
       (match !prev_sample with
       | Some s when s = sample ->

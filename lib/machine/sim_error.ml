@@ -31,7 +31,38 @@ let pp ppf e =
 
 let to_string e = Format.asprintf "%a" pp e
 
-(** Suggested process exit code per component (used by the CLI so scripts
-    can distinguish watchdog halts from misuse). *)
+(** [one_line e] renders the error as a single diagnostic line — the
+    component, the message, and the context key/values inline — suitable
+    for process stderr where a multi-line report or a backtrace would
+    drown scripts. *)
+let one_line e =
+  let ctx =
+    match e.context with
+    | [] -> ""
+    | kvs ->
+      " ("
+      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+      ^ ")"
+  in
+  Printf.sprintf "%s error: %s%s" e.component e.what ctx
+
+(** Stable process exit code per component. The CLI maps every
+    {!Error} to one of these so scripts and CI can branch on the failure
+    class without parsing stderr (the table is documented in README):
+
+    - [2] — specification / usage errors: bad CLI arguments, VIR or
+      assembler problems, malformed LIS input;
+    - [3] — watchdog: instruction budget, wall-clock limit or deadline
+      exceeded, or no forward progress;
+    - [4] — internal invariant or unclassified component;
+    - [5] — engine defect: a translation-cache invariant violation
+      detected at dispatch time;
+    - [6] — supervisor: the degradation ladder was exhausted without
+      reaching agreement with the trusted reference. *)
 let exit_code e =
-  match e.component with "watchdog" -> 3 | "vir" | "asm" -> 2 | _ -> 4
+  match e.component with
+  | "cli" | "vir" | "asm" | "lis" -> 2
+  | "watchdog" -> 3
+  | "engine" -> 5
+  | "super" -> 6
+  | _ -> 4

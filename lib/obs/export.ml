@@ -229,6 +229,15 @@ let parse_opt s = try Some (parse s) with Parse_error _ | Failure _ -> None
 
 let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
 
+(** Typed member accessors, for consumers that read flat JSON records
+    (the supervised-execution journal, tests): [None] when the key is
+    absent or has a different shape. *)
+let member_string name j =
+  match member name j with Some (Str s) -> Some s | _ -> None
+
+let member_int name j =
+  match member name j with Some (Int i) -> Some i | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Event exporters                                                     *)
 (* ------------------------------------------------------------------ *)

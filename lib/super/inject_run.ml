@@ -1,0 +1,117 @@
+(** Supervised fault-injection campaigns: one journaled case per ISA
+    cell, resumable after a kill, deterministic failures quarantined as
+    replay command files instead of aborting the whole campaign. *)
+
+type cell = {
+  c_isa : string;
+  c_case : string;
+  c_skipped : bool;  (** satisfied from the journal on resume *)
+  c_report : Inject.Campaign.report option;  (** [None] unless run here *)
+  c_failure : Taxonomy.failure option;
+}
+
+let case_id (cfg : Inject.Campaign.config) ~isa ~kernel =
+  Printf.sprintf "inject/%s/%s/%s/0x%Lx/%g" isa kernel cfg.buildset cfg.seed
+    cfg.rate
+
+(* A quarantined cell is replayable by hand: the artifact records the
+   exact CLI invocation that deterministically reproduces the failure. *)
+let replay_command (cfg : Inject.Campaign.config) ~isa ~kernel =
+  Printf.sprintf
+    "lisim inject --isa %s --kernel %s --buildset %s --seed 0x%Lx --rate %g \
+     --budget %d\n"
+    isa kernel cfg.buildset cfg.seed cfg.rate cfg.budget
+
+let run ?(isas = [ "alpha"; "arm"; "ppc" ]) ?(kernel = "sort") ?obs ?stats
+    ?(super = Supervisor.default) ~journal ~quarantine ?(resume = false)
+    (cfg : Inject.Campaign.config) : cell list =
+  let view =
+    if resume then Journal.load ~path:journal else Journal.empty_view ()
+  in
+  let q = Quarantine.create ~dir:quarantine in
+  let w =
+    Journal.open_ ~path:journal
+      ~meta:
+        [
+          ("campaign", Obs.Export.Str "inject");
+          ("kernel", Obs.Export.Str kernel);
+          ("seed", Obs.Export.Str (Printf.sprintf "0x%Lx" cfg.seed));
+          ("budget", Obs.Export.Int (Int64.of_int cfg.budget));
+        ]
+  in
+  let scfg = { super with Supervisor.seed = cfg.seed } in
+  let cells =
+    List.mapi
+      (fun i isa ->
+        let case = case_id cfg ~isa ~kernel in
+        if Journal.is_complete view case then
+          {
+            c_isa = isa;
+            c_case = case;
+            c_skipped = true;
+            c_report = None;
+            c_failure = None;
+          }
+        else
+          match
+            Supervisor.run_case ?stats scfg ~index:(Int64.of_int i)
+              (fun ~deadline:_ ->
+                match Inject.Campaign.run ~isas:[ isa ] ~kernel ?obs cfg with
+                | [ r ] -> r
+                | rs -> List.hd rs)
+          with
+          | Supervisor.Done (r, attempts) ->
+            Journal.record w
+              (Journal.entry ~attempts ~outcome:Journal.Pass
+                 ~detail:
+                   (Printf.sprintf "coverage %.3f, demotions %d"
+                      (Inject.Campaign.coverage r)
+                      r.Inject.Campaign.r_demotions)
+                 case);
+            {
+              c_isa = isa;
+              c_case = case;
+              c_skipped = false;
+              c_report = Some r;
+              c_failure = None;
+            }
+          | Supervisor.Gave_up (f, attempts) ->
+            let outcome, detail =
+              match f.Taxonomy.f_severity with
+              | Taxonomy.Deterministic ->
+                let path =
+                  Quarantine.put q ~name:(case ^ ".case")
+                    ~contents:
+                      (Printf.sprintf "# %s\n%s" f.Taxonomy.f_detail
+                         (replay_command cfg ~isa ~kernel))
+                in
+                Option.iter
+                  (fun s -> Obs.Registry.incr s.Supervisor.s_quarantined)
+                  stats;
+                (Journal.Quarantined, f.Taxonomy.f_kind ^ " -> " ^ path)
+              | _ -> (Journal.Gave_up, f.Taxonomy.f_kind)
+            in
+            Journal.record w
+              (Journal.entry ~attempts ~outcome ~detail case);
+            {
+              c_isa = isa;
+              c_case = case;
+              c_skipped = false;
+              c_report = None;
+              c_failure = Some f;
+            })
+      isas
+  in
+  Journal.close w;
+  cells
+
+let pp_cells ppf (cells : cell list) =
+  List.iter
+    (fun c ->
+      match (c.c_skipped, c.c_report, c.c_failure) with
+      | true, _, _ -> Format.fprintf ppf "%s: resumed from journal@\n" c.c_case
+      | _, Some r, _ -> Inject.Campaign.pp_report ppf r
+      | _, _, Some f ->
+        Format.fprintf ppf "%s: %a@\n" c.c_case Taxonomy.pp_failure f
+      | _ -> ())
+    cells

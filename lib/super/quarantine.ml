@@ -1,0 +1,61 @@
+(** Quarantine directory: deterministic failures are persisted as
+    replayable artifacts instead of aborting the campaign.
+
+    The directory holds self-describing files — fuzz reproducers in the
+    [Fuzz.Repro] text format (replayable with [lisim fuzz --replay]) and
+    [.case] command files for injection cells. Names are derived from
+    the case id; collisions get a numeric suffix rather than clobbering
+    an earlier artifact. *)
+
+type t = { q_dir : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { q_dir = dir }
+
+let dir t = t.q_dir
+
+(* case ids contain '/'; flatten them into safe file names *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+(** [put t ~name ~contents] writes one artifact and returns its path.
+    An existing file with the same name is never overwritten; the new
+    artifact gets a [-2], [-3], ... suffix before the extension. *)
+let put t ~name ~contents =
+  let name = sanitize name in
+  let base, ext =
+    match Filename.extension name with
+    | "" -> (name, "")
+    | e -> (Filename.remove_extension name, e)
+  in
+  let rec pick k =
+    let candidate =
+      if k = 1 then Filename.concat t.q_dir (base ^ ext)
+      else Filename.concat t.q_dir (Printf.sprintf "%s-%d%s" base k ext)
+    in
+    if Sys.file_exists candidate then pick (k + 1) else candidate
+  in
+  let path = pick 1 in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let list t =
+  if Sys.file_exists t.q_dir then
+    Sys.readdir t.q_dir |> Array.to_list |> List.sort String.compare
+  else []
+
+let count t = List.length (list t)

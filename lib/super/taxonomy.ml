@@ -1,0 +1,84 @@
+(** Structured failure taxonomy for supervised execution.
+
+    Every exception escaping a campaign case is classified into one of
+    three severities, which decide the supervisor's reaction:
+
+    - {b Transient} — host-side conditions that can legitimately pass on
+      a retry: wall-clock trips (the machine was slow, not the case),
+      out-of-memory, I/O errors. Retried with exponential backoff.
+    - {b Deterministic} — the case itself is bad and will fail the same
+      way every time: instruction-budget or no-progress watchdog trips,
+      engine invariant violations, interface/synthesis misuse. Never
+      retried; persisted to quarantine as a replayable reproducer.
+    - {b Fatal} — unclassified exceptions. Counted and re-raised: the
+      supervisor must not convert an unknown crash into silent progress.
+
+    The classification keys on {!Machine.Sim_error} components and on
+    the watchdog's structured "reason" context, so it stays stable as
+    message texts evolve. *)
+
+type severity = Transient | Deterministic | Fatal
+
+let severity_to_string = function
+  | Transient -> "transient"
+  | Deterministic -> "deterministic"
+  | Fatal -> "fatal"
+
+(** One classified failure: a stable dotted kind tag (for journals and
+    counters) plus a one-line human detail. *)
+type failure = { f_severity : severity; f_kind : string; f_detail : string }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let of_sim_error (e : Machine.Sim_error.t) : failure =
+  let detail = Machine.Sim_error.one_line e in
+  match e.component with
+  | "watchdog" ->
+    let reason =
+      match List.assoc_opt "reason" e.context with Some r -> r | None -> ""
+    in
+    if starts_with ~prefix:"wall-clock" reason then
+      { f_severity = Transient; f_kind = "watchdog.wall_clock"; f_detail = detail }
+    else if starts_with ~prefix:"no forward progress" reason then
+      {
+        f_severity = Deterministic;
+        f_kind = "watchdog.no_progress";
+        f_detail = detail;
+      }
+    else
+      { f_severity = Deterministic; f_kind = "watchdog.budget"; f_detail = detail }
+  | "engine" ->
+    { f_severity = Deterministic; f_kind = "engine.invariant"; f_detail = detail }
+  | "super" ->
+    { f_severity = Deterministic; f_kind = "super.ladder"; f_detail = detail }
+  | c -> { f_severity = Deterministic; f_kind = "sim." ^ c; f_detail = detail }
+
+(** [classify exn] — the severity and stable kind of an escaped
+    exception. Total: unknown exceptions come back as {!Fatal}. *)
+let classify : exn -> failure = function
+  | Machine.Sim_error.Error e -> of_sim_error e
+  | Out_of_memory ->
+    { f_severity = Transient; f_kind = "host.oom"; f_detail = "out of memory" }
+  | Sys_error m ->
+    { f_severity = Transient; f_kind = "host.io"; f_detail = m }
+  | Unix.Unix_error (err, fn, arg) ->
+    {
+      f_severity = Transient;
+      f_kind = "host.io";
+      f_detail = Printf.sprintf "%s: %s %s" fn (Unix.error_message err) arg;
+    }
+  | Stack_overflow ->
+    {
+      f_severity = Deterministic;
+      f_kind = "host.stack_overflow";
+      f_detail = "stack overflow";
+    }
+  | exn ->
+    { f_severity = Fatal; f_kind = "exn"; f_detail = Printexc.to_string exn }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%s [%s]: %s"
+    (severity_to_string f.f_severity)
+    f.f_kind f.f_detail

@@ -44,15 +44,14 @@ type loaded = {
   image_words : int;
 }
 
-(** [load target ~buildset kernel] synthesizes the interface, assembles the
-    kernel and installs it at the code base with the OS emulator hooked up.
-    [obs] compiles instrumentation into the interface (see
-    {!Specsim.Synth.make}); omitted, the interface is uninstrumented. *)
-let load ?(backend = Specsim.Synth.Compiled) ?chain ?site_cache ?obs ?input
-    (t : target) ~buildset (program : Vir.Lang.program) : loaded =
+(** [load_image ?input t program st] prepares a machine for [program]:
+    fresh OS emulator installed, code words written at {!code_base}, pc
+    reset. Returns the OS emulator (its output buffer is per-machine).
+    This is {!load} without the interface synthesis — the supervised
+    runtime uses it to prepare several machines identically. *)
+let load_image ?input (t : target) (program : Vir.Lang.program)
+    (st : Machine.State.t) : Machine.Os_emu.t =
   let spec = Lazy.force t.spec in
-  let iface = Specsim.Synth.make ~backend ?chain ?site_cache ?obs spec buildset in
-  let st = iface.st in
   let os = Machine.Os_emu.create ?input () in
   (match spec.abi with
   | Some abi -> Machine.Os_emu.install os abi st
@@ -67,7 +66,17 @@ let load ?(backend = Specsim.Synth.Compiled) ?chain ?site_cache ?obs ?input
         ~width:4 w)
     words;
   Machine.State.reset st ~pc:code_base;
-  { iface; os; image_words = List.length words }
+  os
+
+(** [load target ~buildset kernel] synthesizes the interface, assembles the
+    kernel and installs it at the code base with the OS emulator hooked up.
+    [obs] compiles instrumentation into the interface (see
+    {!Specsim.Synth.make}); omitted, the interface is uninstrumented. *)
+let load ?(backend = Specsim.Synth.Compiled) ?chain ?site_cache ?obs ?input
+    (t : target) ~buildset (program : Vir.Lang.program) : loaded =
+  let iface = Specsim.Synth.make ~backend ?chain ?site_cache ?obs (Lazy.force t.spec) buildset in
+  let os = load_image ?input t program iface.st in
+  { iface; os; image_words = List.length (t.encode ~base:code_base program) }
 
 type outcome = {
   exit_status : int;  (** low byte, as in the VIR reference *)

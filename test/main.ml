@@ -26,4 +26,5 @@ let () =
       ("dispatch", Test_dispatch.suite);
       ("export", Test_export.suite);
       ("fuzz", Test_fuzz.suite);
+      ("super", Test_super.suite);
     ]

@@ -202,6 +202,7 @@ let test_watchdog_preempts_chained_loop () =
     {
       Inject.Watchdog.max_instructions = 50_000;
       max_seconds = Some 30.;
+      deadline = None;
       check_interval = 4096;
     }
   in

@@ -164,7 +164,7 @@ let test_watchdog_no_progress () =
   let l = Workload.load t ~buildset:"one_min" k.program in
   expect_watchdog ~reason_substr:"no forward progress" (fun () ->
       Inject.Watchdog.run_guarded
-        ~config:{ max_instructions = 1_000_000; max_seconds = None; check_interval = 512 }
+        ~config:{ max_instructions = 1_000_000; max_seconds = None; deadline = None; check_interval = 512 }
         l.iface)
 
 let test_watchdog_budget () =
@@ -175,7 +175,7 @@ let test_watchdog_budget () =
   let l = Workload.load t ~buildset:"one_min" k.program in
   expect_watchdog ~reason_substr:"budget" (fun () ->
       Inject.Watchdog.run_guarded
-        ~config:{ max_instructions = 20_000; max_seconds = None; check_interval = 512 }
+        ~config:{ max_instructions = 20_000; max_seconds = None; deadline = None; check_interval = 512 }
         l.iface)
 
 let test_watchdog_passes_terminating () =

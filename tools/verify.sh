@@ -111,4 +111,50 @@ if ! grep -q "DIVERGES" "$tmp"; then
   exit 1
 fi
 
+echo "== super: supervised campaign must quarantine a seeded defect, exit 0 =="
+superdir=$(mktemp -d)
+trap 'rm -f "$tmp"; rm -rf "$fuzzdir" "$superdir"' EXIT INT TERM
+dune exec bin/lisim.exe -- fuzz --isa tiny --seed 42 --budget 50 \
+  --mutate stride4 --journal "$superdir/journal.jsonl" \
+  --quarantine "$superdir/quarantine" >"$tmp"
+if ! ls "$superdir"/quarantine/*.repro >/dev/null 2>&1; then
+  echo "FAIL: supervised campaign quarantined no reproducer" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+if ! grep -q '"outcome":"quarantined"' "$superdir/journal.jsonl"; then
+  echo "FAIL: journal records no quarantined case" >&2
+  cat "$superdir/journal.jsonl" >&2
+  exit 1
+fi
+
+echo "== super: quarantined cases must demote to the step_all reference =="
+if ! grep -q '"level":"step_all"' "$superdir/journal.jsonl"; then
+  echo "FAIL: no quarantined case degraded to step_all" >&2
+  cat "$superdir/journal.jsonl" >&2
+  exit 1
+fi
+
+echo "== super: --resume must skip every journaled case =="
+dune exec bin/lisim.exe -- fuzz --isa tiny --seed 42 --budget 50 \
+  --mutate stride4 --journal "$superdir/journal.jsonl" \
+  --quarantine "$superdir/quarantine" --resume >"$tmp"
+if ! grep -q "(0 executed, 50 resumed)" "$tmp"; then
+  echo "FAIL: resume re-executed journaled cases" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+
+echo "== super: supervised run must agree with the plain run =="
+dune exec bin/lisim.exe -- run --kernel sort -b block_min >"$tmp"
+plain=$(grep -o "exit=[0-9]* output=.*" "$tmp" | head -1)
+dune exec bin/lisim.exe -- run --kernel sort -b block_min --supervised >"$tmp"
+supervised=$(grep -o "exit=[0-9]* output=.*" "$tmp" | head -1)
+if [ "$plain" != "$supervised" ]; then
+  echo "FAIL: supervised run disagrees with plain run" >&2
+  echo "  plain:      $plain" >&2
+  echo "  supervised: $supervised" >&2
+  exit 1
+fi
+
 echo "verify: OK"
