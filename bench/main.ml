@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --bechamel -- Bechamel micro-benchmarks
 
    Experiments: table1 table2 table3 dispatch fig1 fig24 ablation sampling
-   inject fuzz overhead supervision validate.
+   inject fuzz overhead profiler supervision validate. [--gate-profiler]
+   exits nonzero when the profiler section's overhead exceeds its budget.
    Absolute numbers are host- and substrate-dependent; the reproduction
    targets are the *shapes*: which interface wins, by roughly what factor,
    and where the costs come from. See EXPERIMENTS.md.
@@ -819,6 +820,150 @@ let overhead () =
           paper_table2))
 
 (* ------------------------------------------------------------------ *)
+(* Profiler overhead: hot-region attribution off vs on                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Same rotating-chunk methodology as the observability experiment, but
+   the instrumented side is a profile-only context (Obs.profile_only):
+   synthesis keeps the seed closures — including the chained block fast
+   path — and adds only the profiler's cached-region compare-and-add.
+   block_min exercises the per-block note inside the chained dispatch
+   loop (one note per basic block); step_all exercises the
+   per-retirement note (one note per instruction, the worst case). The
+   budget is the same 2%: profiling has to be cheap enough to leave on
+   while hunting hot regions. [--gate-profiler] turns the budget into an
+   exit status for CI, with the A/B noise floor as the tolerance when
+   the host is too noisy to resolve 2%. *)
+let gate_profiler = ref false
+let profiler_worst = ref 0.
+let profiler_floor = ref 0.
+
+let median = function
+  | [] -> 0.
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let profiler () =
+  print_endline "=== Profiler overhead: hot-region attribution off vs on ===";
+  let t = Workload.alpha in
+  let k = List.nth Vir.Kernels.bench_suite 4 (* hash_loop *) in
+  let warm = if !quick then 5_000 else 20_000 in
+  let rows =
+    List.map
+      (fun (bs, mult) ->
+        let chunk = (if !quick then 10_000 else 20_000) * mult in
+        let rounds = if !quick then 60 else 120 in
+        (* one side = one prebuilt simulator; [run] times one chunk and
+           returns its throughput (instructions per second) *)
+        let side ?obs () =
+          let fresh () = Workload.load ?obs t ~buildset:bs k.program in
+          let l : Workload.loaded ref = ref (fresh ()) in
+          ignore (drive !l.iface warm);
+          fun () ->
+            if !l.iface.st.halted then l := fresh ();
+            (* GC work happens outside the timed window *)
+            Gc.minor ();
+            let t0 = Unix.gettimeofday () in
+            let c = drive !l.iface chunk in
+            let dt = Unix.gettimeofday () -. t0 in
+            if c > 0 && dt > 0. then float_of_int c /. dt else 0.
+        in
+        let run_a = side () in
+        let run_b = side () in
+        let run_p = side ~obs:(Obs.profile_only ()) () in
+        Gc.full_major ();
+        (* The comparison chases a <=2% effect on a possibly-shared host.
+           Each round times one chunk per side back-to-back in rotating
+           order, and the statistic is the MEDIAN over rounds of the
+           per-round paired ratio — host load drifting between rounds
+           cancels within each round, and co-tenant spikes land in the
+           tails the median ignores. The A/B pair runs identical machine
+           code, so the median of its per-round spread is the honest
+           noise floor on the same estimator. *)
+        let per_round = ref [] in
+        for i = 1 to rounds do
+          let a = ref 0. and b = ref 0. and p = ref 0. in
+          (match i mod 3 with
+          | 1 ->
+            a := run_a ();
+            b := run_b ();
+            p := run_p ()
+          | 2 ->
+            b := run_b ();
+            p := run_p ();
+            a := run_a ()
+          | _ ->
+            p := run_p ();
+            a := run_a ();
+            b := run_b ());
+          if !a > 0. && !b > 0. && !p > 0. then
+            per_round := (!a, !b, !p) :: !per_round
+        done;
+        let rs = !per_round in
+        let off_mips =
+          median (List.map (fun (a, b, _) -> (a +. b) /. 2. /. 1e6) rs)
+        in
+        let on_mips = median (List.map (fun (_, _, p) -> p /. 1e6) rs) in
+        let overhead_pct =
+          median
+            (List.map (fun (a, b, p) -> 100. *. (((a +. b) /. 2. /. p) -. 1.)) rs)
+        in
+        let spread =
+          median
+            (List.map
+               (fun (a, b, _) -> 100. *. Float.abs (a -. b) /. Float.max a b)
+               rs)
+        in
+        Printf.printf
+          "  %-12s off %7.2f MIPS (A/B spread %4.1f%%)   profiled %7.2f MIPS \
+           (overhead %4.1f%%)\n"
+          bs off_mips spread on_mips overhead_pct;
+        (bs, off_mips, on_mips, spread, overhead_pct))
+      [ ("block_min", 8); ("step_all", 1) ]
+  in
+  let worst_over =
+    List.fold_left (fun a (_, _, _, _, o) -> Float.max a o) 0. rows
+  in
+  let worst_spread =
+    List.fold_left (fun a (_, _, _, s, _) -> Float.max a s) 0. rows
+  in
+  profiler_worst := worst_over;
+  profiler_floor := worst_spread;
+  Printf.printf
+    "worst profiler overhead %.1f%% (A/B noise floor %.1f%%) %s the 2%% budget\n"
+    worst_over worst_spread
+    (if worst_over <= Float.max 2.0 worst_spread then "is within" else "EXCEEDS");
+  add_json "profiler"
+    (Obs.Export.Obj
+       (List.map
+          (fun (bs, off_mips, on_mips, spread, overhead_pct) ->
+            ( bs,
+              Obs.Export.Obj
+                [
+                  ("mips_off", Obs.Export.Float off_mips);
+                  ("mips_on", Obs.Export.Float on_mips);
+                  ("off_spread_pct", Obs.Export.Float spread);
+                  ("overhead_pct", Obs.Export.Float overhead_pct);
+                ] ))
+          rows));
+  (* sanity: the profiler finds the kernel's hot loop *)
+  let prof = Obs.Prof.create () in
+  let l =
+    Workload.load ~obs:(Obs.profile_only ~prof ()) t ~buildset:"one_all"
+      k.program
+  in
+  ignore (drive l.iface (if !quick then 50_000 else 200_000));
+  (match Obs.Prof.report ~top:1 prof with
+  | r :: _ ->
+    Printf.printf
+      "hot region (one_all, %s): 0x%Lx-0x%Lx with %.1f%% of instructions\n\n"
+      k.kname r.Obs.Prof.rg_lo r.Obs.Prof.rg_hi (100. *. r.Obs.Prof.rg_share)
+  | [] -> print_newline ())
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz throughput: cost of the 12-way conformance oracle               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1073,6 +1218,7 @@ let () =
         match a with
         | "--quick" -> quick := true
         | "--bechamel" -> use_bechamel := true
+        | "--gate-profiler" -> gate_profiler := true
         | name -> only := name :: !only)
     Sys.argv;
   if !use_bechamel then run_bechamel ()
@@ -1089,7 +1235,20 @@ let () =
     if want "inject" then inject ();
     if want "fuzz" then fuzz_bench ();
     if want "overhead" then overhead ();
+    if want "profiler" then profiler ();
     if want "supervision" then supervision ();
     if want "validate" then validate ();
-    write_json_results ()
+    write_json_results ();
+    if !gate_profiler then begin
+      let budget = Float.max 2.0 !profiler_floor in
+      if !profiler_worst > budget then begin
+        Printf.printf
+          "profiler gate: FAIL — overhead %.1f%% exceeds budget %.1f%%\n"
+          !profiler_worst budget;
+        exit 1
+      end
+      else
+        Printf.printf "profiler gate: OK (%.1f%% <= %.1f%%)\n" !profiler_worst
+          budget
+    end
   end

@@ -9,6 +9,9 @@
       event ring (JSONL or Perfetto-loadable Chrome trace JSON).
     - [lisim stats] runs the full instrumented profile and prints the
       counter/histogram table.
+    - [lisim profile] runs a kernel through a profile-only interface and
+      prints regions ranked by decaying hotness; [--flame-out] exports a
+      speedscope flame view of the region transition graph.
     - [lisim trace] prints the interface-visible information per
       instruction (text, JSONL or Chrome trace format).
     - [lisim validate] runs the rotating-interface validation (§V-D).
@@ -88,6 +91,62 @@ let format_arg ~default =
     value
     & opt (enum [ ("text", "text"); ("jsonl", "jsonl"); ("chrome", "chrome") ]) default
     & info [ "format" ] ~docv:"FMT" ~doc)
+
+let trace_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-cap" ] ~docv:"N"
+        ~doc:
+          "Capacity of the trace event ring, in events (default 65536 for \
+           'run --trace-out'; the traced instruction count for 'trace'). \
+           Most recent events win when the ring wraps.")
+
+let validate_trace_cap = function
+  | Some n when n <= 0 ->
+    Machine.Sim_error.raisef ~component:"cli"
+      ~context:[ ("trace-cap", string_of_int n) ]
+      "--trace-cap must be positive"
+  | _ -> ()
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write periodic metrics snapshots to FILE: a JSONL time series of \
+           every registry counter and histogram (plus profiler top-N \
+           regions when one is attached), one line per interval, each line \
+           flushed durably.")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "metrics-interval" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock interval between metrics snapshots in milliseconds \
+           (with --metrics-out). 0 snapshots at every opportunity.")
+
+let open_metrics metrics_out ~interval_ms =
+  match metrics_out with
+  | None -> None
+  | Some path ->
+    if interval_ms < 0 then
+      Machine.Sim_error.raisef ~component:"cli"
+        ~context:[ ("metrics-interval", string_of_int interval_ms) ]
+        "--metrics-interval must be non-negative";
+    Some (Obs.Metrics.open_ ~interval_ms ~path ())
+
+(* Final snapshot + close, with a one-line receipt so scripts can find
+   the series. *)
+let close_metrics metrics (o : Obs.t) =
+  match metrics with
+  | None -> ()
+  | Some m ->
+    Obs.metrics_close m o;
+    Printf.printf "wrote %d metrics snapshot(s) to %s\n" (Obs.Metrics.seq m)
+      (Obs.Metrics.path m)
 
 let write_out out contents =
   match out with
@@ -480,15 +539,21 @@ let run_cmd =
     code
   in
   let run isa buildset kernel max_instructions max_seconds stats trace_out
-      format no_chain no_site_cache supervised mutate =
+      trace_cap format no_chain no_site_cache supervised mutate metrics_out
+      metrics_interval =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
     let mutate = Option.map parse_mutation mutate in
+    validate_trace_cap trace_cap;
     let obs =
-      if stats || trace_out <> None then
-        Some (Obs.create ~trace:(trace_out <> None) ())
+      if stats || trace_out <> None || metrics_out <> None then
+        Some
+          (Obs.create ~trace:(trace_out <> None)
+             ?ring_capacity:(if trace_out <> None then trace_cap else None)
+             ())
       else None
     in
+    let metrics = open_metrics metrics_out ~interval_ms:metrics_interval in
     if supervised then begin
       let deadline =
         Option.map (fun s -> Unix.gettimeofday () +. s) max_seconds
@@ -498,6 +563,7 @@ let run_cmd =
           ~chain:(not no_chain) ~site_cache:(not no_site_cache) obs
       in
       (match obs with Some o when stats -> print_counters o | _ -> ());
+      (match obs with Some o -> close_metrics metrics o | None -> ());
       code
     end
     else begin
@@ -511,10 +577,15 @@ let run_cmd =
       Workload.load ~chain:(not no_chain) ~site_cache:(not no_site_cache) ?obs t
         ~buildset k.program
     in
+    let on_slice =
+      match (metrics, obs) with
+      | Some m, Some o -> Some (fun () -> Obs.metrics_tick m o)
+      | _ -> None
+    in
     let t0 = Unix.gettimeofday () in
     Inject.Watchdog.run_guarded
       ~config:{ max_instructions; max_seconds; deadline = None; check_interval = 4096 }
-      l.iface;
+      ?on_slice l.iface;
     let dt = Unix.gettimeofday () -. t0 in
     let code =
       match Machine.State.exit_status l.iface.st with
@@ -547,7 +618,8 @@ let run_cmd =
         let events = Obs.events o in
         write_out (Some path) (events_to_string format events);
         Printf.printf "wrote %d trace events to %s (%s)\n" (List.length events)
-          path format));
+          path format);
+      close_metrics metrics o);
     code
     end
   in
@@ -559,8 +631,103 @@ let run_cmd =
           compiled in; with --trace-out the event ring is exported.")
     Term.(
       const run $ isa_arg $ buildset_arg $ kernel_arg $ max_instrs
-      $ max_seconds $ stats_flag $ trace_out $ format_arg ~default:"chrome"
-      $ no_chain $ no_site_cache $ supervised $ mutate_r)
+      $ max_seconds $ stats_flag $ trace_out $ trace_cap_arg
+      $ format_arg ~default:"chrome" $ no_chain $ no_site_cache $ supervised
+      $ mutate_r $ metrics_out_arg $ metrics_interval_arg)
+
+(* ---------------- profile ----------------------------------------- *)
+
+let profile_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt int 5_000_000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Instruction budget (profiling stops here if the kernel has \
+                not exited).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot-region table.")
+  in
+  let flame_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a speedscope JSON document to FILE: a flame view of the \
+             region transition graph plus per-region instruction weights \
+             (load at speedscope.app).")
+  in
+  let regions =
+    Arg.(
+      value & opt int 64
+      & info [ "regions" ] ~docv:"BYTES"
+          ~doc:"Region granularity in bytes (a power of two).")
+  in
+  let half_life =
+    Arg.(
+      value
+      & opt int Obs.Prof.default_half_life
+      & info [ "half-life" ] ~docv:"N"
+          ~doc:"Hotness half-life in retired instructions: a region's \
+                decaying-window score halves every N instructions it does \
+                not execute.")
+  in
+  let run isa buildset kernel budget top flame_out regions half_life =
+    let t = Workload.find_target isa in
+    let k = find_kernel kernel in
+    if regions <= 0 || regions land (regions - 1) <> 0 then
+      Machine.Sim_error.raisef ~component:"cli"
+        ~context:[ ("regions", string_of_int regions) ]
+        "--regions must be a positive power of two";
+    if half_life <= 0 then
+      Machine.Sim_error.raisef ~component:"cli"
+        ~context:[ ("half-life", string_of_int half_life) ]
+        "--half-life must be positive";
+    let rec log2 v = if v <= 1 then 0 else 1 + log2 (v lsr 1) in
+    let prof = Obs.Prof.create ~region_bits:(log2 regions) ~half_life () in
+    let o = Obs.profile_only ~prof () in
+    (* profile-only context: the interface keeps its chained fast path,
+       paying one cached-region attribution per block/retirement *)
+    let l = Workload.load ~obs:o t ~buildset k.program in
+    let t0 = Unix.gettimeofday () in
+    ignore (Specsim.Iface.run_n l.iface budget);
+    let dt = Unix.gettimeofday () -. t0 in
+    let st = l.iface.st in
+    Printf.printf "%s on %s/%s: %Ld instructions in %.3f s (%.2f MIPS)%s\n"
+      k.kname isa buildset st.instr_count dt
+      (Int64.to_float st.instr_count /. dt /. 1e6)
+      (match Machine.State.exit_status st with
+      | Some s -> Printf.sprintf ", exit=%d" (s land 0xff)
+      | None -> ", budget exhausted");
+    Obs.Prof.pp_report ~top Format.std_formatter prof;
+    Format.pp_print_flush Format.std_formatter ();
+    (match flame_out with
+    | None -> ()
+    | Some path ->
+      write_out (Some path)
+        (Obs.Export.to_string
+           (Obs.Prof.speedscope
+              ~name:(Printf.sprintf "%s on %s/%s" k.kname isa buildset)
+              prof)
+        ^ "\n");
+      Printf.printf "wrote speedscope flame view to %s\n" path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a kernel's hot regions: run it through a profile-only \
+          interface (hot-region attribution compiled in, everything else \
+          the seed closures) and print regions ranked by decaying hotness \
+          — the signal adaptive tiering consumes. --flame-out exports a \
+          speedscope flame view of the region transition graph.")
+    Term.(
+      const run $ isa_arg $ buildset_arg $ kernel_arg $ budget $ top
+      $ flame_out $ regions $ half_life)
 
 (* ---------------- export ------------------------------------------ *)
 
@@ -610,9 +777,10 @@ let trace_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the trace to FILE instead of stdout.")
   in
-  let run isa buildset kernel n format out =
+  let run isa buildset kernel n format out trace_cap =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
+    validate_trace_cap trace_cap;
     let l = Workload.load t ~buildset k.program in
     let iface = l.iface in
     let spec = iface.spec in
@@ -627,7 +795,10 @@ let trace_cmd =
        behind [run --trace-out] — then render per --format. The first
        two args of every event are the pc and the raw encoding; the rest
        are the interface-visible cells in slot order. *)
-    let ring = Obs.Ring.create ~capacity:(max n 1) in
+    let capacity =
+      match trace_cap with Some c -> c | None -> max n 1
+    in
+    let ring = Obs.Ring.create ~capacity in
     let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
     let st = iface.st in
     let i = ref 0 in
@@ -685,7 +856,7 @@ let trace_cmd =
              events, or a Perfetto-loadable Chrome trace).")
     Term.(
       const run $ isa_arg $ buildset_arg $ kernel_arg $ count
-      $ format_arg ~default:"text" $ out)
+      $ format_arg ~default:"text" $ out $ trace_cap_arg)
 
 (* ---------------- mix --------------------------------------------- *)
 
@@ -782,7 +953,7 @@ let inject_cmd =
                 --journal).")
   in
   let run isa seed rate budget sites min_coverage kernel buildset stats journal
-      resume quarantine =
+      resume quarantine metrics_out metrics_interval =
     let isas =
       match isa with "all" -> [ "alpha"; "arm"; "ppc" ] | i -> [ i ]
     in
@@ -802,7 +973,10 @@ let inject_cmd =
     let cfg =
       { Inject.Campaign.default_config with seed; rate; budget; sites; buildset }
     in
-    let obs = if stats then Some (Obs.create ()) else None in
+    let obs =
+      if stats || metrics_out <> None then Some (Obs.create ()) else None
+    in
+    let metrics = open_metrics metrics_out ~interval_ms:metrics_interval in
     let reports =
       match journal with
       | Some journal ->
@@ -812,8 +986,8 @@ let inject_cmd =
             obs
         in
         let cells =
-          Super.Inject_run.run ~isas ~kernel ?obs ?stats:sstats ~journal
-            ~quarantine ~resume cfg
+          Super.Inject_run.run ~isas ~kernel ?obs ?stats:sstats ?metrics
+            ~journal ~quarantine ~resume cfg
         in
         Format.printf "%a" Super.Inject_run.pp_cells cells;
         (* coverage gating applies only to cells executed this run *)
@@ -824,7 +998,8 @@ let inject_cmd =
         Format.printf "%a" Inject.Campaign.pp_summary reports;
         reports
     in
-    (match obs with Some o -> print_counters o | None -> ());
+    (match obs with Some o when stats -> print_counters o | _ -> ());
+    (match obs with Some o -> close_metrics metrics o | None -> ());
     match min_coverage with
     | None -> 0
     | Some pct ->
@@ -841,7 +1016,8 @@ let inject_cmd =
              latency and recovery statistics.")
     Term.(
       const run $ isa $ seed $ rate $ budget $ sites $ min_coverage $ kernel_c
-      $ buildset_c $ stats_flag $ journal $ resume $ quarantine)
+      $ buildset_c $ stats_flag $ journal $ resume $ quarantine
+      $ metrics_out_arg $ metrics_interval_arg)
 
 (* ---------------- stats ------------------------------------------ *)
 
@@ -1000,8 +1176,19 @@ let fuzz_cmd =
           ~doc:"Directory quarantined reproducers are written into (with \
                 --journal).")
   in
+  let flame_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame-out" ] ~docv:"FILE"
+          ~doc:
+            "With --journal: attach a hot-region profiler to every oracle \
+             candidate and write a campaign-wide speedscope flame view to \
+             FILE — where the generated programs actually spent their \
+             instructions.")
+  in
   let run isa seed budget max_instrs replay out no_chain no_site mutate journal
-      resume quarantine =
+      resume quarantine metrics_out metrics_interval flame_out =
     let mutate = Option.map parse_mutation mutate in
     let cfg =
       {
@@ -1051,29 +1238,53 @@ let fuzz_cmd =
       let isas =
         match isa with "all" -> Fuzz.Driver.all_isas | i -> [ i ]
       in
-      let o = Obs.create () in
+      let prof = Option.map (fun _ -> Obs.Prof.create ()) flame_out in
+      let o = Obs.create ?prof () in
       let stats = Super.Supervisor.of_registry o.Obs.reg in
+      let metrics = open_metrics metrics_out ~interval_ms:metrics_interval in
       (* case ids embed the isa, so one journal serves the whole sweep *)
       List.iter
         (fun isa ->
           let p =
-            Fuzz.Campaign.run ~cfg ~stats ~isa ~seed ~budget ~journal
-              ~quarantine ~resume ()
+            Fuzz.Campaign.run ~cfg ~obs:o ~stats ?metrics ~isa ~seed ~budget
+              ~journal ~quarantine ~resume ()
           in
           Format.printf "%a" Fuzz.Campaign.pp_report p)
         isas;
+      close_metrics metrics o;
+      (match (flame_out, prof) with
+      | Some path, Some p ->
+        write_out (Some path)
+          (Obs.Export.to_string
+             (Obs.Prof.speedscope
+                ~name:(Printf.sprintf "fuzz %s seed %Ld" isa seed)
+                p)
+          ^ "\n");
+        Printf.printf "wrote campaign flame view to %s\n" path
+      | _ -> ());
       Printf.printf "journal: %s\nquarantine: %d reproducer(s) in %s\n" journal
         (Super.Quarantine.count (Super.Quarantine.create ~dir:quarantine))
         quarantine;
       0
     | None ->
+      if flame_out <> None then
+        Machine.Sim_error.raisef ~component:"cli"
+          "--flame-out requires --journal (the profiler rides the \
+           supervised campaign's observability context)";
       let isas =
         match isa with "all" -> Fuzz.Driver.all_isas | i -> [ i ]
       in
+      (* the bare hunt is uninstrumented; with --metrics-out the series
+         still gets a per-ISA heartbeat (timestamps + an empty registry) *)
+      let mobs = Obs.create () in
+      let metrics = open_metrics metrics_out ~interval_ms:metrics_interval in
       let rc = ref 0 in
       List.iter
         (fun isa ->
           let o = Fuzz.Driver.hunt ~cfg ~isa ~seed ~budget () in
+          (match metrics with
+          | Some m -> Obs.metrics_tick m mobs
+          | None -> ());
           match o.Fuzz.Driver.o_found with
           | None ->
             Printf.printf
@@ -1103,6 +1314,7 @@ let fuzz_cmd =
                 stc;
               Printf.printf "  reproducer written to %s\n" path))
         isas;
+      close_metrics metrics mobs;
       !rc
   in
   Cmd.v
@@ -1116,7 +1328,8 @@ let fuzz_cmd =
           any divergence to a minimal deterministic reproducer.")
     Term.(
       const run $ isa $ seed $ budget $ max_instrs $ replay $ out $ no_chain
-      $ no_site $ mutate $ journal $ resume $ quarantine)
+      $ no_site $ mutate $ journal $ resume $ quarantine $ metrics_out_arg
+      $ metrics_interval_arg $ flame_out)
 
 let () =
   let info =
@@ -1125,8 +1338,8 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; check_cmd; emit_cmd; run_cmd; export_cmd; trace_cmd; mix_cmd;
-        inject_cmd; validate_cmd; stats_cmd; fuzz_cmd ]
+      [ list_cmd; check_cmd; emit_cmd; run_cmd; profile_cmd; export_cmd;
+        trace_cmd; mix_cmd; inject_cmd; validate_cmd; stats_cmd; fuzz_cmd ]
   in
   try exit (Cmd.eval' ~catch:false group) with
   | Machine.Sim_error.Error e ->

@@ -667,6 +667,9 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
   let run_one, run_block, step =
     match obs with
     | None -> (run_one, run_block, step)
+    (* profile-only contexts skip all of this: the profiler attribution
+       wrapper below is the whole instrumentation *)
+    | Some o when not o.Obs.full -> (run_one, run_block, step)
     | Some (o : Obs.t) ->
       let module R = Obs.Registry in
       let reg = o.Obs.reg in
@@ -827,6 +830,41 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
       (run_one_obs, run_block_obs, step_obs)
   in
 
+  (* --- hot-region profiling -------------------------------------------- *)
+  (* Same compiled-in rule as the counters above, layered outside them so
+     it works in both full and profile-only contexts. Attribution uses
+     the retired-instruction delta, so halted entries and uncounted
+     halting instructions attribute exactly what [instr_count] records.
+     Block interfaces attribute whole blocks at their entry pc — the
+     translation cache's block extents are the aggregation unit. Stepped
+     flows attribute at [retire], where the timing simulator commits. *)
+  let prof = match obs with Some o -> o.Obs.prof | None -> None in
+  let run_one, run_block, retire =
+    match prof with
+    | None -> (run_one, run_block, retire)
+    | Some p ->
+      let note_delta before pc =
+        let d = Int64.to_int (Int64.sub st.instr_count before) in
+        if d > 0 then Obs.Prof.note p ~pc ~instrs:d
+      in
+      let run_one_p (di : Di.t) =
+        let before = st.instr_count in
+        run_one di;
+        note_delta before di.pc
+      in
+      let run_block_p () =
+        let before = st.instr_count in
+        let (dis, n) as r = run_block () in
+        if n > 0 then note_delta before dis.(0).Di.pc;
+        r
+      in
+      let retire_p (di : Di.t) =
+        retire di;
+        Obs.Prof.note p ~pc:di.pc ~instrs:1
+      in
+      (run_one_p, run_block_p, retire_p)
+  in
+
   (* --- fast dispatch --------------------------------------------------- *)
   (* The generic loop reproduces the historical [run_n] exactly (and is
      what instrumented, journaled, per-instruction and unchained
@@ -852,7 +890,12 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
     executed ()
   in
   let fast_di = Array.make (max 1 slots.di_size) 0L in
-  let run_fast_chained n =
+  (* [note] is the profiler hook, called once per executed block with the
+     block's entry pc and executed-site count. It is bound statically at
+     synthesis time — the unprofiled instance passes a constant no-op, so
+     the only residual cost is one closure call per block (~amortized to
+     noise by block length), and chained dispatch survives profiling. *)
+  let run_fast_chained ~note n =
     let executed = ref 0 in
     frame.di <- fast_di;
     while !executed < n && not st.halted do
@@ -881,14 +924,25 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
         st.instr_count <- Int64.add st.instr_count (Int64.of_int !k);
         stats.Iface.instrs_executed <-
           Int64.add stats.Iface.instrs_executed (Int64.of_int !k);
-        executed := !executed + !k
+        executed := !executed + !k;
+        note pc0 !k
       end
     done;
     !executed
   in
+  (* Chained dispatch is compatible with profile-only observation (the
+     per-block [note] hook), but not with full instrumentation, which
+     needs per-call DI materialization and timing. *)
   let run_fast =
-    if bs.bs_block && chain && Option.is_none journal && Option.is_none obs
-    then run_fast_chained
+    if
+      bs.bs_block && chain
+      && Option.is_none journal
+      && (match obs with None -> true | Some o -> not o.Obs.full)
+    then
+      match prof with
+      | None -> run_fast_chained ~note:(fun _ _ -> ())
+      | Some p ->
+        run_fast_chained ~note:(fun pc0 k -> Obs.Prof.note p ~pc:pc0 ~instrs:k)
     else run_fast_generic
   in
   {
@@ -908,5 +962,6 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
     commit_ckpt;
     flush_code_cache;
     run_fast;
+    prof;
     stats;
   }

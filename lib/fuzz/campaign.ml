@@ -49,7 +49,12 @@ let degrade_session ?obs ?stats (cfg : Oracle.config) spec ~buildset tc
   in
   Super.Degrade.run ?deadline ~slice:64 ~budget:cfg.max_instrs session
 
-let run ?(cfg = Oracle.default_config) ?obs ?stats
+(** [metrics] attaches a periodic-telemetry series: after every budget
+    slot the series is ticked against the campaign's observability
+    context (registry counters, plus the profiler when one is attached),
+    so long campaigns emit durable wall-clock-interval progress
+    snapshots alongside the journal. *)
+let run ?(cfg = Oracle.default_config) ?obs ?stats ?metrics
     ?(super = Super.Supervisor.default) ~isa ~seed ~budget ~journal ~quarantine
     ?(resume = false) () : report =
   let spec = Driver.spec_of_isa isa in
@@ -70,6 +75,15 @@ let run ?(cfg = Oracle.default_config) ?obs ?stats
         ]
   in
   let scfg = { super with Super.Supervisor.seed } in
+  (* the context the metrics series samples: the campaign's own when
+     instrumented, otherwise an empty stand-in (timestamps still flow) *)
+  let mobs = match obs with Some o -> o | None -> Obs.create () in
+  (* a profiler on the campaign context is shared into every oracle
+     candidate boot, accumulating one campaign-wide region table *)
+  let prof = mobs.Obs.prof in
+  let tick_metrics () =
+    match metrics with Some m -> Obs.metrics_tick m mobs | None -> ()
+  in
   let execs = ref 0 in
   let programs = ref 0 in
   let cases = ref 0 and skipped = ref 0 in
@@ -106,7 +120,8 @@ let run ?(cfg = Oracle.default_config) ?obs ?stats
                match
                  Super.Supervisor.run_case ?stats scfg
                    ~index:(Int64.of_int !execs)
-                   (fun ~deadline:_ -> Oracle.run_pair spec cfg tc ~buildset:bs)
+                   (fun ~deadline:_ ->
+                     Oracle.run_pair spec ?prof cfg tc ~buildset:bs)
                with
                | Super.Supervisor.Done (None, attempts) ->
                  incr clean;
@@ -146,7 +161,8 @@ let run ?(cfg = Oracle.default_config) ?obs ?stats
                      (Super.Journal.entry ~attempts
                         ~outcome:Super.Journal.Gave_up
                         ~detail:f.Super.Taxonomy.f_kind case))
-             end
+             end;
+             tick_metrics ()
            end)
          cfg.Oracle.buildsets
      done

@@ -154,10 +154,16 @@ let fault_str (st : Machine.State.t) =
   match st.fault with None -> "-" | Some f -> Machine.Fault.to_string f
 
 (** [run_pair spec cfg tc ~buildset] — lockstep one candidate against the
-    reference; [None] means full agreement within the budget. *)
-let run_pair (spec : Lis.Spec.t) (cfg : config) (tc : Gen.testcase)
+    reference; [None] means full agreement within the budget. [?prof]
+    attaches a shared hot-region profiler to every candidate boot, so a
+    whole campaign accumulates into one region table (the flame view of
+    the campaign). *)
+let run_pair (spec : Lis.Spec.t) ?prof (cfg : config) (tc : Gen.testcase)
     ~buildset : divergence option =
-  let obs = if cfg.check_crossings then Some (Obs.create ()) else None in
+  let obs =
+    if cfg.check_crossings then Some (Obs.create ?prof ())
+    else Option.map (fun p -> Obs.profile_only ~prof:p ()) prof
+  in
   let cand =
     driver
       (boot spec tc ~buildset ~chain:cfg.chain ~site_cache:cfg.site_cache
@@ -166,11 +172,15 @@ let run_pair (spec : Lis.Spec.t) (cfg : config) (tc : Gen.testcase)
   let refd =
     driver (boot spec tc ~buildset:cfg.reference ~chain:true ~site_cache:true ())
   in
+  (* only a fully-instrumented context counts crossings; a profile-only
+     one builds seed closures and its registry would read a false 0 *)
   let crossings =
-    Option.map
-      (fun (o : Obs.t) ->
-        Obs.Registry.counter o.Obs.reg "synth.entrypoint_calls")
-      obs
+    if cfg.check_crossings then
+      Option.map
+        (fun (o : Obs.t) ->
+          Obs.Registry.counter o.Obs.reg "synth.entrypoint_calls")
+        obs
+    else None
   in
   let cst = cand.iface.st and rst = refd.iface.st in
   let expected = ref 0 in

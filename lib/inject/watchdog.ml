@@ -75,14 +75,18 @@ let check_deadline ?deadline (st : Machine.State.t) =
   | _ -> ()
 
 (** [run_guarded ?config iface] drives [iface] until the machine halts.
+    [on_slice] fires once per completed slice (the run's natural
+    preemption points) — periodic-metrics ticking hangs off it.
     @raise Machine.Sim_error.Error when a watchdog condition trips. *)
-let run_guarded ?(config = default) (iface : Specsim.Iface.t) =
+let run_guarded ?(config = default) ?(on_slice = fun () -> ())
+    (iface : Specsim.Iface.t) =
   let st = iface.st in
   let t0 = Unix.gettimeofday () in
   let slice = max 1 config.check_interval in
   let prev_sample = ref None in
   while not st.halted do
     ignore (Specsim.Iface.run_n iface slice);
+    on_slice ();
     if not st.halted then begin
       if Int64.compare st.instr_count (Int64.of_int config.max_instructions) >= 0
       then

@@ -28,8 +28,12 @@ val sys_getpid : int64
 type t
 
 (** [create ()] returns an emulator with empty output, empty input and a
-    deterministic clock starting at zero. *)
-val create : ?input:string -> ?brk0:int64 -> unit -> t
+    deterministic clock starting at zero. With [~obs] (a full context —
+    profile-only contexts compile in nothing here), syscall traffic is
+    counted into the "os.*" registry family: [os.syscalls],
+    [os.sys.<name>.calls] per emulated call, and
+    [os.bytes_written]/[os.bytes_read] for I/O volume. *)
+val create : ?obs:Obs.t -> ?input:string -> ?brk0:int64 -> unit -> t
 
 (** Bytes written via [sys_write] so far (the program's observable output;
     validation compares this across interfaces and ISAs). *)

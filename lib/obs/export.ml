@@ -292,14 +292,22 @@ let chrome_of_events ?(pid = 1) ?(tid = 1) (events : Ring.event list) : json =
 (* Registry snapshots                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Percentiles of an empty histogram are meaningless — [Hist.percentile]
+   returns 0 there, which would read as "bucket [0,1]". Emit null so
+   consumers can tell "no samples" from "all samples < 2". *)
+let json_of_percentile h p =
+  match Hist.percentile_opt h p with
+  | None -> Null
+  | Some v -> Int (Int64.of_int v)
+
 let json_of_hist (h : Hist.t) : json =
   Obj
     [
       ("count", Int (Int64.of_int (Hist.count h)));
       ("sum", Int (Int64.of_int (Hist.sum h)));
       ("mean", Float (Hist.mean h));
-      ("p50", Int (Int64.of_int (Hist.percentile h 50.)));
-      ("p99", Int (Int64.of_int (Hist.percentile h 99.)));
+      ("p50", json_of_percentile h 50.);
+      ("p99", json_of_percentile h 99.);
       ( "buckets",
         Arr
           (List.map
@@ -325,8 +333,16 @@ let json_of_snapshot (snap : Registry.snapshot) : json =
        snap)
 
 (** The [lisim stats] text table: one counter per line, histograms as a
-    summary line plus their non-empty log2 buckets. *)
+    summary line plus their non-empty log2 buckets. Rows follow snapshot
+    order (sorted by name — see {!Registry.snapshot}), so output is
+    stable regardless of registration order. Percentiles of an empty
+    histogram print as "-". *)
 let pp_snapshot ppf (snap : Registry.snapshot) =
+  let pctl h p =
+    match Hist.percentile_opt h p with
+    | None -> "-"
+    | Some v -> string_of_int v
+  in
   List.iter
     (fun (name, item) ->
       match item with
@@ -335,11 +351,71 @@ let pp_snapshot ppf (snap : Registry.snapshot) =
       | Registry.Value (Registry.Float f) ->
         Format.fprintf ppf "%-44s %14.3f@\n" name f
       | Registry.Histogram h ->
-        Format.fprintf ppf "%-44s count %9d  mean %10.1f  p50 %8d  p99 %8d  max %8d@\n"
+        Format.fprintf ppf "%-44s count %9d  mean %10.1f  p50 %8s  p99 %8s  max %8d@\n"
           name (Hist.count h) (Hist.mean h)
-          (Hist.percentile h 50.) (Hist.percentile h 99.) (Hist.max_value h);
+          (pctl h 50.) (pctl h 99.) (Hist.max_value h);
         List.iter
           (fun (lo, hi, n) ->
             Format.fprintf ppf "    [%10d, %10d] %12d@\n" lo hi n)
           (Hist.nonzero_buckets h))
     snap
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text format                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; registry
+   names use dots ("core.block_cache.chain_taken"), which map to '_'. *)
+let prom_name ~prefix name =
+  let buf = Buffer.create (String.length prefix + String.length name) in
+  Buffer.add_string buf prefix;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+(** [prom snap] — the snapshot in Prometheus text exposition format
+    (version 0.0.4), no third-party deps. Integer counters and float
+    probes render as gauges (the registry does not distinguish
+    monotonic counters from pull gauges, and gauge is the type that is
+    always safe to scrape); histograms render as native Prometheus
+    histograms with cumulative [_bucket{le="..."}] series derived from
+    the log2 bucket upper bounds, plus [_sum] and [_count]. Families
+    appear in snapshot order, i.e. sorted by name. *)
+let prom ?(prefix = "lisim_") (snap : Registry.snapshot) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, item) ->
+      let m = prom_name ~prefix name in
+      match item with
+      | Registry.Value (Registry.Int n) ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %d\n" m m n)
+      | Registry.Value (Registry.Float f) ->
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" m m (prom_float f))
+      | Registry.Histogram h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+        let cum = ref 0 in
+        List.iter
+          (fun (_, hi, n) ->
+            cum := !cum + n;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" m hi !cum))
+          (Hist.nonzero_buckets h);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m (Hist.count h));
+        Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" m (Hist.sum h));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m (Hist.count h)))
+    snap;
+  Buffer.contents buf

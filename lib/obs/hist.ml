@@ -64,12 +64,25 @@ let merge ~into src =
   if src.max > into.max then into.max <- src.max
 
 (** [percentile t p] — upper bound of the bucket containing the [p]-th
-    percentile sample (0 <= p <= 100); 0 when empty. *)
+    percentile sample, capped at the recorded maximum.
+
+    Edge cases (all deliberate, all tested):
+    - {b empty histogram}: returns 0. A 0 here is indistinguishable from
+      a genuine sub-2 sample, so renderers that must not mislead should
+      use {!percentile_opt} and omit the statistic instead;
+    - {b p = 0} (and any p < 0): the rank clamps to 1, i.e. the upper
+      bound of the lowest non-empty bucket — the resolution-limited
+      "minimum";
+    - {b p = 100} (and any p > 100): exactly [max_value t];
+    - ranks are [ceil (p/100 * count)], so percentiles round {e up} to a
+      recorded sample's bucket — p50 of two samples is the larger one. *)
 let percentile t p =
   if t.count = 0 then 0
   else begin
     let rank =
-      int_of_float (ceil (p /. 100. *. float_of_int t.count)) |> max 1
+      int_of_float (ceil (p /. 100. *. float_of_int t.count))
+      |> max 1
+      |> min t.count
     in
     let rec go i seen =
       if i >= n_buckets then t.max
@@ -79,6 +92,11 @@ let percentile t p =
     in
     go 0 0
   end
+
+(** [percentile_opt t p] — [None] when the histogram is empty, otherwise
+    [Some (percentile t p)]. The renderer-safe variant: an absent
+    statistic can be omitted where a 0 would read as "all samples < 2". *)
+let percentile_opt t p = if t.count = 0 then None else Some (percentile t p)
 
 (** Non-empty buckets as [(lo, hi, count)], low to high. *)
 let nonzero_buckets t =

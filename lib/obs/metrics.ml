@@ -1,0 +1,98 @@
+(** Periodic metrics snapshots: a wall-clock-interval JSONL time series
+    of every registry counter and histogram plus the profiler's top-N
+    regions. One JSON object per line, flushed after every line — the
+    same durability contract as the supervised journal, so a campaign
+    killed mid-run keeps every snapshot already taken.
+
+    Line shape (v1):
+
+    {v
+    {"v":1,"seq":0,"ts_ms":<wall clock>,"uptime_ms":<since open>,
+     "counters":{...Export.json_of_snapshot...},
+     "prof":[{"region":...,"instrs":...,...}]}   (absent without a profiler)
+    v}
+
+    [tick] is the hot-path entry: it is a single monotonic-clock read
+    and compare unless the interval has elapsed, so drivers can call it
+    per case/slice without measurable cost. [snap] writes
+    unconditionally (used for final flushes). *)
+
+type t = {
+  path : string;
+  oc : out_channel;
+  interval_ns : int64;
+  prof_top : int;
+  opened_ns : int64;
+  mutable last_ns : int64;  (** monotonic time of the last snapshot; 0 = none *)
+  mutable seq : int;
+  mutable closed : bool;
+}
+
+let default_interval_ms = 1_000
+
+(** [open_ ~path ()] starts a series at [path] (truncating). Intervals
+    of 0 ms make every [tick] write — handy in tests. *)
+let open_ ?(interval_ms = default_interval_ms) ?(prof_top = 10) ~path () =
+  if interval_ms < 0 then invalid_arg "Metrics.open_: negative interval";
+  let oc = open_out path in
+  let now = Clock.now_ns () in
+  {
+    path;
+    oc;
+    interval_ns = Int64.mul (Int64.of_int interval_ms) 1_000_000L;
+    prof_top;
+    opened_ns = now;
+    last_ns = 0L;
+    seq = 0;
+    closed = false;
+  }
+
+let path t = t.path
+let seq t = t.seq
+let interval_ms t = Int64.to_int (Int64.div t.interval_ns 1_000_000L)
+
+(** Write one snapshot line unconditionally and flush it to disk. *)
+let snap ?prof t (reg : Registry.t) =
+  if not t.closed then begin
+    let now = Clock.now_ns () in
+    let uptime_ms =
+      Int64.to_int (Int64.div (Int64.sub now t.opened_ns) 1_000_000L)
+    in
+    let ts_ms = Int64.of_float (Unix.gettimeofday () *. 1_000.) in
+    let fields =
+      [
+        ("v", Export.Int 1L);
+        ("seq", Export.Int (Int64.of_int t.seq));
+        ("ts_ms", Export.Int ts_ms);
+        ("uptime_ms", Export.Int (Int64.of_int uptime_ms));
+        ("counters", Export.json_of_snapshot (Registry.snapshot reg));
+      ]
+      @
+      match prof with
+      | None -> []
+      | Some p -> [ ("prof", Prof.json_top ~top:t.prof_top p) ]
+    in
+    output_string t.oc (Export.to_string (Export.Obj fields));
+    output_char t.oc '\n';
+    flush t.oc;
+    t.seq <- t.seq + 1;
+    t.last_ns <- now
+  end
+
+(** Snapshot only if the configured interval has elapsed since the last
+    one. The first call always writes (a series begins with its t=0
+    sample). *)
+let tick ?prof t reg =
+  if not t.closed then begin
+    let now = Clock.now_ns () in
+    if t.last_ns = 0L || Int64.sub now t.last_ns >= t.interval_ns then
+      snap ?prof t reg
+  end
+
+(** Final snapshot, then close the channel. Idempotent. *)
+let close ?prof t reg =
+  if not t.closed then begin
+    snap ?prof t reg;
+    t.closed <- true;
+    close_out t.oc
+  end

@@ -13,29 +13,60 @@
     A context owns:
     - [reg]: the counter/gauge/histogram {!Registry}, namespaced per
       component ("core.*", "synth.*", "specul.*", "checker.*",
-      "timing.*", "inject.*");
+      "timing.*", "inject.*", "os.*", "super.*");
     - [ring]: an optional fixed-capacity event {!Ring} for trace export
-      ({!Export.jsonl_of_events} / {!Export.chrome_of_events}). *)
+      ({!Export.jsonl_of_events} / {!Export.chrome_of_events});
+    - [prof]: an optional hot-region execution {!Prof}iler, attributed
+      by the synthesized interfaces at retirement/block boundaries;
+    - [full]: whether the heavyweight counter/histogram/ring
+      instrumentation is compiled in. {!profile_only} contexts set it
+      to [false]: synthesis then builds the {e seed} closures plus only
+      the profiler's cached-region attribution — the light hook whose
+      overhead the bench profiler section bounds at 2%. *)
 
 module Clock = Clock
 module Hist = Hist
 module Ring = Ring
 module Registry = Registry
 module Export = Export
+module Prof = Prof
+module Metrics = Metrics
 
-type t = { reg : Registry.t; ring : Ring.t option }
+type t = {
+  reg : Registry.t;
+  ring : Ring.t option;
+  prof : Prof.t option;
+  full : bool;
+}
 
 let default_ring_capacity = 65_536
 
 (** [create ()] — counters and histograms only. Pass [~trace:true] (or
-    an explicit [~ring_capacity]) to also buffer trace events. *)
-let create ?(trace = false) ?ring_capacity () =
+    an explicit [~ring_capacity]) to also buffer trace events, and
+    [~prof] to additionally attribute execution to the profiler. *)
+let create ?(trace = false) ?ring_capacity ?prof () =
   let ring =
     match ring_capacity with
     | Some c -> Some (Ring.create ~capacity:c)
     | None -> if trace then Some (Ring.create ~capacity:default_ring_capacity) else None
   in
-  { reg = Registry.create (); ring }
+  { reg = Registry.create (); ring; prof; full = true }
+
+(** [profile_only ()] — a context that compiles in {e only} hot-region
+    attribution: no counters, no histograms, no ring. The synthesized
+    closures are the seed closures plus one cached-region
+    compare-and-add per retirement (or per block on block interfaces,
+    where the chained translation-cache fast path is retained). This is
+    what [lisim profile] and the bench profiler-overhead section use. *)
+let profile_only ?prof () =
+  let prof = match prof with Some p -> p | None -> Prof.create () in
+  { reg = Registry.create (); ring = None; prof = Some prof; full = false }
 
 let snapshot t = Registry.snapshot t.reg
 let events t = match t.ring with None -> [] | Some r -> Ring.to_list r
+
+(** Periodic-metrics conveniences: tick/flush the series with this
+    context's registry and profiler. *)
+let metrics_tick m t = Metrics.tick ?prof:t.prof m t.reg
+let metrics_snap m t = Metrics.snap ?prof:t.prof m t.reg
+let metrics_close m t = Metrics.close ?prof:t.prof m t.reg

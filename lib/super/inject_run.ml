@@ -22,9 +22,16 @@ let replay_command (cfg : Inject.Campaign.config) ~isa ~kernel =
      --budget %d\n"
     isa kernel cfg.buildset cfg.seed cfg.rate cfg.budget
 
+(** [metrics] attaches a periodic-telemetry series, ticked once per cell
+    against the campaign's observability context (see
+    {!Fuzz.Campaign.run} for the contract — the caller owns open/close). *)
 let run ?(isas = [ "alpha"; "arm"; "ppc" ]) ?(kernel = "sort") ?obs ?stats
-    ?(super = Supervisor.default) ~journal ~quarantine ?(resume = false)
-    (cfg : Inject.Campaign.config) : cell list =
+    ?metrics ?(super = Supervisor.default) ~journal ~quarantine
+    ?(resume = false) (cfg : Inject.Campaign.config) : cell list =
+  let mobs = match obs with Some o -> o | None -> Obs.create () in
+  let tick_metrics () =
+    match metrics with Some m -> Obs.metrics_tick m mobs | None -> ()
+  in
   let view =
     if resume then Journal.load ~path:journal else Journal.empty_view ()
   in
@@ -44,7 +51,8 @@ let run ?(isas = [ "alpha"; "arm"; "ppc" ]) ?(kernel = "sort") ?obs ?stats
     List.mapi
       (fun i isa ->
         let case = case_id cfg ~isa ~kernel in
-        if Journal.is_complete view case then
+        let cell =
+          if Journal.is_complete view case then
           {
             c_isa = isa;
             c_case = case;
@@ -99,7 +107,10 @@ let run ?(isas = [ "alpha"; "arm"; "ppc" ]) ?(kernel = "sort") ?obs ?stats
               c_skipped = false;
               c_report = None;
               c_failure = Some f;
-            })
+            }
+        in
+        tick_metrics ();
+        cell)
       isas
   in
   Journal.close w;

@@ -49,10 +49,10 @@ type loaded = {
     reset. Returns the OS emulator (its output buffer is per-machine).
     This is {!load} without the interface synthesis — the supervised
     runtime uses it to prepare several machines identically. *)
-let load_image ?input (t : target) (program : Vir.Lang.program)
+let load_image ?obs ?input (t : target) (program : Vir.Lang.program)
     (st : Machine.State.t) : Machine.Os_emu.t =
   let spec = Lazy.force t.spec in
-  let os = Machine.Os_emu.create ?input () in
+  let os = Machine.Os_emu.create ?obs ?input () in
   (match spec.abi with
   | Some abi -> Machine.Os_emu.install os abi st
   | None ->
@@ -75,7 +75,7 @@ let load_image ?input (t : target) (program : Vir.Lang.program)
 let load ?(backend = Specsim.Synth.Compiled) ?chain ?site_cache ?obs ?input
     (t : target) ~buildset (program : Vir.Lang.program) : loaded =
   let iface = Specsim.Synth.make ~backend ?chain ?site_cache ?obs (Lazy.force t.spec) buildset in
-  let os = load_image ?input t program iface.st in
+  let os = load_image ?obs ?input t program iface.st in
   { iface; os; image_words = List.length (t.encode ~base:code_base program) }
 
 type outcome = {

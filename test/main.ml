@@ -27,4 +27,5 @@ let () =
       ("export", Test_export.suite);
       ("fuzz", Test_fuzz.suite);
       ("super", Test_super.suite);
+      ("prof", Test_prof.suite);
     ]

@@ -127,6 +127,66 @@ let test_hist_percentile () =
   Alcotest.(check int) "empty percentile" 0
     (Obs.Hist.percentile (Obs.Hist.create ()) 50.)
 
+let test_hist_percentile_edges () =
+  let empty = Obs.Hist.create () in
+  Alcotest.(check (option int)) "empty -> None" None
+    (Obs.Hist.percentile_opt empty 50.);
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.record h) [ 10; 10; 700 ];
+  (* p <= 0: rank clamps to 1, the lowest non-empty bucket's upper bound *)
+  Alcotest.(check int) "p0 = lowest bucket hi" 15 (Obs.Hist.percentile h 0.);
+  Alcotest.(check int) "negative p clamps too" 15 (Obs.Hist.percentile h (-5.));
+  (* ranks round up: p50 of 3 samples is rank 2, still in [8,15] *)
+  Alcotest.(check int) "p50 rank ceils" 15 (Obs.Hist.percentile h 50.);
+  (* rank 3 lands in [512,1023] but is capped at the recorded max *)
+  Alcotest.(check int) "capped at max" 700 (Obs.Hist.percentile h 67.);
+  Alcotest.(check int) "p>100 clamps to max" 700 (Obs.Hist.percentile h 150.);
+  Alcotest.(check (option int)) "opt agrees when non-empty" (Some 700)
+    (Obs.Hist.percentile_opt h 100.)
+
+(* Renderers must not turn "no samples" into a literal 0 percentile. *)
+let test_export_empty_hist_percentiles () =
+  let reg = Obs.Registry.create () in
+  ignore (Obs.Registry.histogram reg "e.h");
+  match Obs.Export.json_of_snapshot (Obs.Registry.snapshot reg) with
+  | Obs.Export.Obj [ ("e.h", Obs.Export.Obj fields) ] ->
+    Alcotest.(check bool) "p50 is null" true
+      (List.assoc "p50" fields = Obs.Export.Null);
+    Alcotest.(check bool) "p99 is null" true
+      (List.assoc "p99" fields = Obs.Export.Null);
+    Alcotest.(check bool) "count is 0" true
+      (List.assoc "count" fields = Obs.Export.Int 0L)
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+(* Satellite: every renderer consumes the name-sorted snapshot, so
+   output order is deterministic regardless of registration order. *)
+let test_export_ordering_stable () =
+  let reg = Obs.Registry.create () in
+  ignore (Obs.Registry.counter reg "z.last");
+  ignore (Obs.Registry.histogram reg "m.mid");
+  ignore (Obs.Registry.counter reg "a.first");
+  let snap = Obs.Registry.snapshot reg in
+  Alcotest.(check (list string)) "snapshot is name-sorted"
+    [ "a.first"; "m.mid"; "z.last" ]
+    (List.map fst snap);
+  (match Obs.Export.json_of_snapshot snap with
+  | Obs.Export.Obj kvs ->
+    Alcotest.(check (list string)) "json keys sorted"
+      [ "a.first"; "m.mid"; "z.last" ]
+      (List.map fst kvs)
+  | _ -> Alcotest.fail "unexpected snapshot shape");
+  let pp = Format.asprintf "%a" Obs.Export.pp_snapshot snap in
+  let pos name =
+    let rec find i =
+      if i + String.length name > String.length pp then -1
+      else if String.sub pp i (String.length name) = name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "pp order a < m" true (pos "a.first" < pos "m.mid");
+  Alcotest.(check bool) "pp order m < z" true (pos "m.mid" < pos "z.last")
+
 (* ---------------- registry --------------------------------------- *)
 
 let test_counter_identity () =
@@ -326,6 +386,11 @@ let suite =
     Alcotest.test_case "hist negative sample" `Quick test_hist_negative_sample;
     Alcotest.test_case "hist merge" `Quick test_hist_merge;
     Alcotest.test_case "hist percentile" `Quick test_hist_percentile;
+    Alcotest.test_case "hist percentile edges" `Quick test_hist_percentile_edges;
+    Alcotest.test_case "export empty-hist percentiles" `Quick
+      test_export_empty_hist_percentiles;
+    Alcotest.test_case "export ordering stable" `Quick
+      test_export_ordering_stable;
     Alcotest.test_case "counter identity" `Quick test_counter_identity;
     Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
     Alcotest.test_case "probe first wins" `Quick test_probe_first_wins;

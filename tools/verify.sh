@@ -2,8 +2,10 @@
 # Repo verification: build, full test suite, then a smoke fault-injection
 # campaign (fixed seed, all three ISAs) that must hit the coverage bar,
 # a watchdog check that a non-terminating kernel halts cleanly, an
-# instrumented-run check that the observability counters are live, and a
-# dispatch-stats check that block chaining and site sharing engage.
+# instrumented-run check that the observability counters are live, a
+# profiler check (hot-region table, speedscope flame export, JSONL
+# metrics series, --trace-cap validation), and a dispatch-stats check
+# that block chaining and site sharing engage.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,6 +58,63 @@ if ! grep -E "synth\.entrypoint_calls +[1-9]" "$tmp" >/dev/null; then
   exit 1
 fi
 
+echo "== profiler: hash kernel's inner loop must dominate the region table =="
+dune exec bin/lisim.exe -- profile --kernel hash >"$tmp"
+# the first data row is the hottest region; the hash inner loop owns the
+# clear majority of retired instructions
+top_share=$(awk 'NR==3 { sub(/%/, "", $3); print int($3) }' "$tmp")
+if [ -z "$top_share" ] || [ "$top_share" -lt 50 ]; then
+  echo "FAIL: profile top region share is ${top_share:-missing}%, expected >50%" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+
+echo "== profiler: --flame-out must write a speedscope document =="
+flame=$(mktemp)
+trap 'rm -f "$tmp" "$flame"' EXIT INT TERM
+dune exec bin/lisim.exe -- profile --kernel hash --flame-out "$flame" >"$tmp"
+if ! grep -q '"\$schema":"https://www.speedscope.app/file-format-schema.json"' \
+    "$flame"; then
+  echo "FAIL: flame output is not a speedscope document" >&2
+  head -c 400 "$flame" >&2
+  exit 1
+fi
+if ! grep -q '"profiles":' "$flame"; then
+  echo "FAIL: flame output has no profiles array" >&2
+  exit 1
+fi
+
+echo "== metrics: --metrics-out must emit a parseable JSONL series =="
+metrics=$(mktemp)
+trap 'rm -f "$tmp" "$flame" "$metrics"' EXIT INT TERM
+dune exec bin/lisim.exe -- run --kernel hash --metrics-out "$metrics" \
+  --metrics-interval 0 >"$tmp"
+if ! [ -s "$metrics" ]; then
+  echo "FAIL: metrics file is empty" >&2
+  exit 1
+fi
+if ! head -1 "$metrics" | grep -q '^{"v":1,"seq":0,'; then
+  echo "FAIL: metrics first line is not a v1 seq-0 snapshot" >&2
+  head -1 "$metrics" >&2
+  exit 1
+fi
+if ! grep -q '"counters":{' "$metrics"; then
+  echo "FAIL: metrics snapshots carry no counters" >&2
+  exit 1
+fi
+
+echo "== trace ring: --trace-cap 0 must be a usage error =="
+if dune exec bin/lisim.exe -- run --kernel hash --trace-cap 0 \
+    >/dev/null 2>"$tmp"; then
+  echo "FAIL: --trace-cap 0 was accepted" >&2
+  exit 1
+fi
+if ! grep -q -- "--trace-cap must be positive" "$tmp"; then
+  echo "FAIL: --trace-cap 0 did not report the usage error" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+
 echo "== dispatch: block engine must chain and share sites on a hot loop =="
 dune exec bin/lisim.exe -- run --kernel sort -b block_min --stats >"$tmp"
 for counter in chain_taken site_cache_hits; do
@@ -87,7 +146,7 @@ done
 
 echo "== fuzz: a seeded defect must be caught, shrunk and replayable =="
 fuzzdir=$(mktemp -d)
-trap 'rm -f "$tmp"; rm -rf "$fuzzdir"' EXIT INT TERM
+trap 'rm -f "$tmp" "$flame" "$metrics"; rm -rf "$fuzzdir"' EXIT INT TERM
 if dune exec bin/lisim.exe -- fuzz --isa tiny --seed 42 --budget 50 \
     --mutate stride4 --out "$fuzzdir" >"$tmp" 2>&1; then
   echo "FAIL: stride4 mutation not detected" >&2
@@ -113,7 +172,7 @@ fi
 
 echo "== super: supervised campaign must quarantine a seeded defect, exit 0 =="
 superdir=$(mktemp -d)
-trap 'rm -f "$tmp"; rm -rf "$fuzzdir" "$superdir"' EXIT INT TERM
+trap 'rm -f "$tmp" "$flame" "$metrics"; rm -rf "$fuzzdir" "$superdir"' EXIT INT TERM
 dune exec bin/lisim.exe -- fuzz --isa tiny --seed 42 --budget 50 \
   --mutate stride4 --journal "$superdir/journal.jsonl" \
   --quarantine "$superdir/quarantine" >"$tmp"
