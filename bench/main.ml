@@ -54,14 +54,14 @@ let drive (iface : Specsim.Iface.t) budget =
    [reps] runs (the machine may be shared; peak throughput is the stable
    statistic). [chain]/[site_cache] select the block-engine dispatch
    configuration (defaults on — see the dispatch experiment). *)
-let measure_mips ?chain ?site_cache (t : Workload.target) ~buildset
+let measure_mips ?chain ?site_cache ?absint (t : Workload.target) ~buildset
     (k : Vir.Kernels.sized) =
   let warm = if !quick then 5_000 else 20_000 in
   let budget = if !quick then 80_000 else 150_000 in
   let reps = if !quick then 2 else 4 in
   let best = ref 0. in
   for _ = 1 to reps do
-    let l = Workload.load ?chain ?site_cache t ~buildset k.program in
+    let l = Workload.load ?chain ?site_cache ?absint t ~buildset k.program in
     ignore (drive l.iface warm);
     Gc.full_major ();
     let t0 = Unix.gettimeofday () in
@@ -79,14 +79,33 @@ let json_sections : (string * Obs.Export.json) list ref = ref []
 let add_json name j =
   json_sections := (name, j) :: List.remove_assoc name !json_sections
 
+(* A partial run (e.g. `bench absint`) must not clobber the sections an
+   earlier full run wrote: merge over whatever is already on disk. *)
 let write_json_results () =
   if !json_sections <> [] then begin
+    let existing =
+      match
+        let ic = open_in "BENCH_results.json" in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Obs.Export.parse_opt s
+      with
+      | Some (Obs.Export.Obj kvs) -> kvs
+      | Some _ | None -> []
+      | exception Sys_error _ -> []
+    in
+    let fresh = List.rev !json_sections in
+    let kept =
+      List.filter (fun (name, _) -> not (List.mem_assoc name fresh)) existing
+    in
+    let merged = kept @ fresh in
     let oc = open_out "BENCH_results.json" in
-    Obs.Export.to_channel oc (Obs.Export.Obj (List.rev !json_sections));
+    Obs.Export.to_channel oc (Obs.Export.Obj merged);
     output_char oc '\n';
     close_out oc;
-    Printf.printf "wrote BENCH_results.json (%d sections)\n"
-      (List.length !json_sections)
+    Printf.printf "wrote BENCH_results.json (%d sections, %d updated)\n"
+      (List.length merged) (List.length fresh)
   end
 
 let geomean = function
@@ -1103,6 +1122,142 @@ let supervision () =
     (if worst <= 2.0 then "is within" else "EXCEEDS")
 
 (* ------------------------------------------------------------------ *)
+(* Abstract interpretation: gating effect, analysis cost, visibility    *)
+(* dogfood (3 ISAs x 12 buildsets)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let absint_bench () =
+  print_endline
+    "=== Abstract interpretation: synthesis gating and visibility dogfood ===";
+  let k = List.hd (kernels ()) in
+  (* A/B: the same kernel through analyzed and unanalyzed engines *)
+  let speed =
+    List.map
+      (fun buildset ->
+        let on = measure_mips ~absint:true Workload.alpha ~buildset k in
+        let off = measure_mips ~absint:false Workload.alpha ~buildset k in
+        Printf.printf
+          "  alpha/%-9s %-10s  absint on %7.2f MIPS, off %7.2f MIPS (%+.1f%%)\n"
+          buildset k.kname on off
+          (if off > 0. then (on -. off) /. off *. 100. else 0.);
+        ( buildset,
+          Obs.Export.Obj
+            [
+              ("mips_absint_on", Obs.Export.Float on);
+              ("mips_absint_off", Obs.Export.Float off);
+            ] ))
+      [ "one_all"; "block_min" ]
+  in
+  (* analysis cost and verdicts per ISA, stable blocks after a run (the
+     sort kernel has store-free comparison blocks; a kernel that stores
+     in every block would honestly report zero) *)
+  let ks =
+    match
+      List.find_opt
+        (fun (k : Vir.Kernels.sized) -> k.kname = "sort")
+        Vir.Kernels.bench_suite
+    with
+    | Some k -> k
+    | None -> k
+  in
+  let cost =
+    List.map
+      (fun (t : Workload.target) ->
+        let l = Workload.load t ~buildset:"block_min" ks.program in
+        ignore (drive l.iface (if !quick then 20_000 else 100_000));
+        let s = l.iface.stats in
+        let sums = Analysis.Absint.summarize (Lazy.force t.spec) in
+        let free =
+          Array.fold_left
+            (fun n su -> if Analysis.Absint.store_free su then n + 1 else n)
+            0 sums
+        in
+        Printf.printf
+          "  %-6s analysis %7d ns for %3d classes (%3d store-free), %d \
+           stable blocks\n"
+          t.tname s.Specsim.Iface.absint_ns (Array.length sums) free
+          s.Specsim.Iface.stable_blocks;
+        ( t.tname,
+          Obs.Export.Obj
+            [
+              ("absint_ns", Obs.Export.Int (Int64.of_int s.Specsim.Iface.absint_ns));
+              ("classes", Obs.Export.Int (Int64.of_int (Array.length sums)));
+              ("store_free_classes", Obs.Export.Int (Int64.of_int free));
+              ( "stable_blocks",
+                Obs.Export.Int (Int64.of_int s.Specsim.Iface.stable_blocks) );
+            ] ))
+      Workload.targets
+  in
+  (* dogfood: L08x across every shipped buildset, plus how far each
+     visible set is from the computed minimum *)
+  let visibility =
+    List.map
+      (fun (t : Workload.target) ->
+        let spec = Lazy.force t.spec in
+        let sums = Analysis.Absint.summarize spec in
+        let l08x =
+          match Analysis.Lint.run spec with
+          | Ok ds ->
+            List.length
+              (List.filter
+                 (fun (d : Analysis.Diag.t) ->
+                   d.code = "L080" || d.code = "L081")
+                 ds)
+          | Error _ -> -1
+        in
+        let per_bs =
+          Array.to_list spec.buildsets
+          |> List.map (fun (bs : Lis.Spec.buildset) ->
+                 let shown =
+                   Array.fold_left
+                     (fun n v -> if v then n + 1 else n)
+                     0 bs.bs_visible
+                 in
+                 let minimal =
+                   Semir.Absint.Iset.cardinal
+                     (Analysis.Absint.minimal_visible spec sums bs)
+                 in
+                 let tightened =
+                   Analysis.Absint.suggest_buildset spec sums bs <> None
+                 in
+                 ( bs.bs_name,
+                   Obs.Export.Obj
+                     [
+                       ("shown_cells", Obs.Export.Int (Int64.of_int shown));
+                       ("minimal_cells", Obs.Export.Int (Int64.of_int minimal));
+                       ("tightened", Obs.Export.Bool tightened);
+                     ] ))
+        in
+        let tightened_n =
+          List.length
+            (List.filter
+               (fun (_, j) ->
+                 match j with
+                 | Obs.Export.Obj kvs ->
+                   List.assoc "tightened" kvs = Obs.Export.Bool true
+                 | _ -> false)
+               per_bs)
+        in
+        Printf.printf
+          "  %-6s L08x diagnostics: %d; %d of %d buildsets can be tightened \
+           (see lisim check --suggest-buildset)\n"
+          t.tname l08x tightened_n (List.length per_bs);
+        ( t.tname,
+          Obs.Export.Obj
+            (("l08x_diagnostics", Obs.Export.Int (Int64.of_int l08x))
+            :: per_bs) ))
+      Workload.targets
+  in
+  add_json "absint"
+    (Obs.Export.Obj
+       [
+         ("speed", Obs.Export.Obj speed);
+         ("analysis", Obs.Export.Obj cost);
+         ("visibility", Obs.Export.Obj visibility);
+       ]);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Validation (paper §V-D)                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1237,6 +1392,7 @@ let () =
     if want "overhead" then overhead ();
     if want "profiler" then profiler ();
     if want "supervision" then supervision ();
+    if want "absint" then absint_bench ();
     if want "validate" then validate ();
     write_json_results ();
     if !gate_profiler then begin

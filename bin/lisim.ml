@@ -296,20 +296,23 @@ let read_source f =
   close_in ic;
   { Lis.Ast.src_role = role_of_filename f; src_name = f; src_text = text }
 
-(* Lint one unit; returns its diagnostics. Resolution errors from the
-   accumulating front end become L001 diagnostics so text and JSON
-   consumers see one uniform stream. *)
-let lint_unit ~flags (sources : Lis.Ast.source list) : Analysis.Diag.t list =
+(* Lint one unit; returns its diagnostics plus the resolved spec (for
+   consumers like --suggest-buildset that need more than diagnostics).
+   Resolution errors from the accumulating front end become L001
+   diagnostics so text and JSON consumers see one uniform stream. *)
+let lint_unit ~flags (sources : Lis.Ast.source list) :
+    Analysis.Diag.t list * Lis.Spec.t option =
   match Lis.Sema.load_all sources with
   | Error errs ->
-    List.map
-      (fun (span, msg) ->
-        Analysis.Diag.make ~code:"L001" ~pass:"sema"
-          ~severity:Analysis.Diag.Error span "%s" msg)
-      errs
+    ( List.map
+        (fun (span, msg) ->
+          Analysis.Diag.make ~code:"L001" ~pass:"sema"
+            ~severity:Analysis.Diag.Error span "%s" msg)
+        errs,
+      None )
   | Ok spec -> (
     match Analysis.Lint.run ~flags spec with
-    | Ok diags -> diags
+    | Ok diags -> (diags, Some spec)
     | Error msg ->
       Machine.Sim_error.raisef ~component:"cli" "%s" msg)
 
@@ -347,9 +350,29 @@ let check_cmd =
              $(b,-Wno-)$(i,PASS) disables one, $(b,-W) $(b,all) / \
              $(b,-Wno-all) everything (processed left to right). Passes: \
              decoder, defuse, deadstate, rollback, width, buildset, \
-             coverage (coverage is off by default).")
+             effect, visibility, journal, coverage (coverage is off by \
+             default).")
   in
-  let run files builtin json flags =
+  let sarif =
+    Arg.(
+      value & flag
+      & info [ "sarif" ]
+          ~doc:
+            "Emit diagnostics as a SARIF 2.1.0 document (one run per \
+             linted specification) for CI annotation. Takes precedence \
+             over --json.")
+  in
+  let suggest =
+    Arg.(
+      value & flag
+      & info [ "suggest-buildset" ]
+          ~doc:
+            "Instead of diagnostics, print re-parseable LIS text for \
+             every buildset whose visible set can be tightened to what \
+             its entrypoint crossings (and, under speculation, its \
+             cross-instruction carriers) actually require.")
+  in
+  let run files builtin json sarif suggest flags =
     try
       let units =
         (match files with
@@ -376,32 +399,61 @@ let check_cmd =
       else begin
         let reports =
           List.map
-            (fun (name, sources) -> (name, lint_unit ~flags sources))
+            (fun (name, sources) ->
+              let diags, spec = lint_unit ~flags sources in
+              (name, diags, spec))
             units
         in
-        if json then begin
-          print_string "[";
-          List.iteri
-            (fun i (name, diags) ->
-              if i > 0 then print_string ",";
-              print_string
-                (Analysis.Diag.json_report ~unit_name:name diags))
-            reports;
-          print_endline "]"
-        end
-        else
-          List.iter
-            (fun (name, diags) ->
-              List.iter
-                (fun d -> Format.printf "%a@." Analysis.Diag.pp d)
-                diags;
-              let e, w, n = Analysis.Diag.counts diags in
-              if e + w + n = 0 then Printf.printf "%s: clean\n" name
-              else
-                Printf.printf "%s: %d error(s), %d warning(s), %d note(s)\n"
-                  name e w n)
-            reports;
-        if List.exists (fun (_, ds) -> Analysis.Diag.has_errors ds) reports
+        let pairs = List.map (fun (n, ds, _) -> (n, ds)) reports in
+        (if suggest then
+           List.iter
+             (fun (name, _, spec) ->
+               match spec with
+               | None ->
+                 Printf.printf
+                   "// %s: specification did not resolve; fix errors first\n"
+                   name
+               | Some spec ->
+                 let sums = Analysis.Absint.summarize spec in
+                 let any = ref false in
+                 Array.iter
+                   (fun (bs : Lis.Spec.buildset) ->
+                     match Analysis.Absint.suggest_buildset spec sums bs with
+                     | None -> ()
+                     | Some text ->
+                       any := true;
+                       Printf.printf "// %s: tightened from '%s'\n%s\n" name
+                         bs.bs_name text)
+                   spec.buildsets;
+                 if not !any then
+                   Printf.printf "// %s: every buildset is already minimal\n"
+                     name)
+             reports
+         else if sarif then
+           print_endline (Analysis.Diag.sarif_report ~units:pairs)
+         else if json then begin
+           print_string "[";
+           List.iteri
+             (fun i (name, diags) ->
+               if i > 0 then print_string ",";
+               print_string
+                 (Analysis.Diag.json_report ~unit_name:name diags))
+             pairs;
+           print_endline "]"
+         end
+         else
+           List.iter
+             (fun (name, diags) ->
+               List.iter
+                 (fun d -> Format.printf "%a@." Analysis.Diag.pp d)
+                 diags;
+               let e, w, n = Analysis.Diag.counts diags in
+               if e + w + n = 0 then Printf.printf "%s: clean\n" name
+               else
+                 Printf.printf "%s: %d error(s), %d warning(s), %d note(s)\n"
+                   name e w n)
+             pairs);
+        if List.exists (fun (_, ds) -> Analysis.Diag.has_errors ds) pairs
         then 1
         else 0
       end
@@ -417,7 +469,7 @@ let check_cmd =
           width/constant checks and buildset legality, with stable \
           diagnostic codes. Exits non-zero if any error-severity \
           diagnostic is produced.")
-    Term.(const run $ files $ builtin $ json $ warn_flags)
+    Term.(const run $ files $ builtin $ json $ sarif $ suggest $ warn_flags)
 
 (* ---------------- emit ------------------------------------------- *)
 
@@ -477,6 +529,16 @@ let run_cmd =
             "Disable the shared (instruction, encoding) site cache and the \
              per-site memory fast paths: every block compiles its own sites \
              (the pre-translation-cache behaviour, for A/B comparison).")
+  in
+  let no_absint =
+    Arg.(
+      value & flag
+      & info [ "no-absint" ]
+          ~doc:
+            "Disable the synthesis-time abstract interpretation: every \
+             store-free verdict degrades to unsafe, so no instruction \
+             class gets the non-block memory fast path and no translated \
+             block skips its per-site SMC recheck (for A/B comparison).")
   in
   let supervised =
     Arg.(
@@ -539,8 +601,8 @@ let run_cmd =
     code
   in
   let run isa buildset kernel max_instructions max_seconds stats trace_out
-      trace_cap format no_chain no_site_cache supervised mutate metrics_out
-      metrics_interval =
+      trace_cap format no_chain no_site_cache no_absint supervised mutate
+      metrics_out metrics_interval =
     let t = Workload.find_target isa in
     let k = find_kernel kernel in
     let mutate = Option.map parse_mutation mutate in
@@ -574,8 +636,8 @@ let run_cmd =
          supervising shadow would just corrupt the run)"
     | None -> ());
     let l =
-      Workload.load ~chain:(not no_chain) ~site_cache:(not no_site_cache) ?obs t
-        ~buildset k.program
+      Workload.load ~chain:(not no_chain) ~site_cache:(not no_site_cache)
+        ~absint:(not no_absint) ?obs t ~buildset k.program
     in
     let on_slice =
       match (metrics, obs) with
@@ -632,8 +694,8 @@ let run_cmd =
     Term.(
       const run $ isa_arg $ buildset_arg $ kernel_arg $ max_instrs
       $ max_seconds $ stats_flag $ trace_out $ trace_cap_arg
-      $ format_arg ~default:"chrome" $ no_chain $ no_site_cache $ supervised
-      $ mutate_r $ metrics_out_arg $ metrics_interval_arg)
+      $ format_arg ~default:"chrome" $ no_chain $ no_site_cache $ no_absint
+      $ supervised $ mutate_r $ metrics_out_arg $ metrics_interval_arg)
 
 (* ---------------- profile ----------------------------------------- *)
 

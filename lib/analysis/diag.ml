@@ -22,10 +22,35 @@ let make ~code ~pass ~severity ?(related = []) span fmt =
     fmt
 
 let compare a b =
-  let p (s : Lis.Loc.span) = (s.start.file, s.start.line, s.start.col) in
+  (* total order so sorted output is byte-stable across runs: full span,
+     then code, then message, then producing pass *)
+  let p (s : Lis.Loc.span) =
+    (s.start.file, s.start.line, s.start.col, s.stop.line, s.stop.col)
+  in
   match Stdlib.compare (p a.span) (p b.span) with
-  | 0 -> Stdlib.compare a.code b.code
+  | 0 -> (
+    match Stdlib.compare a.code b.code with
+    | 0 -> (
+      match Stdlib.compare a.message b.message with
+      | 0 -> Stdlib.compare a.pass b.pass
+      | c -> c)
+    | c -> c)
   | c -> c
+
+(* Drop diagnostics identical up to the producing pass (two passes
+   reporting the same fact at the same span). Input must be sorted with
+   [compare]; the first occurrence wins. *)
+let dedup ds =
+  let same a b =
+    a.code = b.code && a.severity = b.severity && a.message = b.message
+    && a.span = b.span
+  in
+  let rec go = function
+    | a :: b :: rest when same a b -> go (a :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go ds
 
 let pp ppf d =
   Format.fprintf ppf "%a: %s: %s [%s]" Lis.Loc.pp d.span
@@ -97,6 +122,93 @@ let json_diag b d =
       Buffer.add_char b '}')
     d.related;
   Buffer.add_string b "]}"
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 rendering                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+(* SARIF lines/columns are 1-based; clamp dummy spans *)
+let sarif_region b (s : Lis.Loc.span) =
+  Printf.bprintf b
+    "{\"startLine\":%d,\"startColumn\":%d,\"endLine\":%d,\"endColumn\":%d}"
+    (max 1 s.start.line) (max 1 s.start.col) (max 1 s.stop.line)
+    (max 1 s.stop.col)
+
+let sarif_location b (s : Lis.Loc.span) =
+  Buffer.add_string b
+    "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+  json_str b s.start.file;
+  Buffer.add_string b "},\"region\":";
+  sarif_region b s;
+  Buffer.add_string b "}}"
+
+let sarif_run b ~unit_name ds =
+  (* rule table: one entry per distinct code, in sorted order *)
+  let rules =
+    List.sort_uniq Stdlib.compare (List.map (fun d -> (d.code, d.pass)) ds)
+  in
+  Buffer.add_string b
+    "{\"tool\":{\"driver\":{\"name\":\"lislint\",\"rules\":[";
+  List.iteri
+    (fun i (code, pass) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"id\":";
+      json_str b code;
+      Printf.bprintf b ",\"properties\":{\"pass\":";
+      json_str b pass;
+      Buffer.add_string b "}}")
+    rules;
+  Buffer.add_string b "]}},\"automationDetails\":{\"id\":";
+  json_str b unit_name;
+  Buffer.add_string b "},\"results\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"ruleId\":";
+      json_str b d.code;
+      Printf.bprintf b ",\"level\":";
+      json_str b (sarif_level d.severity);
+      Printf.bprintf b ",\"message\":{\"text\":";
+      json_str b d.message;
+      Buffer.add_string b "},\"locations\":[";
+      sarif_location b d.span;
+      Buffer.add_char b ']';
+      if d.related <> [] then begin
+        Buffer.add_string b ",\"relatedLocations\":[";
+        List.iteri
+          (fun j (span, msg) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+            json_str b span.Lis.Loc.start.file;
+            Buffer.add_string b "},\"region\":";
+            sarif_region b span;
+            Buffer.add_string b "},\"message\":{\"text\":";
+            json_str b msg;
+            Buffer.add_string b "}}")
+          d.related;
+        Buffer.add_char b ']'
+      end;
+      Buffer.add_char b '}')
+    ds;
+  Buffer.add_string b "]}"
+
+let sarif_report ~units =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[";
+  List.iteri
+    (fun i (unit_name, ds) ->
+      if i > 0 then Buffer.add_char b ',';
+      sarif_run b ~unit_name ds)
+    units;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 let json_report ~unit_name ds =
   let e, w, n = counts ds in

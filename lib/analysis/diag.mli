@@ -31,8 +31,13 @@ val make :
   ('a, Format.formatter, unit, t) format4 ->
   'a
 
-(** Source order: by file, line, column, then code. *)
+(** Total source order: by file, full span, code, message, then pass —
+    sorting with it makes rendered output byte-stable across runs. *)
 val compare : t -> t -> int
+
+(** Collapse adjacent diagnostics identical up to the producing pass.
+    The list must already be sorted with {!compare}. *)
+val dedup : t list -> t list
 
 (** Compiler-style rendering: ["file:line:col: error: message [L010]"]
     followed by one indented ["note:"] line per related span. *)
@@ -48,3 +53,8 @@ val has_errors : t list -> bool
       "diagnostics": [{"code", "severity", "pass", "file", "line", "col",
       "end_line", "end_col", "message", "related": [...]}, ...]}]. *)
 val json_report : unit_name:string -> t list -> string
+
+(** [sarif_report ~units] renders a SARIF 2.1.0 document with one run
+    per analyzed unit. Rule ids are the stable diagnostic codes; the
+    unit name lands in [automationDetails.id]. *)
+val sarif_report : units:(string * t list) list -> string

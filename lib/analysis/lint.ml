@@ -54,6 +54,30 @@ let passes =
       p_run = Passes.buildset_pass;
     };
     {
+      p_name = "effect";
+      p_doc =
+        "abstract interpretation: impure address actions, clamped \
+         register indices, provably misaligned accesses";
+      p_default = true;
+      p_run = Passes.effect_pass;
+    };
+    {
+      p_name = "visibility";
+      p_doc =
+        "abstract interpretation: never-written or non-minimal cells in \
+         hand-picked visible sets";
+      p_default = true;
+      p_run = Passes.visibility_pass;
+    };
+    {
+      p_name = "journal";
+      p_doc =
+        "abstract interpretation: cells carried across instructions that \
+         a speculative rollback cannot restore";
+      p_default = true;
+      p_run = Passes.journal_pass;
+    };
+    {
       p_name = "coverage";
       p_doc = "decode-key values matching no instruction (informational)";
       p_default = false;
@@ -93,7 +117,9 @@ let selection (flags : string list) : ((string -> bool), string) result =
   go flags
 
 (** [run ?flags spec] runs the selected passes and returns their
-    diagnostics in source order. *)
+    diagnostics in source order, deduplicated — the sort is total and
+    identical diagnostics from different passes are collapsed, so the
+    rendered output is byte-stable across runs. *)
 let run ?(flags = []) (spec : Lis.Spec.t) : (Diag.t list, string) result =
   match selection flags with
   | Error _ as e -> e
@@ -101,4 +127,5 @@ let run ?(flags = []) (spec : Lis.Spec.t) : (Diag.t list, string) result =
     Ok
       (passes
       |> List.concat_map (fun p -> if on p.p_name then p.p_run spec else [])
-      |> List.stable_sort Diag.compare)
+      |> List.stable_sort Diag.compare
+      |> Diag.dedup)

@@ -668,3 +668,213 @@ let buildset_pass (spec : Spec.t) : Diag.t list =
                 across interface calls"
                bs.bs_name (Spec.cell_name spec cell) writer reader n)
            !order)
+
+(* ------------------------------------------------------------------ *)
+(* Abstract-interpretation passes (L07x effect, L08x visibility, L09x  *)
+(* journal) — all built on the per-class summaries of {!Absint}.       *)
+(* ------------------------------------------------------------------ *)
+
+(** L070–L072: effect and purity facts per instruction class.
+
+    - L070: the [address] action has an architected effect (memory
+      store, register write, syscall or halt). By the paper's
+      addressing convention the address action only computes cells, so
+      the timing simulator may call it early and repeatedly; an
+      architected effect there executes once per *call*, not once per
+      instruction.
+    - L071: a register index expression whose interval exceeds the
+      class size — the access is silently clamped at runtime.
+    - L072: a memory access whose address is provably misaligned (the
+      congruence excludes every aligned value). *)
+let effect_pass (spec : Spec.t) : Diag.t list =
+  let module A = Semir.Absint in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let sums = Absint.summarize spec in
+  Array.iter
+    (fun (s : Absint.summary) ->
+      let i = s.s_instr in
+      (* L070 *)
+      List.iter
+        (fun (name, (r : A.result)) ->
+          if String.equal name "address" && A.architected_effect r.effects
+          then begin
+            let what =
+              List.filter_map Fun.id
+                [
+                  (if r.effects.stores then Some "a memory store" else None);
+                  (if not (A.Iset.is_empty r.effects.reg_writes) then
+                     Some "a register write"
+                   else None);
+                  (if r.effects.syscall then Some "a syscall" else None);
+                  (if r.effects.halt then Some "a halt" else None);
+                ]
+            in
+            add
+              (Diag.make ~code:"L070" ~pass:"effect" ~severity:Diag.Warning
+                 i.i_span
+                 "instruction '%s': action 'address' has an architected \
+                  effect (%s); address actions are assumed pure so a \
+                  timing model may call them early and more than once"
+                 i.i_name
+                 (String.concat ", " what))
+          end)
+        s.s_actions;
+      (* L071, one diagnostic per affected class *)
+      let flagged = Hashtbl.create 4 in
+      List.iter
+        (fun (ra : A.reg_access) ->
+          match ra.ra_index.itv with
+          | Some (_, hi)
+            when Int64.compare hi
+                   (Int64.of_int spec.reg_classes.(ra.ra_cls).count)
+                 >= 0
+                 && not (Hashtbl.mem flagged ra.ra_cls) ->
+            Hashtbl.add flagged ra.ra_cls ();
+            add
+              (Diag.make ~code:"L071" ~pass:"effect" ~severity:Diag.Warning
+                 i.i_span
+                 "instruction '%s': register index into class '%s' can \
+                  reach %Ld but the class has %d registers; out-of-range \
+                  indices are clamped at runtime"
+                 i.i_name
+                 spec.reg_classes.(ra.ra_cls).cname
+                 hi
+                 spec.reg_classes.(ra.ra_cls).count)
+          | _ -> ())
+        s.s_total.reg_acc;
+      (* L072, one diagnostic per distinct (width, kind) *)
+      let flagged = Hashtbl.create 4 in
+      List.iter
+        (fun (ma : A.mem_access) ->
+          let key = (ma.ma_width, ma.ma_store) in
+          if A.misaligned ma && not (Hashtbl.mem flagged key) then begin
+            Hashtbl.add flagged key ();
+            add
+              (Diag.make ~code:"L072" ~pass:"effect" ~severity:Diag.Warning
+                 i.i_span
+                 "instruction '%s': %d-byte %s address is always \
+                  congruent to %Ld (mod %Ld) and can never be aligned"
+                 i.i_name
+                 (Semir.Ir.bytes_of_width ma.ma_width)
+                 (if ma.ma_store then "store" else "load")
+                 ma.ma_addr.rem ma.ma_addr.modulus)
+          end)
+        s.s_total.mem_acc)
+    sums;
+  List.rev !diags
+
+(** L080/L081: visibility minimality for hand-picked ([show]/[hide])
+    visible sets. L080: a shown cell no instruction ever writes — its DI
+    slot never carries defined data. L081 (note): a shown cell no
+    entrypoint crossing (nor, under speculation, any cross-instruction
+    carrier) requires — hiding it turns its DI store into a scratch
+    local, the paper's minimal-visibility win. *)
+let visibility_pass (spec : Spec.t) : Diag.t list =
+  let explicit =
+    Array.to_list spec.buildsets
+    |> List.filter (fun (b : Spec.buildset) -> b.bs_explicit_visibility)
+  in
+  if explicit = [] then []
+  else begin
+    let module I = Absint.Iset in
+    let sums = Absint.summarize spec in
+    let written =
+      Array.fold_left
+        (fun acc (s : Absint.summary) ->
+          I.union acc s.s_total.effects.writes)
+        I.empty sums
+    in
+    List.concat_map
+      (fun (bs : Spec.buildset) ->
+        let minimal = Absint.minimal_visible spec sums bs in
+        let ds = ref [] in
+        Array.iteri
+          (fun c visible ->
+            if visible && c <> spec.opclass_cell then
+              if not (I.mem c written) then
+                ds :=
+                  Diag.make ~code:"L080" ~pass:"visibility"
+                    ~severity:Diag.Warning
+                    ~related:
+                      [
+                        ( spec.cells.(c).cell_span,
+                          Printf.sprintf "'%s' declared here"
+                            (Spec.cell_name spec c) );
+                      ]
+                    bs.bs_span
+                    "buildset '%s': visible cell '%s' is never written by \
+                     any instruction; its interface slot never carries \
+                     defined data"
+                    bs.bs_name (Spec.cell_name spec c)
+                  :: !ds
+              else if not (I.mem c minimal) then
+                ds :=
+                  Diag.make ~code:"L081" ~pass:"visibility"
+                    ~severity:Diag.Note
+                    ~related:
+                      [
+                        ( spec.cells.(c).cell_span,
+                          Printf.sprintf "'%s' declared here"
+                            (Spec.cell_name spec c) );
+                      ]
+                    bs.bs_span
+                    "buildset '%s': visible cell '%s' is not required by \
+                     any entrypoint crossing; hiding it would turn its \
+                     interface store into a scratch local (try 'lisim \
+                     check --suggest-buildset')"
+                    bs.bs_name (Spec.cell_name spec c)
+                  :: !ds)
+          bs.bs_visible;
+        List.rev !ds)
+      explicit
+  end
+
+(** L090/L091: rollback sufficiency for cross-instruction carriers.
+    The speculation journal restores registers, memory, pc and machine
+    control state — but not frame cells. A cell that carries a value
+    from one dynamic instruction into a later one therefore survives a
+    rollback with its wrong-path value: an error when the carrier is
+    hidden (nothing outside the engine can even see it to fix it), a
+    warning when visible (the timing simulator would have to re-supply
+    it by hand). Semantic deepening of the syntactic L040 check. *)
+let journal_pass (spec : Spec.t) : Diag.t list =
+  let speculative =
+    Array.to_list spec.buildsets
+    |> List.filter (fun (b : Spec.buildset) -> b.bs_speculation)
+  in
+  if speculative = [] then []
+  else begin
+    let sums = Absint.summarize spec in
+    let carriers = Absint.carriers sums in
+    List.concat_map
+      (fun (bs : Spec.buildset) ->
+        List.map
+          (fun (c : Absint.carrier) ->
+            let name = Spec.cell_name spec c.c_cell in
+            let related =
+              [
+                ( spec.cells.(c.c_cell).cell_span,
+                  Printf.sprintf "'%s' declared here" name );
+              ]
+            in
+            if not bs.bs_visible.(c.c_cell) then
+              Diag.make ~code:"L090" ~pass:"journal" ~severity:Diag.Error
+                ~related bs.bs_span
+                "buildset '%s': hidden cell '%s' carries a value across \
+                 instructions (read by '%s' before any write, written by \
+                 '%s') but the speculation journal only restores \
+                 registers, memory and control state; after a rollback \
+                 the cell keeps its wrong-path value"
+                bs.bs_name name c.c_reader c.c_writer
+            else
+              Diag.make ~code:"L091" ~pass:"journal" ~severity:Diag.Warning
+                ~related bs.bs_span
+                "buildset '%s': visible cell '%s' carries a value across \
+                 instructions (read by '%s', written by '%s'); rollback \
+                 does not restore interface cells, so the timing \
+                 simulator must re-supply it after every mis-speculation"
+                bs.bs_name name c.c_reader c.c_writer)
+          carriers)
+      speculative
+  end

@@ -31,6 +31,16 @@ type stats = {
   mutable chain_miss : int;
       (** chained dispatches that fell back to the block hash table *)
   mutable instrs_executed : int64;  (** via this interface's calls *)
+  mutable absint_ns : int;
+      (** synthesis-time cost of the abstract-interpretation pass that
+          gates the store-free optimizations (0 when disabled) *)
+  mutable fastpath_classes : int;
+      (** instruction classes granted the memory fast path because the
+          analysis proved them store- and syscall-free *)
+  mutable stable_blocks : int;
+      (** translated blocks whose mid-run SMC recheck was elided: every
+          site is statically store-free, so the block cannot invalidate
+          itself *)
 }
 
 type t = {

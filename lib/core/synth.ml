@@ -105,6 +105,11 @@ type block = {
   b_encs : int64 array;
   b_idxs : int array;
   b_pcs : int64 array;
+  b_stable : bool;
+      (** every site is statically store- and syscall-free, so the block
+          cannot invalidate itself (or any other block) mid-run: the
+          per-site [b_valid] recheck is elided. Invalidation between
+          runs is still honored — dispatch only trusts [b_valid]. *)
   mutable b_valid : bool;
   mutable b_s1_pc : int64;
   mutable b_s1 : block;
@@ -121,6 +126,7 @@ let rec dummy_block =
     b_encs = [||];
     b_idxs = [||];
     b_pcs = [||];
+    b_stable = false;
     b_valid = false;
     b_s1_pc = -1L;
     b_s1 = dummy_block;
@@ -150,8 +156,8 @@ let dispatch_invariant_violation (st : State.t) ~want ~got =
 (* ------------------------------------------------------------------ *)
 
 let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
-    ?(site_cache = true) ?mutate ?obs ?st (spec : Lis.Spec.t) (bs_name : string)
-    : Iface.t =
+    ?(site_cache = true) ?(absint = true) ?mutate ?obs ?st (spec : Lis.Spec.t)
+    (bs_name : string) : Iface.t =
   let bs = Lis.Spec.find_buildset spec bs_name in
   let st = match st with Some s -> s | None -> Lis.Spec.make_machine spec in
   let slots = Slots.make spec bs in
@@ -191,8 +197,31 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
       chain_taken = 0;
       chain_miss = 0;
       instrs_executed = 0L;
+      absint_ns = 0;
+      fastpath_classes = 0;
+      stable_blocks = 0;
     }
   in
+
+  (* Static effect analysis: which instruction classes are provably
+     store-free (no [Store] on any path, no syscall whose handler could
+     write memory)? Such classes can never invalidate translated code,
+     so they get the memory fast path outside block mode and their
+     blocks skip the per-site SMC recheck. The analysis is sound, never
+     required: [absint = false] degrades every verdict to "unsafe". *)
+  let class_store_free =
+    if not absint then Array.make n_instrs false
+    else begin
+      let t0 = Obs.Clock.now_ns () in
+      let sums = Analysis.Absint.summarize spec in
+      let safe = Array.map Analysis.Absint.store_free sums in
+      stats.Iface.absint_ns <- Obs.Clock.elapsed_ns t0;
+      safe
+    end
+  in
+  if not bs.bs_block then
+    stats.Iface.fastpath_classes <-
+      Array.fold_left (fun n s -> if s then n + 1 else n) 0 class_store_free;
 
   let compile_program ?(mem_fast_path = false) ir =
     match backend with
@@ -254,11 +283,15 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
                | Seg_decode ->
                  I_decode
                    (Array.init n_instrs (fun ii ->
-                        compile_program per_instr_seg_ir.(ii).(k)))
+                        compile_program
+                          ~mem_fast_path:class_store_free.(ii)
+                          per_instr_seg_ir.(ii).(k)))
                | Seg_ir _ ->
                  I_chunk
                    (Array.init n_instrs (fun ii ->
-                        compile_program per_instr_seg_ir.(ii).(k))))
+                        compile_program
+                          ~mem_fast_path:class_store_free.(ii)
+                          per_instr_seg_ir.(ii).(k))))
              segs))
       ep_segs
   in
@@ -449,6 +482,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
     let n = ref 0 in
     let pc = ref pc0 in
     let stop = ref false in
+    let stable = ref true in
     while not !stop do
       let enc = Memory.read st.mem ~addr:!pc ~width:spec.instr_bytes in
       let idx = Decoder.decode decoder enc in
@@ -457,9 +491,11 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
         encs := enc :: !encs;
         idxs := idx :: !idxs;
         incr n;
+        stable := false;
         stop := true
       end
       else begin
+        if not class_store_free.(idx) then stable := false;
         codes := compile_site enc idx :: !codes;
         encs := enc :: !encs;
         idxs := idx :: !idxs;
@@ -469,6 +505,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
       end
     done;
     stats.Iface.blocks_compiled <- stats.Iface.blocks_compiled + 1;
+    if !stable then stats.Iface.stable_blocks <- stats.Iface.stable_blocks + 1;
     let pcs =
       Array.init (!n + 1) (fun i ->
           Int64.add pc0 (Int64.mul block_stride (Int64.of_int i)))
@@ -480,6 +517,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
         b_encs = Array.of_list (List.rev !encs);
         b_idxs = Array.of_list (List.rev !idxs);
         b_pcs = pcs;
+        b_stable = !stable;
         b_valid = true;
         b_s1_pc = -1L;
         b_s1 = dummy_block;
@@ -577,8 +615,12 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
       let k = ref 0 in
       (* [b_valid] re-checked per site: a store that hits this block's
          own code page stops execution after the faulting-free site that
-         performed it, so stale sites never run. *)
-      while !k < len && not st.halted && (b.b_valid || stale_chain) do
+         performed it, so stale sites never run. Stable blocks skip the
+         recheck — none of their sites can store, so nothing can
+         invalidate any block while they run. *)
+      while
+        !k < len && not st.halted && (b.b_valid || b.b_stable || stale_chain)
+      do
         let di = Array.unsafe_get dis !k in
         let pc = Array.unsafe_get pcs !k in
         di.pc <- pc;
@@ -722,8 +764,14 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
         R.probe reg "core.block_cache.chain_miss" (fun () ->
             R.Int stats.Iface.chain_miss);
         R.probe reg "core.block_cache.site_cache_hits" (fun () ->
-            R.Int stats.Iface.site_cache_hits)
+            R.Int stats.Iface.site_cache_hits);
+        R.probe reg "core.block_cache.stable_blocks" (fun () ->
+            R.Int stats.Iface.stable_blocks)
       end;
+      R.probe reg "core.absint_ns" (fun () -> R.Int stats.Iface.absint_ns);
+      if not bs.bs_block then
+        R.probe reg "core.absint_fastpath_classes" (fun () ->
+            R.Int stats.Iface.fastpath_classes);
       R.probe reg "core.fused_closures_compiled" (fun () ->
           R.Int
             (if bs.bs_block then stats.Iface.sites_compiled
@@ -916,7 +964,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
         if st.halted then go := false
         else begin
           incr k;
-          if !k >= len || not b.b_valid then go := false
+          if !k >= len || not (b.b_valid || b.b_stable) then go := false
         end
       done;
       if !k > 0 then begin

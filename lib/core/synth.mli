@@ -64,6 +64,16 @@ val seg_ir : Lis.Spec.instr -> seg -> Semir.Ir.program
     {!mutation} bug class) — for fuzzer validation only, never for real
     simulation.
 
+    [absint] (default on) runs {!Analysis.Absint} at synthesis time and
+    gates two optimizations on its store-free verdicts: instruction
+    classes proved store- and syscall-free get the memory fast path
+    outside block mode, and translated blocks made only of such classes
+    skip the per-site SMC recheck (they cannot invalidate themselves
+    mid-run; invalidation between runs is still honored). The analysis
+    is advisory — [absint:false] degrades every verdict to "unsafe" and
+    reproduces the unanalyzed engine. Stats [absint_ns],
+    [fastpath_classes], [stable_blocks].
+
     [obs], when given, compiles instrumentation into the interface's
     call paths: every entrypoint crossing is counted
     ("synth.entrypoint_calls", "synth.ep.<name>.calls") and timed into
@@ -82,6 +92,7 @@ val make :
   ?allow_hidden_crossing:bool ->
   ?chain:bool ->
   ?site_cache:bool ->
+  ?absint:bool ->
   ?mutate:mutation ->
   ?obs:Obs.t ->
   ?st:Machine.State.t ->

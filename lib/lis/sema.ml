@@ -628,6 +628,10 @@ let analyze_all ?(line_stats = Count.zero) (decls : Ast.t) :
               bs_speculation = b.b_speculation;
               bs_block = b.b_block;
               bs_visible = resolve_vis b.b_visibility;
+              bs_explicit_visibility =
+                (match b.b_visibility with
+                | V_show _ | V_hide _ -> true
+                | V_all | V_min | V_decode -> false);
               bs_entrypoints = entrypoints;
               bs_span = b.b_name.span;
             }))

@@ -63,6 +63,10 @@ type buildset = {
   bs_speculation : bool;
   bs_block : bool;
   bs_visible : bool array;  (** per cell: stored in the DI record? *)
+  bs_explicit_visibility : bool;
+      (** the visibility clause listed cells by name ([show]/[hide])
+          rather than a named policy ([all]/[min]/[decode]) — only such
+          hand-picked sets are candidates for minimality lints *)
   bs_entrypoints : (string * action_sym list) array;
   bs_span : Loc.span;  (** declaration site (for diagnostics) *)
 }

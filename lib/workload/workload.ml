@@ -72,9 +72,12 @@ let load_image ?obs ?input (t : target) (program : Vir.Lang.program)
     kernel and installs it at the code base with the OS emulator hooked up.
     [obs] compiles instrumentation into the interface (see
     {!Specsim.Synth.make}); omitted, the interface is uninstrumented. *)
-let load ?(backend = Specsim.Synth.Compiled) ?chain ?site_cache ?obs ?input
-    (t : target) ~buildset (program : Vir.Lang.program) : loaded =
-  let iface = Specsim.Synth.make ~backend ?chain ?site_cache ?obs (Lazy.force t.spec) buildset in
+let load ?(backend = Specsim.Synth.Compiled) ?chain ?site_cache ?absint ?obs
+    ?input (t : target) ~buildset (program : Vir.Lang.program) : loaded =
+  let iface =
+    Specsim.Synth.make ~backend ?chain ?site_cache ?absint ?obs
+      (Lazy.force t.spec) buildset
+  in
   let os = load_image ?obs ?input t program iface.st in
   { iface; os; image_words = List.length (t.encode ~base:code_base program) }
 

@@ -23,6 +23,7 @@ let () =
       ("inject", Test_inject.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("dispatch", Test_dispatch.suite);
       ("export", Test_export.suite);
       ("fuzz", Test_fuzz.suite);

@@ -373,6 +373,255 @@ instr A : rr match 0x40000000 mask 0xFC0007FF {
   in
   no_code "L060" ds
 
+(* ------------------------------------------------------------------ *)
+(* Abstract-interpretation passes: L07x effect, L08x visibility, L09x  *)
+(* journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_l070_architected_address () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action address { store.u64(ra, rb); }
+  action evaluate { rc = ra; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"architected effect" "L070"
+    ds;
+  (* a field write inside [address] is the idiom, not an architected
+     effect: the DI slot is scratch until the interface commits it *)
+  no_code "L070"
+    (lint
+       {|
+field eaddr : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action address { eaddr = ra + rb; }
+  action memory { rc = eaddr; }
+}
+|})
+
+let test_l071_clamped_reg_index () =
+  let ds =
+    lint
+      {|
+instr A match 0x40000000 mask 0xFC000000 {
+  operand rx : GPR[bits(16,6)] read;
+  operand rc : GPR[bits(11,5)] write;
+  action evaluate { rc = rx; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"clamped" "L071" ds;
+  (* a 5-bit field fits a 32-register class exactly *)
+  no_code "L071"
+    (lint
+       {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+}
+|})
+
+let test_l072_provably_misaligned () =
+  let ds =
+    lint
+      {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { store.u64((ra << 3) + 4, rb); rc = ra; }
+}
+|}
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"never be aligned" "L072" ds;
+  (* drop the +4 and the same congruence proves alignment instead *)
+  no_code "L072"
+    (lint
+       {|
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { store.u64(ra << 3, rb); rc = ra; }
+}
+|})
+
+let one_entry_bs ~name ~spec ~vis =
+  Printf.sprintf
+    {|
+buildset %s {
+  speculation %s;
+  visibility %s;
+  entrypoint go = fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+}
+|}
+    name spec vis
+
+let test_l080_shown_never_written () =
+  let body =
+    {|
+field never_set : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra + rb; }
+}
+|}
+  in
+  let ds =
+    lint ~bs:(one_entry_bs ~name:"shown" ~spec:"off" ~vis:"show never_set") body
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"never written" "L080" ds;
+  (* a policy visibility ([all]/[min]) is never second-guessed *)
+  no_code "L080" (lint ~bs:(one_entry_bs ~name:"p" ~spec:"off" ~vis:"all") body)
+
+let test_l081_shown_not_required () =
+  let body =
+    {|
+field tmp : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { tmp = ra; rc = tmp; }
+}
+|}
+  in
+  let ds =
+    lint ~bs:(one_entry_bs ~name:"shown" ~spec:"off" ~vis:"show tmp") body
+  in
+  check_code ~severity:Analysis.Diag.Note ~msg:"scratch local" "L081" ds;
+  no_code "L080" ds;
+  no_code "L081" (lint ~bs:(one_entry_bs ~name:"p" ~spec:"off" ~vis:"min") body)
+
+let carrier_body =
+  {|
+field carry : u64;
+instr W : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { carry = ra + rb; rc = ra; }
+}
+instr R : rr match 0x44000000 mask 0xFC0007FF {
+  action evaluate { rc = (ra - rb) + carry; }
+}
+|}
+
+let test_l090_hidden_carrier () =
+  let ds =
+    lint ~bs:(one_entry_bs ~name:"spec_min" ~spec:"on" ~vis:"min") carrier_body
+  in
+  check_code ~severity:Analysis.Diag.Error ~msg:"wrong-path" "L090" ds;
+  no_code "L091" ds
+
+let test_l091_visible_carrier () =
+  let ds =
+    lint
+      ~bs:(one_entry_bs ~name:"spec_carry" ~spec:"on" ~vis:"show carry")
+      carrier_body
+  in
+  check_code ~severity:Analysis.Diag.Warning ~msg:"re-supply" "L091" ds;
+  no_code "L090" ds
+
+let test_l09x_needs_speculation () =
+  (* without speculation nothing ever rolls back, so a carrier is not a
+     journal hazard *)
+  let ds =
+    lint ~bs:(one_entry_bs ~name:"plain" ~spec:"off" ~vis:"min") carrier_body
+  in
+  no_code "L090" ds;
+  no_code "L091" ds
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic determinism, SARIF, --suggest-buildset                   *)
+(* ------------------------------------------------------------------ *)
+
+let dirty_body =
+  {|
+field never_set : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = never_set; }
+}
+instr B : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { rc = ra << 77; }
+}
+|}
+
+let test_diag_order_and_stability () =
+  let render ds =
+    Analysis.Diag.json_report ~unit_name:"t" ds
+  in
+  let a = render (lint dirty_body) and b = render (lint dirty_body) in
+  Alcotest.(check string) "two runs render byte-identically" a b;
+  (* the list is sorted with Diag.compare: re-sorting is the identity *)
+  let ds = lint dirty_body in
+  Alcotest.(check bool) "lint output already sorted" true
+    (List.stable_sort Analysis.Diag.compare ds = ds)
+
+let test_diag_dedup () =
+  let span = Lis.Loc.dummy in
+  let d pass =
+    Analysis.Diag.make ~code:"L999" ~pass ~severity:Analysis.Diag.Note span
+      "same finding"
+  in
+  let sorted = List.stable_sort Analysis.Diag.compare [ d "a"; d "b" ] in
+  match Analysis.Diag.dedup sorted with
+  | [ only ] -> Alcotest.(check string) "first pass wins" "a" only.pass
+  | ds -> Alcotest.failf "expected 1 diagnostic after dedup, got %d"
+            (List.length ds)
+
+let test_sarif_report_parses () =
+  let ds = lint dirty_body in
+  let sarif = Analysis.Diag.sarif_report ~units:[ ("t", ds) ] in
+  match Obs.Export.parse_opt sarif with
+  | None -> Alcotest.fail "SARIF output is not valid JSON"
+  | Some j ->
+    Alcotest.(check (option string)) "version" (Some "2.1.0")
+      (Obs.Export.member_string "version" j);
+    (match Obs.Export.member "runs" j with
+    | Some (Obs.Export.Arr [ run ]) ->
+      (match Obs.Export.member "results" run with
+      | Some (Obs.Export.Arr results) ->
+        Alcotest.(check int) "one result per diagnostic" (List.length ds)
+          (List.length results)
+      | _ -> Alcotest.fail "run has no results array")
+    | _ -> Alcotest.fail "expected exactly one run")
+
+let test_suggest_buildset_roundtrip () =
+  let body =
+    {|
+field tmp : u64;
+instr A : rr match 0x40000000 mask 0xFC0007FF {
+  action evaluate { tmp = ra; rc = tmp; }
+}
+|}
+  in
+  let bs = one_entry_bs ~name:"fat" ~spec:"off" ~vis:"show tmp" in
+  let spec = Lis.Sema.load (sources_of ~bs body) in
+  let sums = Analysis.Absint.summarize spec in
+  let fat =
+    match
+      Array.to_list spec.buildsets
+      |> List.find_opt (fun (b : Lis.Spec.buildset) -> b.bs_name = "fat")
+    with
+    | Some b -> b
+    | None -> Alcotest.fail "buildset 'fat' not loaded"
+  in
+  match Analysis.Absint.suggest_buildset spec sums fat with
+  | None -> Alcotest.fail "over-visible buildset should get a suggestion"
+  | Some text ->
+    (* the suggestion must be re-parseable LIS and lint clean of L08x *)
+    let spec' =
+      Lis.Sema.load
+        (sources_of
+           ~bs:text
+           body)
+    in
+    (match Analysis.Lint.run spec' with
+    | Ok ds ->
+      no_code "L080" ds;
+      no_code "L081" ds
+    | Error m -> Alcotest.fail m);
+    (* and the tightened buildset is a fixpoint: no further suggestion *)
+    let fat' =
+      Array.to_list spec'.buildsets
+      |> List.find (fun (b : Lis.Spec.buildset) -> b.bs_name = "fat")
+    in
+    Alcotest.(check bool) "suggestion is minimal" true
+      (Analysis.Absint.suggest_buildset spec'
+         (Analysis.Absint.summarize spec')
+         fat'
+      = None)
+
 let test_flag_selection () =
   let body =
     {|
@@ -606,6 +855,26 @@ let suite =
     Alcotest.test_case "L060 hidden crossing" `Quick test_l060_hidden_crossing;
     Alcotest.test_case "L060 visible crossing ok" `Quick
       test_l060_visible_crossing_is_fine;
+    Alcotest.test_case "L070 architected address action" `Quick
+      test_l070_architected_address;
+    Alcotest.test_case "L071 clamped register index" `Quick
+      test_l071_clamped_reg_index;
+    Alcotest.test_case "L072 provably misaligned" `Quick
+      test_l072_provably_misaligned;
+    Alcotest.test_case "L080 shown never written" `Quick
+      test_l080_shown_never_written;
+    Alcotest.test_case "L081 shown not required" `Quick
+      test_l081_shown_not_required;
+    Alcotest.test_case "L090 hidden carrier" `Quick test_l090_hidden_carrier;
+    Alcotest.test_case "L091 visible carrier" `Quick test_l091_visible_carrier;
+    Alcotest.test_case "L09x needs speculation" `Quick
+      test_l09x_needs_speculation;
+    Alcotest.test_case "diag order byte-stable" `Quick
+      test_diag_order_and_stability;
+    Alcotest.test_case "diag dedup across passes" `Quick test_diag_dedup;
+    Alcotest.test_case "SARIF report parses" `Quick test_sarif_report_parses;
+    Alcotest.test_case "suggest-buildset roundtrip" `Quick
+      test_suggest_buildset_roundtrip;
     Alcotest.test_case "-W flag selection" `Quick test_flag_selection;
     QCheck_alcotest.to_alcotest (overlap_property "demo" Demo_isa.sources);
     QCheck_alcotest.to_alcotest

@@ -26,13 +26,44 @@ if dune exec bin/lisim.exe -- check examples >"$tmp" 2>&1; then
   echo "FAIL: lint of examples/lint_badspec.lis exited zero" >&2
   exit 1
 fi
-for code in L010 L040 L060; do
+for code in L010 L040 L060 L070 L071 L072 L080 L081 L090 L091; do
   if ! grep -q "\[$code\]" "$tmp"; then
     echo "FAIL: seeded defect $code not reported" >&2
     cat "$tmp" >&2
     exit 1
   fi
 done
+
+echo "== lislint: --sarif must emit a SARIF 2.1.0 document =="
+dune exec bin/lisim.exe -- check --sarif --builtin all >"$tmp"
+if ! grep -q '"version":"2.1.0"' "$tmp"; then
+  echo "FAIL: --sarif output is not SARIF 2.1.0" >&2
+  head -c 400 "$tmp" >&2
+  exit 1
+fi
+if ! grep -q '"automationDetails"' "$tmp"; then
+  echo "FAIL: --sarif output has no per-unit automationDetails" >&2
+  exit 1
+fi
+
+echo "== lislint: --suggest-buildset must print re-parseable buildsets =="
+dune exec bin/lisim.exe -- check --suggest-buildset --builtin alpha >"$tmp" || true
+if ! grep -q "^buildset " "$tmp"; then
+  echo "FAIL: --suggest-buildset printed no buildset declaration" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+
+echo "== lislint: diagnostics must be byte-stable across runs =="
+dune exec bin/lisim.exe -- check --json examples >"$tmp" 2>&1 || true
+json2=$(mktemp)
+dune exec bin/lisim.exe -- check --json examples >"$json2" 2>&1 || true
+if ! cmp -s "$tmp" "$json2"; then
+  rm -f "$json2"
+  echo "FAIL: two identical check --json runs differ" >&2
+  exit 1
+fi
+rm -f "$json2"
 
 echo "== smoke injection campaign (seed 42, all ISAs) =="
 dune exec bin/lisim.exe -- inject --isa all --seed 42 --rate 1e-3 \
@@ -135,6 +166,27 @@ for counter in chain_taken chain_miss site_cache_hits; do
     exit 1
   fi
 done
+
+echo "== absint: store-free gating must engage, and --no-absint disable it =="
+dune exec bin/lisim.exe -- run --kernel hash --stats >"$tmp"
+if ! grep -E "core\.absint_fastpath_classes +[1-9]" "$tmp" >/dev/null; then
+  echo "FAIL: no instruction classes took the absint fast path" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+dune exec bin/lisim.exe -- run --kernel sort -b block_min --stats >"$tmp"
+if ! grep -E "core\.block_cache\.stable_blocks +[1-9]" "$tmp" >/dev/null; then
+  echo "FAIL: block engine marked no blocks stable on the sort kernel" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+dune exec bin/lisim.exe -- run --kernel sort -b block_min --stats \
+  --no-absint >"$tmp"
+if grep -E "core\.block_cache\.stable_blocks +[1-9]" "$tmp" >/dev/null; then
+  echo "FAIL: stable blocks nonzero with --no-absint" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
 
 echo "== fuzz: bounded healthy campaign must stay quiet (seed 42) =="
 # per-ISA budgets sized to ~1-2s each at measured oracle throughput
