@@ -1036,6 +1036,164 @@ let fuzz_bench () =
     \ workflow's 20k-execution budget)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scaling: oracle execs/s across domain counts                  *)
+(* ------------------------------------------------------------------ *)
+
+(* How the parallel campaign driver scales with --jobs. Honest numbers:
+   [host_cores] is recorded alongside, and on a 1-core host every level
+   above 1 is expected to sit at ~1x (the fleet is then purely a
+   correctness construct). The digest check at the end runs the same
+   seeded-defect campaign at jobs 1 and jobs 4 and compares the
+   quarantined reproducers byte for byte. *)
+let jobs_override : int option ref = ref None
+
+let fleet_bench () =
+  print_endline "=== Fleet scaling: parallel campaign driver ===";
+  let host_cores = Domain.recommended_domain_count () in
+  let levels =
+    let base = match !jobs_override with Some n -> [ 1; n ] | None -> [ 1; 2; 4; host_cores ] in
+    List.sort_uniq compare (List.filter (fun n -> n >= 1) base)
+  in
+  Printf.printf "host cores: %d; jobs levels: %s\n" host_cores
+    (String.concat " " (List.map string_of_int levels));
+  let budget = if !quick then 200 else 600 in
+  let hunt_rate ~isa ~jobs =
+    let run fleet =
+      let t0 = Unix.gettimeofday () in
+      let o = Fuzz.Driver.hunt ~isa ~seed:42L ~budget ?fleet () in
+      let dt = Unix.gettimeofday () -. t0 in
+      assert (o.Fuzz.Driver.o_found = None);
+      float_of_int o.Fuzz.Driver.o_execs /. dt
+    in
+    if jobs <= 1 then run None
+    else Fleet.with_pool ~jobs (fun fl -> run (Some fl))
+  in
+  Printf.printf "%-6s %s\n" "isa"
+    (String.concat " "
+       (List.map (fun n -> Printf.sprintf "%11s" (Printf.sprintf "jobs=%d/s" n)) levels));
+  let isa_sections =
+    List.map
+      (fun isa ->
+        let rates = List.map (fun jobs -> (jobs, hunt_rate ~isa ~jobs)) levels in
+        Printf.printf "%-6s %s\n" isa
+          (String.concat " "
+             (List.map (fun (_, r) -> Printf.sprintf "%11.0f" r) rates));
+        ( isa,
+          Obs.Export.Obj
+            (List.map
+               (fun (jobs, r) ->
+                 (Printf.sprintf "jobs_%d_execs_per_sec" jobs, Obs.Export.Float r))
+               rates) ))
+      [ "tiny"; "alpha"; "ppc" ]
+  in
+  (* scaling efficiency at the widest level, averaged over ISAs — the
+     number the CI summary quotes *)
+  let widest = List.fold_left max 1 levels in
+  let eff =
+    let per_isa =
+      List.filter_map
+        (fun (_, s) ->
+          match s with
+          | Obs.Export.Obj kvs -> (
+            match
+              ( List.assoc_opt "jobs_1_execs_per_sec" kvs,
+                List.assoc_opt
+                  (Printf.sprintf "jobs_%d_execs_per_sec" widest)
+                  kvs )
+            with
+            | Some (Obs.Export.Float a), Some (Obs.Export.Float b) when a > 0. ->
+              Some (b /. a)
+            | _ -> None)
+          | _ -> None)
+        isa_sections
+    in
+    match per_isa with
+    | [] -> 1.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  Printf.printf
+    "fleet scaling: %.2fx at %d jobs on a %d-core host (%.0f%% efficiency)\n"
+    eff widest host_cores
+    (100. *. eff /. float_of_int (min widest host_cores));
+  if widest > host_cores then
+    print_endline
+      "(jobs exceed host cores: domains time-slice one core and every minor\n\
+      \ GC is a stop-the-world handshake across all of them, so levels above\n\
+      \ the core count slow down rather than break even — --jobs defaults to\n\
+      \ the core count for exactly this reason)";
+  (* parallel-vs-sequential digest check: a seeded defect must
+     quarantine byte-identical reproducers at every jobs level *)
+  let quarantine_digest ~jobs =
+    let tag = Printf.sprintf "fleet-bench-j%d-%d" jobs (Unix.getpid ()) in
+    let dir = Filename.concat (Filename.get_temp_dir_name ()) tag in
+    let journal = dir ^ ".jsonl" in
+    if Sys.file_exists journal then Sys.remove journal;
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    let cfg =
+      {
+        Fuzz.Oracle.default_config with
+        mutate = Some Specsim.Synth.Stride4;
+        buildsets = [ "block_min" ];
+      }
+    in
+    let run fleet =
+      ignore
+        (Fuzz.Campaign.run ~cfg ?fleet ~isa:"tiny" ~seed:0xBEEFL ~budget:10
+           ~journal ~quarantine:dir ())
+    in
+    if jobs <= 1 then run None
+    else Fleet.with_pool ~jobs (fun fl -> run (Some fl));
+    let files = List.sort String.compare (Array.to_list (Sys.readdir dir)) in
+    let d =
+      Digest.string
+        (String.concat "\x00"
+           (List.map
+              (fun f ->
+                let ic = open_in_bin (Filename.concat dir f) in
+                let s = really_input_string ic (in_channel_length ic) in
+                close_in ic;
+                f ^ "\x01" ^ s)
+              files))
+    in
+    Sys.remove journal;
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir;
+    (List.length files, Digest.to_hex d)
+  in
+  let n1, d1 = quarantine_digest ~jobs:1 in
+  let n4, d4 = quarantine_digest ~jobs:4 in
+  let digest_match = n1 = n4 && String.equal d1 d4 in
+  Printf.printf
+    "digest check: jobs=1 %d reproducer(s) %s, jobs=4 %d reproducer(s) %s — %s\n\n"
+    n1 d1 n4 d4
+    (if digest_match then "MATCH" else "MISMATCH");
+  add_json "fleet"
+    (Obs.Export.Obj
+       [
+         ("host_cores", Obs.Export.Int (Int64.of_int host_cores));
+         ( "scaling",
+           Obs.Export.Obj
+             [
+               ("widest_jobs", Obs.Export.Int (Int64.of_int widest));
+               ("speedup", Obs.Export.Float eff);
+             ] );
+         ("isas", Obs.Export.Obj isa_sections);
+         ( "digest_check",
+           Obs.Export.Obj
+             [
+               ("reproducers", Obs.Export.Int (Int64.of_int n1));
+               ("jobs1", Obs.Export.Str d1);
+               ("jobs4", Obs.Export.Str d4);
+               ("match", Obs.Export.Bool digest_match);
+             ] );
+       ]);
+  if not digest_match then begin
+    print_endline "fleet digest check: FAIL";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Supervision overhead: the journaled campaign vs the bare oracle loop *)
 (* ------------------------------------------------------------------ *)
 
@@ -1374,6 +1532,14 @@ let () =
         | "--quick" -> quick := true
         | "--bechamel" -> use_bechamel := true
         | "--gate-profiler" -> gate_profiler := true
+        | a
+          when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+          let v = String.sub a 7 (String.length a - 7) in
+          (match int_of_string_opt v with
+          | Some n when n > 0 -> jobs_override := Some n
+          | _ ->
+            prerr_endline "bench: --jobs=N requires a positive integer";
+            exit 2)
         | name -> only := name :: !only)
     Sys.argv;
   if !use_bechamel then run_bechamel ()
@@ -1389,6 +1555,7 @@ let () =
     if want "sampling" then sampling_accuracy ();
     if want "inject" then inject ();
     if want "fuzz" then fuzz_bench ();
+    if want "fleet" then fleet_bench ();
     if want "overhead" then overhead ();
     if want "profiler" then profiler ();
     if want "supervision" then supervision ();

@@ -156,6 +156,40 @@ let write_out out contents =
     output_string oc contents;
     close_out oc
 
+(* ---------------- parallelism ------------------------------------ *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Campaign parallelism: spread independent cases over N domains. \
+           Defaults to the LISIM_JOBS environment variable, then to the \
+           host's recommended domain count. $(b,--jobs 1) runs the exact \
+           sequential driver; results (quarantined reproducers, merged \
+           counter totals) are identical at every N.")
+
+let resolve_jobs jobs =
+  let bad what v =
+    Machine.Sim_error.raisef ~component:"cli" ~context:[ (what, v) ]
+      "%s must be a positive integer" what
+  in
+  match jobs with
+  | Some n -> if n <= 0 then bad "--jobs" (string_of_int n) else n
+  | None -> (
+    match Sys.getenv_opt "LISIM_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> bad "LISIM_JOBS" s)
+    | None -> Domain.recommended_domain_count ())
+
+(** [with_fleet jobs f] — [f (Some pool)] when parallelism was requested,
+    [f None] (the untouched sequential path) for [--jobs 1]. *)
+let with_fleet jobs f =
+  if jobs > 1 then Fleet.with_pool ~jobs (fun fl -> f (Some fl)) else f None
+
 let print_counters (o : Obs.t) =
   Format.printf "%a@?" Obs.Export.pp_snapshot (Obs.snapshot o)
 
@@ -1015,7 +1049,8 @@ let inject_cmd =
                 --journal).")
   in
   let run isa seed rate budget sites min_coverage kernel buildset stats journal
-      resume quarantine metrics_out metrics_interval =
+      resume quarantine metrics_out metrics_interval jobs =
+    let jobs = resolve_jobs jobs in
     let isas =
       match isa with "all" -> [ "alpha"; "arm"; "ppc" ] | i -> [ i ]
     in
@@ -1048,14 +1083,48 @@ let inject_cmd =
             obs
         in
         let cells =
-          Super.Inject_run.run ~isas ~kernel ?obs ?stats:sstats ?metrics
-            ~journal ~quarantine ~resume cfg
+          with_fleet jobs (fun fleet ->
+              Super.Inject_run.run ~isas ~kernel ?obs ?stats:sstats ?metrics
+                ?fleet ~journal ~quarantine ~resume cfg)
         in
         Format.printf "%a" Super.Inject_run.pp_cells cells;
         (* coverage gating applies only to cells executed this run *)
         List.filter_map (fun c -> c.Super.Inject_run.c_report) cells
       | None ->
-        let reports = Inject.Campaign.run ?obs ~isas ~kernel cfg in
+        let reports =
+          with_fleet jobs (fun fleet ->
+              match fleet with
+              | Some fl when List.length isas > 1 ->
+                (* one cell per worker; per-worker obs mirrors are merged
+                   back so the aggregate inject.* counters stay exact *)
+                List.iter
+                  (fun isa ->
+                    ignore
+                      (Lazy.force (Workload.find_target isa).Workload.spec))
+                  isas;
+                let workers =
+                  Array.init (Fleet.jobs fl) (fun _ ->
+                      Super.Supervisor.worker_ctx ?obs ())
+                in
+                let out =
+                  Fleet.map fl ~workers
+                    ~tasks:
+                      (Array.of_list
+                         (List.map
+                            (fun isa (ws : Super.Supervisor.worker_ctx) ->
+                              Inject.Campaign.run ~isas:[ isa ] ~kernel
+                                ?obs:ws.Super.Supervisor.wc_obs cfg)
+                            isas))
+                in
+                Option.iter
+                  (fun o ->
+                    Array.iter
+                      (Super.Supervisor.join_worker_ctx ?obs ~into:o)
+                      workers)
+                  obs;
+                List.concat (Array.to_list out)
+              | _ -> Inject.Campaign.run ?obs ~isas ~kernel cfg)
+        in
         List.iter (Format.printf "%a@." Inject.Campaign.pp_report) reports;
         Format.printf "%a" Inject.Campaign.pp_summary reports;
         reports
@@ -1079,7 +1148,7 @@ let inject_cmd =
     Term.(
       const run $ isa $ seed $ rate $ budget $ sites $ min_coverage $ kernel_c
       $ buildset_c $ stats_flag $ journal $ resume $ quarantine
-      $ metrics_out_arg $ metrics_interval_arg)
+      $ metrics_out_arg $ metrics_interval_arg $ jobs_arg)
 
 (* ---------------- stats ------------------------------------------ *)
 
@@ -1250,7 +1319,8 @@ let fuzz_cmd =
              instructions.")
   in
   let run isa seed budget max_instrs replay out no_chain no_site mutate journal
-      resume quarantine metrics_out metrics_interval flame_out =
+      resume quarantine metrics_out metrics_interval flame_out jobs =
+    let jobs = resolve_jobs jobs in
     let mutate = Option.map parse_mutation mutate in
     let cfg =
       {
@@ -1305,14 +1375,15 @@ let fuzz_cmd =
       let stats = Super.Supervisor.of_registry o.Obs.reg in
       let metrics = open_metrics metrics_out ~interval_ms:metrics_interval in
       (* case ids embed the isa, so one journal serves the whole sweep *)
-      List.iter
-        (fun isa ->
-          let p =
-            Fuzz.Campaign.run ~cfg ~obs:o ~stats ?metrics ~isa ~seed ~budget
-              ~journal ~quarantine ~resume ()
-          in
-          Format.printf "%a" Fuzz.Campaign.pp_report p)
-        isas;
+      with_fleet jobs (fun fleet ->
+          List.iter
+            (fun isa ->
+              let p =
+                Fuzz.Campaign.run ~cfg ~obs:o ~stats ?metrics ?fleet ~isa ~seed
+                  ~budget ~journal ~quarantine ~resume ()
+              in
+              Format.printf "%a" Fuzz.Campaign.pp_report p)
+            isas);
       close_metrics metrics o;
       (match (flame_out, prof) with
       | Some path, Some p ->
@@ -1341,9 +1412,10 @@ let fuzz_cmd =
       let mobs = Obs.create () in
       let metrics = open_metrics metrics_out ~interval_ms:metrics_interval in
       let rc = ref 0 in
+      with_fleet jobs (fun fleet ->
       List.iter
         (fun isa ->
-          let o = Fuzz.Driver.hunt ~cfg ~isa ~seed ~budget () in
+          let o = Fuzz.Driver.hunt ~cfg ?fleet ~isa ~seed ~budget () in
           (match metrics with
           | Some m -> Obs.metrics_tick m mobs
           | None -> ());
@@ -1375,7 +1447,7 @@ let fuzz_cmd =
               Fuzz.Repro.write ~path cfg ~buildset:sd.Fuzz.Oracle.d_buildset
                 stc;
               Printf.printf "  reproducer written to %s\n" path))
-        isas;
+        isas);
       close_metrics metrics mobs;
       !rc
   in
@@ -1391,7 +1463,7 @@ let fuzz_cmd =
     Term.(
       const run $ isa $ seed $ budget $ max_instrs $ replay $ out $ no_chain
       $ no_site $ mutate $ journal $ resume $ quarantine $ metrics_out_arg
-      $ metrics_interval_arg $ flame_out)
+      $ metrics_interval_arg $ flame_out $ jobs_arg)
 
 let () =
   let info =

@@ -1,0 +1,88 @@
+(** Chase–Lev work-stealing deque over OCaml 5 atomics.
+
+    Indices [top] and [bottom] grow without bound; the element at index
+    [i] lives in [cells.(i land mask)] of the current buffer. The owner
+    writes [bottom]; thieves advance [top] by compare-and-swap. Claiming
+    is what transfers ownership of a slot: a thief (or the owner, for
+    the last element) reads the cell {e before} its CAS on [top], and a
+    successful CAS proves the value it read was still unclaimed — a
+    stale read that raced a wraparound always fails its CAS, because
+    [top] is monotonic. Cells are atomic so a thief holding a pre-grow
+    buffer still reads safely: [grow] copies the live window into a
+    fresh buffer and never overwrites the old one, so old-buffer slots
+    keep their values until the whole buffer is unreachable. *)
+
+type 'a buf = { mask : int; cells : 'a option Atomic.t array }
+
+type 'a t = {
+  top : int Atomic.t;  (** next index to steal *)
+  bottom : int Atomic.t;  (** next index to push; owner-written *)
+  buf : 'a buf Atomic.t;
+}
+
+let make_buf cap =
+  { mask = cap - 1; cells = Array.init cap (fun _ -> Atomic.make None) }
+
+let initial_capacity = 8
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buf initial_capacity);
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Double the buffer, copying the live window [tp, b). Publishing the
+   new buffer does not disturb thieves holding the old one: claims are
+   arbitrated by [top] alone. *)
+let grow t b tp (old : 'a buf) =
+  let nb = make_buf ((old.mask + 1) * 2) in
+  for i = tp to b - 1 do
+    Atomic.set nb.cells.(i land nb.mask) (Atomic.get old.cells.(i land old.mask))
+  done;
+  Atomic.set t.buf nb;
+  nb
+
+let push t v =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  let bf = Atomic.get t.buf in
+  let bf = if b - tp > bf.mask then grow t b tp bf else bf in
+  Atomic.set bf.cells.(b land bf.mask) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* already empty: restore and bail *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else
+    let bf = Atomic.get t.buf in
+    let v = Atomic.get bf.cells.(b land bf.mask) in
+    if b > tp then v
+    else begin
+      (* last element: race thieves for it on [top] *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then v else None
+    end
+
+let rec steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else
+    let bf = Atomic.get t.buf in
+    let v = Atomic.get bf.cells.(tp land bf.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v
+    else begin
+      (* lost to another thief (or the owner's last-element pop):
+         re-examine from scratch *)
+      Domain.cpu_relax ();
+      steal t
+    end

@@ -1,0 +1,29 @@
+(** Lock-free work-stealing deque (Chase–Lev), the per-worker run queue
+    of the domain {!Fleet}.
+
+    One domain — the {e owner} — pushes and pops at the bottom in LIFO
+    order; any other domain may {!steal} from the top in FIFO order, the
+    scheduling shape of Manticore's parallel runtime. All cross-domain
+    state is {!Atomic}, so the structure is data-race-free under the
+    OCaml 5 memory model; the only synchronization on the owner's fast
+    path is one compare-and-swap when the deque is down to its last
+    element. The buffer grows geometrically and is never shrunk. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push t v] — owner only: push at the bottom. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] — owner only: pop the most recently pushed element
+    (LIFO), or [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** [steal t] — any domain: claim the oldest element (FIFO), or [None]
+    when empty. Retries internally when it loses a race to another
+    thief. *)
+val steal : 'a t -> 'a option
+
+(** Approximate occupancy (exact when quiescent). *)
+val size : 'a t -> int

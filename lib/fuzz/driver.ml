@@ -23,10 +23,78 @@ type outcome = {
   o_shrink_tests : int;
 }
 
-(** [hunt ?cfg ~isa ~seed ~budget ()] searches for a divergence, stopping
-    at the first one found (then shrinking it) or when [budget] oracle
-    executions are spent. *)
-let hunt ?(cfg = Oracle.default_config) ~isa ~seed ~budget () : outcome =
+(* Fleet search: the budget window is scanned in rounds of a few
+   programs' worth of slots; each slot regenerates its program from
+   [(seed, slot / n_buildsets)] — pure, so any worker can own any slot
+   — and the first divergence in slot order wins. The outcome (and its
+   reported execs/programs accounting) is exactly the sequential
+   hunt's; a round may merely execute a few slots past the hit. *)
+let hunt_fleet ~cfg fl ~isa ~seed ~budget : outcome =
+  let spec = spec_of_isa isa in
+  let cx = Gen.make_ctx ~isa spec in
+  let buildsets = Array.of_list cfg.Oracle.buildsets in
+  let nbs = Array.length buildsets in
+  let workers = Array.make (Fleet.jobs fl) () in
+  let chunk = nbs * max 2 (Fleet.jobs fl) in
+  let found = ref None in
+  let base = ref 0 in
+  while !found = None && !base < budget do
+    let n = min chunk (budget - !base) in
+    let results =
+      Fleet.map fl ~workers
+        ~tasks:
+          (Array.init n (fun i ->
+               let k = !base + i in
+               fun () ->
+                 let tc = Gen.generate cx ~seed ~index:(k / nbs) in
+                 match
+                   Oracle.run_pair spec cfg tc ~buildset:buildsets.(k mod nbs)
+                 with
+                 | Some d -> Some (k, tc, d)
+                 | None -> None))
+    in
+    (* ascending slot order: the first hit is the sequential one *)
+    Array.iter
+      (fun r -> if !found = None then found := r)
+      results;
+    base := !base + n
+  done;
+  match !found with
+  | None ->
+    {
+      o_isa = isa;
+      o_programs = (budget + nbs - 1) / nbs;
+      o_execs = budget;
+      o_found = None;
+      o_shrunk = None;
+      o_shrink_tests = 0;
+    }
+  | Some (k, tc, d) ->
+    let bs = d.Oracle.d_buildset in
+    let { Shrink.s_tc; s_tests } = Shrink.shrink spec cfg ~buildset:bs tc in
+    let d' =
+      match Oracle.run_pair spec cfg s_tc ~buildset:bs with
+      | Some d' -> d'
+      | None -> d
+    in
+    {
+      o_isa = isa;
+      o_programs = (k / nbs) + 1;
+      o_execs = k + 1;
+      o_found = Some (tc, d);
+      o_shrunk = Some (s_tc, d');
+      o_shrink_tests = s_tests;
+    }
+
+(** [hunt ?cfg ?fleet ~isa ~seed ~budget ()] searches for a divergence,
+    stopping at the first one found (then shrinking it) or when [budget]
+    oracle executions are spent. [fleet] parallelizes the search over a
+    domain pool; the outcome is identical to the sequential scan. *)
+let hunt ?(cfg = Oracle.default_config) ?fleet ~isa ~seed ~budget () : outcome
+    =
+  match fleet with
+  | Some fl when Fleet.jobs fl > 1 -> hunt_fleet ~cfg fl ~isa ~seed ~budget
+  | _ ->
   let spec = spec_of_isa isa in
   let cx = Gen.make_ctx ~isa spec in
   let execs = ref 0 in

@@ -208,11 +208,19 @@ let reg_value (spec : Lis.Spec.t) ps ~cls ~idx ~n_code : int64 =
   else if mode = 9 then 0L
   else draw ps ~index ~salt:2
 
+(** [case_seed ~seed ~index] — the per-program seed: a splitmix mix of
+    the campaign seed and the case index. Every draw of program [index]
+    derives from this value and nothing else, so a case's program is
+    identical whether generated alone, mid-campaign, or on another
+    domain — the property that makes parallel campaigns
+    schedule-independent (and that the golden test pins). *)
+let case_seed ~seed ~index = Inject.Prng.derive ~seed ~salt:index
+
 (** [generate ctx ~seed ~index] builds program number [index] of the
     campaign keyed by [seed]. *)
 let generate (cx : ctx) ~seed ~index : testcase =
   let spec = cx.cx_spec in
-  let ps = Inject.Prng.derive ~seed ~salt:index in
+  let ps = case_seed ~seed ~index in
   let n_code = 4 + Inject.Prng.below ~seed:ps ~index:(-1L) ~salt:0 16 in
   let code =
     Array.init n_code (fun i ->

@@ -65,6 +65,28 @@ let profile_only ?prof () =
 let snapshot t = Registry.snapshot t.reg
 let events t = match t.ring with None -> [] | Some r -> Ring.to_list r
 
+(** [merge ~into src] folds a worker context into a parent one — the
+    join step after a parallel campaign, where every domain ran against
+    its own private context. Counters and histograms combine exactly
+    ({!Registry.merge}); profilers combine via {!Prof.merge} when both
+    sides carry one; ring events append in [src] order after [into]'s
+    (per-worker order is preserved, cross-worker order is the join
+    order, which callers make deterministic by joining workers in index
+    order). *)
+let merge ~into src =
+  Registry.merge ~into:into.reg src.reg;
+  (match (into.prof, src.prof) with
+  | Some p, Some q -> Prof.merge ~into:p q
+  | _ -> ());
+  match (into.ring, src.ring) with
+  | Some r, Some s ->
+    List.iter
+      (fun (e : Ring.event) ->
+        Ring.record r ~ts_ns:e.ts_ns ~dur_ns:e.dur_ns ~name:e.name ~cat:e.cat
+          ~args:e.args)
+      (Ring.to_list s)
+  | _ -> ()
+
 (** Periodic-metrics conveniences: tick/flush the series with this
     context's registry and profiler. *)
 let metrics_tick m t = Metrics.tick ?prof:t.prof m t.reg

@@ -242,6 +242,41 @@ let[@inline] note t ~pc ~instrs =
   t.total <- t.total + instrs;
   if t.total >= t.next_sample then sample_ns t
 
+(** [merge ~into src] folds [src]'s region table into [into] — the join
+    step for per-domain profilers after a parallel campaign. Exact for
+    cumulative attribution (per-region instructions, sampled ns, edge
+    counts, totals). The decayed-hotness window is combined
+    approximately: each profiler's window is first decayed to its own
+    present, then summed with the merge instant taken as "now" — fine
+    for hot-region ranking, which is all the window feeds. Requires
+    matching [region_bits]. [src] is left with its visit closed but its
+    attribution intact. *)
+let merge ~into src =
+  if into.region_bits <> src.region_bits then
+    invalid_arg "Prof.merge: region_bits mismatch";
+  close_visit into;
+  close_visit src;
+  Hashtbl.iter (fun _ r -> decay_to into r) into.tbl;
+  Hashtbl.iter (fun _ r -> decay_to src r) src.tbl;
+  let now = into.total + src.total in
+  Hashtbl.iter
+    (fun id (r : region_rec) ->
+      let d = find_or_create into id in
+      d.i_instrs <- d.i_instrs + r.i_instrs;
+      d.i_ns <- d.i_ns + r.i_ns;
+      d.i_hot <- d.i_hot + r.i_hot;
+      Hashtbl.iter
+        (fun dst n ->
+          match Hashtbl.find_opt d.i_edges dst with
+          | Some m -> m := !m + !n
+          | None -> Hashtbl.replace d.i_edges dst (ref !n))
+        r.i_edges)
+    src.tbl;
+  into.total <- now;
+  into.total_ns <- into.total_ns + src.total_ns;
+  Hashtbl.iter (fun _ r -> r.i_hot_at <- now) into.tbl;
+  into.next_sample <- into.total + into.sample_ns_every
+
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -58,6 +58,23 @@ let histogram t name =
     Hashtbl.replace t.hists name h;
     h
 
+(** [merge ~into src] folds [src] into [into]: counters add, histograms
+    merge bucket-by-bucket ({!Hist.merge}), probes transfer under the
+    usual first-registration-wins rule. Counters and histograms stay
+    exact under any partition of the work — this is the join step for
+    per-domain registries after a parallel campaign. [src] is left
+    untouched. *)
+let merge ~into src =
+  Hashtbl.iter
+    (fun name (c : counter) ->
+      let c' = counter into name in
+      c'.n <- c'.n + c.n)
+    src.counters;
+  Hashtbl.iter (fun name f -> probe into name f) src.probes;
+  Hashtbl.iter
+    (fun name h -> Hist.merge ~into:(histogram into name) h)
+    src.hists
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -17,9 +17,18 @@ let nop : code = fun _ _ -> ()
 (* Expressions                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* When the register-file layout is known at synthesis time, static
-   register numbers resolve to flat indices with no per-access lookup. *)
-let layout : Machine.Regfile.t option ref = ref None
+(* Compile-time environment, threaded explicitly through the compiler.
+   [env_layout]: when the register-file layout is known at synthesis
+   time, static register numbers resolve to flat indices with no
+   per-access lookup. [env_fast_mem]: give load/store sites a one-entry
+   page cache. Kept explicit (no module-level refs) so concurrent
+   synthesis on separate domains never races on compiler state. *)
+type env = {
+  env_layout : Machine.Regfile.t option;
+  env_fast_mem : bool;
+}
+
+let default_env = { env_layout = None; env_fast_mem = false }
 
 (* ------------------------------------------------------------------ *)
 (* Per-site memory fast path (software TLB)                            *)
@@ -32,8 +41,6 @@ let layout : Machine.Regfile.t option ref = ref None
    to {!Memory}. Store sites never cache code pages, and marking a page
    as code bumps the generation, so fast-path stores can never bypass
    the code-write hooks. *)
-let fast_mem = ref false
-
 type site_tlb = {
   mutable tl_mem : Memory.t;
   mutable tl_gen : int;
@@ -42,11 +49,14 @@ type site_tlb = {
   mutable tl_le : bool;
 }
 
-let tlb_dummy_mem = lazy (Memory.create Little)
+(* Plain module-init value, not [lazy]: a lazy forced from two domains
+   at once is undefined behaviour in OCaml 5, and fresh TLBs are built
+   during concurrent synthesis. *)
+let tlb_dummy_mem = Memory.create Little
 
 let fresh_tlb () =
   {
-    tl_mem = Lazy.force tlb_dummy_mem;
+    tl_mem = tlb_dummy_mem;
     tl_gen = -1;
     tl_idx = -1;
     tl_page = Bytes.empty;
@@ -237,7 +247,8 @@ let mk_fast_store ~w (ca : ecode) (cv : ecode) : code =
         else Bytes.set_int64_be tl.tl_page off v
       else slow st a (cv st fr) off idx
 
-let rec expr (loc : Frame.location array) (e : Ir.expr) : ecode =
+let rec compile_expr (env : env) (loc : Frame.location array) (e : Ir.expr) :
+    ecode =
   match e with
   | Const v -> fun _ _ -> v
   | Cell c -> (
@@ -253,23 +264,25 @@ let rec expr (loc : Frame.location array) (e : Ir.expr) : ecode =
       fun _ fr -> Int64.logand (Int64.shift_right_logical fr.enc lo) mask
   | Pc -> fun _ fr -> fr.pc
   | Next_pc -> fun _ fr -> fr.next_pc
-  | Bin (op, a, b) -> binop loc op a b
+  | Bin (op, a, b) -> binop env loc op a b
   | Un (op, a) ->
     let f = Value.unop op in
-    let ca = expr loc a in
+    let ca = compile_expr env loc a in
     fun st fr -> f (ca st fr)
   | Ite (c, a, b) ->
-    let cc = expr loc c and ca = expr loc a and cb = expr loc b in
+    let cc = compile_expr env loc c
+    and ca = compile_expr env loc a
+    and cb = compile_expr env loc b in
     fun st fr -> if Int64.equal (cc st fr) 0L then cb st fr else ca st fr
   | Load { width; signed; addr } ->
-    let ca = expr loc addr in
+    let ca = compile_expr env loc addr in
     let w = Ir.bytes_of_width width in
-    if !fast_mem then mk_fast_load ~signed ~w ca
+    if env.env_fast_mem then mk_fast_load ~signed ~w ca
     else if signed then fun st fr ->
       Memory.read_signed st.mem ~addr:(ca st fr) ~width:w
     else fun st fr -> Memory.read st.mem ~addr:(ca st fr) ~width:w
   | Reg_read { cls; index } -> (
-    match (index, !layout) with
+    match (index, env.env_layout) with
     | Const i, Some l ->
       (* Static register number against a known layout: one array read. *)
       let flat = Regaccess.flat l ~cls i in
@@ -281,11 +294,11 @@ let rec expr (loc : Frame.location array) (e : Ir.expr) : ecode =
         Regfile.read_flat regs
           (Regfile.base regs cls + Regaccess.clamp ~count i)
     | _ ->
-      let ci = expr loc index in
+      let ci = compile_expr env loc index in
       fun st fr -> Regaccess.read st.regs ~cls (ci st fr))
 
-and binop loc (op : Ir.binop) (a : Ir.expr) (b : Ir.expr) : ecode =
-  let ca = expr loc a in
+and binop env loc (op : Ir.binop) (a : Ir.expr) (b : Ir.expr) : ecode =
+  let ca = compile_expr env loc a in
   match (op, b) with
   (* Specialize the very common reg+constant / masked patterns. *)
   | Add, Const k -> fun st fr -> Int64.add (ca st fr) k
@@ -302,28 +315,33 @@ and binop loc (op : Ir.binop) (a : Ir.expr) (b : Ir.expr) : ecode =
   | Eq, Const k -> fun st fr -> if Int64.equal (ca st fr) k then 1L else 0L
   | _ ->
     let f = Value.binop op in
-    let cb = expr loc b in
+    let cb = compile_expr env loc b in
     fun st fr -> f (ca st fr) (cb st fr)
+
+(** [expr loc e] — the default-environment compiler (no layout, no
+    memory fast path), exported for standalone expression compilation. *)
+let expr (loc : Frame.location array) (e : Ir.expr) : ecode =
+  compile_expr default_env loc e
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let rec stmt (hooks : Hooks.t option) (loc : Frame.location array)
+let rec stmt (env : env) (hooks : Hooks.t option) (loc : Frame.location array)
     (s : Ir.stmt) : code =
   match s with
   | Set_cell (c, e) -> (
-    let ce = expr loc e in
+    let ce = compile_expr env loc e in
     match loc.(c) with
     | In_di i -> fun st fr -> Array.unsafe_set fr.Frame.di i (ce st fr)
     | In_scratch i ->
       fun st fr -> Array.unsafe_set fr.Frame.scratch i (ce st fr))
   | Store { width; addr; value } -> (
-    let ca = expr loc addr and cv = expr loc value in
+    let ca = compile_expr env loc addr and cv = compile_expr env loc value in
     let w = Ir.bytes_of_width width in
     match hooks with
     | None ->
-      if !fast_mem then mk_fast_store ~w ca cv
+      if env.env_fast_mem then mk_fast_store ~w ca cv
       else fun st fr ->
         Memory.write st.mem ~addr:(ca st fr) ~width:w (cv st fr)
     | Some h ->
@@ -334,18 +352,18 @@ let rec stmt (hooks : Hooks.t option) (loc : Frame.location array)
         h.on_store st a w;
         Memory.write st.mem ~addr:a ~width:w (cv st fr))
   | Set_next_pc e ->
-    let ce = expr loc e in
+    let ce = compile_expr env loc e in
     fun st fr -> fr.next_pc <- ce st fr
   | Reg_write { cls; index; value } -> (
-    let cv = expr loc value in
+    let cv = compile_expr env loc value in
     let ci =
       match index with
       | Const i -> fun _ _ -> i
-      | _ -> expr loc index
+      | _ -> compile_expr env loc index
     in
     match hooks with
     | None -> (
-      match (index, !layout) with
+      match (index, env.env_layout) with
       | Const i, Some l ->
         let flat = Regaccess.flat l ~cls i in
         fun st fr -> Regfile.write_flat st.regs flat (cv st fr)
@@ -358,7 +376,7 @@ let rec stmt (hooks : Hooks.t option) (loc : Frame.location array)
             (cv st fr)
       | _ -> fun st fr -> Regaccess.write st.regs ~cls (ci st fr) (cv st fr))
     | Some h -> (
-      match (index, !layout) with
+      match (index, env.env_layout) with
       | Const i, Some l ->
         let flat = Regaccess.flat l ~cls i in
         fun st fr ->
@@ -370,8 +388,8 @@ let rec stmt (hooks : Hooks.t option) (loc : Frame.location array)
           h.on_reg_write st flat;
           Regfile.write_flat st.regs flat (cv st fr)))
   | If (c, t, f) -> (
-    let cc = expr loc c in
-    let ct = block hooks loc t and cf = block hooks loc f in
+    let cc = compile_expr env loc c in
+    let ct = block env hooks loc t and cf = block env hooks loc f in
     match f with
     | [] -> fun st fr -> if not (Int64.equal (cc st fr) 0L) then ct st fr
     | _ ->
@@ -380,25 +398,26 @@ let rec stmt (hooks : Hooks.t option) (loc : Frame.location array)
   | Fault_illegal ->
     fun st fr -> State.raise_fault st (Fault.Illegal_instruction fr.enc)
   | Fault_unaligned e ->
-    let ce = expr loc e in
+    let ce = compile_expr env loc e in
     fun st fr -> State.raise_fault st (Fault.Unaligned_access (ce st fr))
   | Fault_arith msg -> fun st _ -> State.raise_fault st (Fault.Arith msg)
   | Syscall -> fun st _ -> st.syscall_handler st
   | Halt -> fun st _ -> st.halted <- true
 
-(** [block hooks loc stmts] fuses a statement list into one closure. *)
-and block hooks (loc : Frame.location array) (stmts : Ir.stmt list) : code =
+(** [block env hooks loc stmts] fuses a statement list into one closure. *)
+and block env hooks (loc : Frame.location array) (stmts : Ir.stmt list) : code
+    =
   match stmts with
   | [] -> nop
-  | [ s ] -> stmt hooks loc s
+  | [ s ] -> stmt env hooks loc s
   | [ s1; s2 ] ->
-    let c1 = stmt hooks loc s1 and c2 = stmt hooks loc s2 in
+    let c1 = stmt env hooks loc s1 and c2 = stmt env hooks loc s2 in
     fun st fr ->
       c1 st fr;
       c2 st fr
   | s1 :: s2 :: rest ->
-    let c1 = stmt hooks loc s1 and c2 = stmt hooks loc s2 in
-    let crest = block hooks loc rest in
+    let c1 = stmt env hooks loc s1 and c2 = stmt env hooks loc s2 in
+    let crest = block env hooks loc rest in
     fun st fr ->
       c1 st fr;
       c2 st fr;
@@ -406,15 +425,13 @@ and block hooks (loc : Frame.location array) (stmts : Ir.stmt list) : code =
 
 (** [program ~loc p] compiles a whole action body. [hooks] intercept
     architectural writes for speculation journaling; [layout], when given,
-    lets static register numbers compile to single array accesses. *)
-let program ?hooks ?layout:l ?(mem_fast_path = false) ~loc (p : Ir.program) :
+    lets static register numbers compile to single array accesses. The
+    compile environment is a local value, so concurrent [program] calls
+    from different domains are independent. *)
+let program ?hooks ?layout ?(mem_fast_path = false) ~loc (p : Ir.program) :
     code =
-  layout := l;
-  fast_mem := mem_fast_path;
-  let c = block hooks loc p in
-  fast_mem := false;
-  layout := None;
-  c
+  let env = { env_layout = layout; env_fast_mem = mem_fast_path } in
+  block env hooks loc p
 
 (** [sequence codes] fuses already-compiled codes (used when fusing several
     actions into one entrypoint, or several instructions into one block). *)

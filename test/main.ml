@@ -29,4 +29,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("super", Test_super.suite);
       ("prof", Test_prof.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -256,6 +256,36 @@ if ! grep -q "(0 executed, 50 resumed)" "$tmp"; then
   exit 1
 fi
 
+echo "== fleet: --jobs 4 must quarantine the exact bytes --jobs 1 does =="
+fleetdir=$(mktemp -d)
+trap 'rm -f "$tmp" "$flame" "$metrics"; rm -rf "$fuzzdir" "$superdir" "$fleetdir"' EXIT INT TERM
+for j in 1 4; do
+  dune exec bin/lisim.exe -- fuzz --isa tiny --seed 42 --budget 50 \
+    --mutate stride4 --jobs "$j" --journal "$fleetdir/j$j.jsonl" \
+    --quarantine "$fleetdir/q$j" >"$tmp"
+done
+d1=$(cd "$fleetdir/q1" && cat $(ls | sort) | cksum)
+d4=$(cd "$fleetdir/q4" && cat $(ls | sort) | cksum)
+if [ "$(ls "$fleetdir/q1" | sort)" != "$(ls "$fleetdir/q4" | sort)" ] \
+  || [ "$d1" != "$d4" ]; then
+  echo "FAIL: parallel quarantine diverges from sequential" >&2
+  echo "  jobs=1: $d1" >&2
+  echo "  jobs=4: $d4" >&2
+  exit 1
+fi
+
+echo "== fleet: --jobs 0 must be rejected with exit 2 =="
+if dune exec bin/lisim.exe -- fuzz --isa tiny --budget 1 --jobs 0 \
+    >/dev/null 2>"$tmp"; then
+  echo "FAIL: --jobs 0 accepted" >&2
+  exit 1
+fi
+if ! grep -q "jobs must be a positive integer" "$tmp"; then
+  echo "FAIL: --jobs 0 did not report a usage error" >&2
+  cat "$tmp" >&2
+  exit 1
+fi
+
 echo "== super: supervised run must agree with the plain run =="
 dune exec bin/lisim.exe -- run --kernel sort -b block_min >"$tmp"
 plain=$(grep -o "exit=[0-9]* output=.*" "$tmp" | head -1)
