@@ -27,7 +27,7 @@
 open Cmdliner
 
 let isa_arg =
-  let doc = "Instruction set: alpha, arm or ppc." in
+  let doc = "Instruction set: alpha, arm, ppc or riscv." in
   Arg.(value & opt string "alpha" & info [ "isa" ] ~docv:"ISA" ~doc)
 
 let buildset_arg =
@@ -307,10 +307,11 @@ let builtin_unit = function
   | "alpha" -> ("alpha", Isa_alpha.Alpha.sources)
   | "arm" -> ("arm", Isa_arm.Arm.sources)
   | "ppc" -> ("ppc", Isa_ppc.Ppc.sources)
+  | "riscv" -> ("riscv", Isa_riscv.Riscv.sources)
   | "demo" -> ("demo", Demo_isa.sources)
   | name ->
     Machine.Sim_error.raisef ~component:"cli" ~context:[ ("isa", name) ]
-      "unknown built-in ISA (expected alpha, arm, ppc, demo or all)"
+      "unknown built-in ISA (expected alpha, arm, ppc, riscv, demo or all)"
 
 (* Directories expand to the .lis files inside them (sorted), so
    [lisim check examples] lints everything shipped there as one spec. *)
@@ -365,7 +366,7 @@ let check_cmd =
       value
       & opt (some string) None
       & info [ "builtin" ] ~docv:"ISA"
-          ~doc:"Lint a built-in description: alpha, arm, ppc, demo or all.")
+          ~doc:"Lint a built-in description: alpha, arm, ppc, riscv, demo or all.")
   in
   let json =
     Arg.(
@@ -423,7 +424,7 @@ let check_cmd =
         @
         match builtin with
         | None -> []
-        | Some "all" -> List.map builtin_unit [ "alpha"; "arm"; "ppc"; "demo" ]
+        | Some "all" -> List.map builtin_unit [ "alpha"; "arm"; "ppc"; "riscv"; "demo" ]
         | Some isa -> [ builtin_unit isa ]
       in
       if units = [] then begin
@@ -839,6 +840,7 @@ let export_cmd =
       | "alpha" -> Isa_alpha.Alpha.sources
       | "arm" -> Isa_arm.Arm.sources
       | "ppc" -> Isa_ppc.Ppc.sources
+      | "riscv" -> Isa_riscv.Riscv.sources
       | _ -> failwith "unknown ISA"
     in
     ignore t;
@@ -980,7 +982,7 @@ let inject_cmd =
     Arg.(
       value & opt string "all"
       & info [ "isa" ] ~docv:"ISA"
-          ~doc:"Instruction set to inject into: alpha, arm, ppc or all.")
+          ~doc:"Instruction set to inject into: alpha, arm, ppc, riscv or all.")
   in
   let seed =
     Arg.(
@@ -1052,7 +1054,7 @@ let inject_cmd =
       resume quarantine metrics_out metrics_interval jobs =
     let jobs = resolve_jobs jobs in
     let isas =
-      match isa with "all" -> [ "alpha"; "arm"; "ppc" ] | i -> [ i ]
+      match isa with "all" -> [ "alpha"; "arm"; "ppc"; "riscv" ] | i -> [ i ]
     in
     let sites =
       match sites with
@@ -1219,8 +1221,8 @@ let fuzz_cmd =
     Arg.(
       value & opt string "all"
       & info [ "isa" ] ~docv:"ISA"
-          ~doc:"Instruction set to fuzz: alpha, arm, ppc, tiny (the 2-byte \
-                toy ISA) or all.")
+          ~doc:"Instruction set to fuzz: alpha, arm, ppc, riscv, tiny (the \
+                2-byte toy ISA) or all.")
   in
   let seed =
     Arg.(
@@ -1439,6 +1441,7 @@ let fuzz_cmd =
                 (Array.length stc.Fuzz.Gen.tc_code)
                 o.Fuzz.Driver.o_shrink_tests;
               Printf.printf "  %s\n" (Fuzz.Oracle.pp_divergence sd);
+              if not (Sys.file_exists out) then Unix.mkdir out 0o755;
               let path =
                 Filename.concat out
                   (Printf.sprintf "fuzz-%s-%s.repro" isa

@@ -488,10 +488,10 @@ let known_width : Semir.Ir.expr -> int option = function
   | _ -> None
 
 let width_pass (spec : Spec.t) : Diag.t list =
-  let word_bits = spec.instr_bytes * 8 in
   let diags = ref [] in
   Array.iter
     (fun (i : Spec.instr) ->
+      let word_bits = i.i_size * 8 in
       let reported : (string, unit) Hashtbl.t = Hashtbl.create 4 in
       let once key d =
         if not (Hashtbl.mem reported key) then begin

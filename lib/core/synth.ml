@@ -184,9 +184,23 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
   let n_instrs = Array.length spec.instrs in
   let decoder = Decoder.make spec in
   let instr_bytes64 = Int64.of_int spec.instr_bytes in
+  (* Per-instruction encoded width: fetch always reads the full
+     [instr_bytes] window; decode then corrects [next_pc] and truncates
+     the encoding to the decoded instruction's own parcel. Both are
+     no-ops for uniform ISAs. *)
+  let size64 =
+    Array.map (fun (i : Lis.Spec.instr) -> Int64.of_int i.i_size) spec.instrs
+  in
+  let size_mask =
+    Array.map
+      (fun (i : Lis.Spec.instr) ->
+        if i.i_size >= 8 then -1L
+        else Int64.sub (Int64.shift_left 1L (8 * i.i_size)) 1L)
+      spec.instrs
+  in
   let stale_chain = mutate = Some Stale_chain in
   let skip_invalidate = mutate = Some Skip_invalidate in
-  let block_stride = if mutate = Some Stride4 then 4L else instr_bytes64 in
+  let stride4 = mutate = Some Stride4 in
   let stats =
     {
       Iface.blocks_compiled = 0;
@@ -308,6 +322,8 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
         State.raise_fault st (Fault.Illegal_instruction frame.enc)
       else begin
         di.instr_index <- idx;
+        frame.enc <- Int64.logand frame.enc (Array.unsafe_get size_mask idx);
+        frame.next_pc <- Int64.add frame.pc (Array.unsafe_get size64 idx);
         (Array.unsafe_get codes idx) st frame
       end
     | I_chunk codes ->
@@ -479,6 +495,7 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
           last_block := dummy_block);
   let build_block pc0 =
     let codes = ref [] and encs = ref [] and idxs = ref [] in
+    let rev_pcs = ref [] in
     let n = ref 0 in
     let pc = ref pc0 in
     let stop = ref false in
@@ -490,25 +507,36 @@ let make ?(backend = Compiled) ?(allow_hidden_crossing = false) ?(chain = true)
         codes := illegal_site :: !codes;
         encs := enc :: !encs;
         idxs := idx :: !idxs;
+        rev_pcs := !pc :: !rev_pcs;
         incr n;
+        pc := Int64.add !pc instr_bytes64;
         stable := false;
         stop := true
       end
       else begin
+        (* truncate to the decoded parcel: the tail of the fetch window
+           belongs to the next instruction, and must not key the site
+           cache or leak into operand fields *)
+        let enc = Int64.logand enc (Array.unsafe_get size_mask idx) in
         if not class_store_free.(idx) then stable := false;
         codes := compile_site enc idx :: !codes;
         encs := enc :: !encs;
         idxs := idx :: !idxs;
+        rev_pcs := !pc :: !rev_pcs;
         incr n;
-        pc := Int64.add !pc instr_bytes64;
+        pc := Int64.add !pc (Array.unsafe_get size64 idx);
         if is_ctrl.(idx) || !n >= max_block then stop := true
       end
     done;
     stats.Iface.blocks_compiled <- stats.Iface.blocks_compiled + 1;
     if !stable then stats.Iface.stable_blocks <- stats.Iface.stable_blocks + 1;
+    (* [pcs] carries the true site addresses plus the fall-through pc;
+       the seeded [Stride4] defect replaces them with a uniform 4-byte
+       walk, observable on any ISA whose real strides differ. *)
     let pcs =
-      Array.init (!n + 1) (fun i ->
-          Int64.add pc0 (Int64.mul block_stride (Int64.of_int i)))
+      if stride4 then
+        Array.init (!n + 1) (fun i -> Int64.add pc0 (Int64.of_int (4 * i)))
+      else Array.of_list (List.rev (!pc :: !rev_pcs))
     in
     let b =
       {

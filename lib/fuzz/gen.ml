@@ -36,19 +36,59 @@ let width_mask (spec : Lis.Spec.t) =
   if spec.instr_bytes >= 8 then -1L
   else Int64.sub (Int64.shift_left 1L (8 * spec.instr_bytes)) 1L
 
+(** Per-instruction encoding width: narrower than the spec's fetch
+    window for compressed parcels of a variable-length ISA. *)
+let instr_width_mask (i : Lis.Spec.instr) =
+  if i.i_size >= 8 then -1L
+  else Int64.sub (Int64.shift_left 1L (8 * i.i_size)) 1L
+
+(** Does [spec] mix encoding sizes (an RVC-style ISA)? Mixed-size-only
+    bias draws are gated on this so uniform ISAs' testcase streams stay
+    byte-identical. *)
+let mixed_size (spec : Lis.Spec.t) =
+  Array.exists
+    (fun (i : Lis.Spec.instr) -> i.i_size < spec.instr_bytes)
+    spec.instrs
+
 (** [encoding_with_noise spec i noise] fills every bit the decoder does
     not constrain with bits from [noise] — the canonical random-encoding
     construction. *)
-let encoding_with_noise (spec : Lis.Spec.t) (i : Lis.Spec.instr) noise =
+let encoding_with_noise (_spec : Lis.Spec.t) (i : Lis.Spec.instr) noise =
   Int64.logor i.i_match
     (Int64.logand noise
-       (Int64.logand (Int64.lognot i.i_mask) (width_mask spec)))
+       (Int64.logand (Int64.lognot i.i_mask) (instr_width_mask i)))
+
+(** [code_offsets spec code] — cumulative byte offsets of the code
+    slots ([n+1] entries, the last being the image's total size). Each
+    slot occupies its decoded instruction's own width (the fetch window
+    width when undecodable) — exactly the layout {!Oracle.load_image}
+    writes and the variable-stride engine walks. Reduces to
+    [instr_bytes * i] on uniform ISAs. *)
+let code_offsets (spec : Lis.Spec.t) (code : int64 array) : int array =
+  let n = Array.length code in
+  let offs = Array.make (n + 1) 0 in
+  if not (mixed_size spec) then
+    for i = 0 to n do
+      offs.(i) <- spec.instr_bytes * i
+    done
+  else begin
+    let dec = Specsim.Decoder.make spec in
+    let off = ref 0 in
+    for i = 0 to n - 1 do
+      offs.(i) <- !off;
+      let idx = Specsim.Decoder.decode dec code.(i) in
+      let w = if idx < 0 then spec.instr_bytes else spec.instrs.(idx).i_size in
+      off := !off + w
+    done;
+    offs.(n) <- !off
+  end;
+  offs
 
 (** Maximal runs [(lo, len)] of encoding bits neither fixed by the
     mask nor covered by an operand field: immediates, displacements,
     sub-opcode and condition fields. *)
-let free_runs (spec : Lis.Spec.t) (i : Lis.Spec.instr) : (int * int) list =
-  let bits = 8 * spec.instr_bytes in
+let free_runs (_spec : Lis.Spec.t) (i : Lis.Spec.instr) : (int * int) list =
+  let bits = 8 * i.i_size in
   let covered = Array.make bits false in
   for b = 0 to bits - 1 do
     if not (Int64.equal (Int64.logand i.i_mask (Int64.shift_left 1L b)) 0L)
@@ -152,6 +192,13 @@ let gen_word (cx : ctx) ps ~index ~n_code:_ : int64 =
     else if r < 94 then C_branch
     else C_syscall
   in
+  (* Mixed-size hard cases: over-sample branches so compressed backward
+     branches land mid-parcel in already-translated blocks. The draws
+     are salted, stateless and gated, so uniform ISAs are untouched. *)
+  let cat =
+    if mixed_size spec && below ps ~index ~salt:5 100 < 20 then C_branch
+    else cat
+  in
   let bucket =
     let b = cx.cx_cats.(cat_index cat) in
     if Array.length b > 0 then b else cx.cx_cats.(cat_index C_alu)
@@ -161,6 +208,20 @@ let gen_word (cx : ctx) ps ~index ~n_code:_ : int64 =
     else Array.init (Array.length spec.instrs) (fun i -> i)
   in
   let ii = bucket.(below ps ~index ~salt:1 (Array.length bucket)) in
+  (* Half the time, swap in a compressed encoding from the same category
+     when one exists: mixed 2/4-byte strides are the whole point. *)
+  let ii =
+    if mixed_size spec && below ps ~index ~salt:7 2 = 0 then begin
+      let compressed =
+        Array.to_list bucket
+        |> List.filter (fun k -> spec.instrs.(k).i_size < spec.instr_bytes)
+      in
+      match compressed with
+      | [] -> ii
+      | l -> List.nth l (below ps ~index ~salt:8 (List.length l))
+    end
+    else ii
+  in
   let instr = spec.instrs.(ii) in
   let is_branch = cx.cx_kinds.(ii).is_branch in
   let enc = ref instr.i_match in
@@ -190,21 +251,37 @@ let gen_word (cx : ctx) ps ~index ~n_code:_ : int64 =
       let salt = 40 + (4 * ri) in
       put lo len (run_value ps ~index ~salt ~is_branch len))
     (free_runs spec instr);
-  Int64.logand !enc (width_mask spec)
+  Int64.logand !enc (instr_width_mask instr)
 
-let reg_value (spec : Lis.Spec.t) ps ~cls ~idx ~n_code : int64 =
+(** [reg_value spec ps ~cls ~idx ~offsets] — [offsets] is the code
+    image's {!code_offsets}, so code-region pointers land on true
+    instruction starts whatever the per-slot widths are (and, on
+    mixed-size ISAs, occasionally mid-parcel on purpose). *)
+let reg_value (spec : Lis.Spec.t) ps ~cls ~idx ~offsets : int64 =
   let index = Int64.of_int (10_000 + (256 * cls) + idx) in
   let mode = below ps ~index ~salt:0 12 in
   let small n = Int64.of_int (below ps ~index ~salt:1 n) in
-  let ib = Int64.of_int spec.instr_bytes in
   if mode < 3 then small 64
   else if mode < 5 then Int64.add data_base (Int64.mul 8L (small 256))
   else if mode = 5 then
     (* pointer just under the next page boundary: accesses straddle *)
     Int64.add data_base (Int64.add 0xFF8L (small 16))
-  else if mode < 9 then
+  else if mode < 9 then begin
     (* pointer into the code region: stores through it self-modify *)
-    Int64.add code_base (Int64.mul ib (small (n_code + 4)))
+    let n = Array.length offsets - 1 in
+    let k = Int64.to_int (small (n + 4)) in
+    let off =
+      if k <= n then offsets.(k)
+      else offsets.(n) + (spec.instr_bytes * (k - n))
+    in
+    (* mixed-size hard case: land a quarter of them mid-parcel, so
+       indirect jumps re-decode the stream at a different phase *)
+    let off =
+      if mixed_size spec && below ps ~index ~salt:3 4 = 0 then off + 2
+      else off
+    in
+    Int64.add code_base (Int64.of_int off)
+  end
   else if mode = 9 then 0L
   else draw ps ~index ~salt:2
 
@@ -226,11 +303,12 @@ let generate (cx : ctx) ~seed ~index : testcase =
     Array.init n_code (fun i ->
         gen_word cx ps ~index:(Int64.of_int i) ~n_code)
   in
+  let offsets = code_offsets spec code in
   let regs = ref [] in
   Array.iteri
     (fun cls (def : Machine.Regfile.class_def) ->
       for idx = 0 to def.count - 1 do
-        regs := (cls, idx, reg_value spec ps ~cls ~idx ~n_code) :: !regs
+        regs := (cls, idx, reg_value spec ps ~cls ~idx ~offsets) :: !regs
       done)
     spec.reg_classes;
   let mem =

@@ -84,11 +84,13 @@ let load_image (spec : Lis.Spec.t) (tc : Gen.testcase) (st : Machine.State.t) =
   Array.iter
     (fun (addr, w) -> Machine.Memory.write st.mem ~addr ~width:8 w)
     tc.Gen.tc_mem;
+  let offsets = Gen.code_offsets spec tc.Gen.tc_code in
   Array.iteri
     (fun i w ->
+      let width = offsets.(i + 1) - offsets.(i) in
       Machine.Memory.write st.mem
-        ~addr:(Int64.add Gen.code_base (Int64.of_int (spec.instr_bytes * i)))
-        ~width:spec.instr_bytes w)
+        ~addr:(Int64.add Gen.code_base (Int64.of_int offsets.(i)))
+        ~width w)
     tc.tc_code;
   Array.iter
     (fun (c, i, v) -> Machine.Regfile.write st.regs ~cls:c ~idx:i v)

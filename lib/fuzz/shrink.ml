@@ -27,12 +27,12 @@ let shrink (spec : Lis.Spec.t) (cfg : Oracle.config) ~buildset
     Option.is_some (Oracle.run_pair spec cfg tc' ~buildset)
   in
   let cur = ref tc in
-  let ib = Int64.of_int spec.instr_bytes in
   (* [remove ~fixup t idxs] drops the instruction slots in [idxs]
      (sorted ascending); with [fixup], register values pointing into the
      code region past a cut slide down by the removed bytes, so
      self-modifying stores and indirect branches keep hitting the same
-     surviving instruction. *)
+     surviving instruction. Slot widths come from {!Gen.code_offsets},
+     so the slide is exact on mixed-size ISAs too. *)
   let remove ~fixup (t : Gen.testcase) idxs : Gen.testcase =
     let n = Array.length t.Gen.tc_code in
     let keep = Array.make n true in
@@ -44,20 +44,24 @@ let shrink (spec : Lis.Spec.t) (cfg : Oracle.config) ~buildset
     in
     if not fixup then { t with Gen.tc_code = code }
     else begin
-      let code_end = Int64.add Gen.code_base (Int64.mul ib (Int64.of_int n)) in
+      let offsets = Gen.code_offsets spec t.tc_code in
+      let code_end = Int64.add Gen.code_base (Int64.of_int offsets.(n)) in
       let shift v =
         if Int64.compare v Gen.code_base >= 0 && Int64.compare v code_end < 0
         then
-          let below =
-            List.filter
-              (fun r ->
-                Int64.compare
-                  (Int64.add Gen.code_base (Int64.mul ib (Int64.of_int r)))
-                  v
-                < 0)
-              idxs
+          let removed_below =
+            List.fold_left
+              (fun acc r ->
+                if
+                  Int64.compare
+                    (Int64.add Gen.code_base (Int64.of_int offsets.(r)))
+                    v
+                  < 0
+                then acc + (offsets.(r + 1) - offsets.(r))
+                else acc)
+              0 idxs
           in
-          Int64.sub v (Int64.mul ib (Int64.of_int (List.length below)))
+          Int64.sub v (Int64.of_int removed_below)
         else v
       in
       {

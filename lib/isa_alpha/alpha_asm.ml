@@ -160,6 +160,31 @@ module Target : Vir.Lower.TARGET = struct
       in
       [ w cmp; branch bop ~ra:t0 l ]
     | Jmp l -> [ branch 0x30 ~ra:zero l ]
+    | Jr s -> [ w (jmp ~ra:zero ~rb:(r s)) ]
+    | La (d, l) ->
+      (* same lo/hi split as li32, but against the label's address *)
+      let rd = r d in
+      let split t =
+        let lo = Int64.to_int (Semir.Value.sext (Int64.logand t 0xFFFFL) 16) in
+        let hi =
+          Int64.to_int
+            (Int64.logand
+               (Int64.shift_right (Int64.sub t (Int64.of_int lo)) 16)
+               0xFFFFL)
+        in
+        (lo, if hi >= 32768 then hi - 65536 else hi)
+      in
+      [
+        Fix
+          ( (fun ~self_pc:_ ~target_pc ->
+              lda ~ra:rd ~rb:zero ~disp:(fst (split target_pc))),
+            l );
+        Fix
+          ( (fun ~self_pc:_ ~target_pc ->
+              ldah ~ra:rd ~rb:rd ~disp:(snd (split target_pc))),
+            l );
+        canon rd;
+      ]
     | Sys ->
       [
         w (mov ~src:1 ~dst:16);

@@ -234,6 +234,24 @@ module Target : Vir.Lower.TARGET = struct
         branch ~cond l;
       ]
     | Jmp l -> [ branch l ]
+    | Jr s -> [ w (bx ~rm:(r s) ()) ]
+    | La (d, l) ->
+      (* fixed four-word sequence (mov + three orrs) so the lowered length
+         never depends on the label's address *)
+      let rd = r d in
+      let byte t i = Int64.to_int (Int64.shift_right_logical t (8 * i)) land 0xFF in
+      let piece ~op ~rn ~rot i : Vir.Lower.item =
+        Fix
+          ( (fun ~self_pc:_ ~target_pc ->
+              dp_imm ~op ~rn ~rd ~imm8:(byte target_pc i) ~rot ()),
+            l )
+      in
+      [
+        piece ~op:op_mov ~rn:0 ~rot:0 0;
+        piece ~op:op_orr ~rn:rd ~rot:12 1;
+        piece ~op:op_orr ~rn:rd ~rot:8 2;
+        piece ~op:op_orr ~rn:rd ~rot:4 3;
+      ]
     | Sys -> [ w (swi 0 ()) ]
 
   let lower (p : Vir.Lang.program) = List.concat_map lower_instr p

@@ -188,6 +188,20 @@ module Target : Vir.Lower.TARGET = struct
       in
       [ w compare; branch ~bo_bi:(Some (bo, bi)) l ]
     | Jmp l -> [ branch l ]
+    | Jr s -> [ w (mtctr ~rs:(r s)); w (bcctr ~bo:20 ~bi:0 ()) ]
+    | La (d, l) ->
+      let rd = r d in
+      [
+        Fix
+          ( (fun ~self_pc:_ ~target_pc ->
+              addis ~rd ~ra:0
+                ~imm:(Int64.to_int (Int64.shift_right_logical target_pc 16) land 0xFFFF)),
+            l );
+        Fix
+          ( (fun ~self_pc:_ ~target_pc ->
+              ori ~ra:rd ~rs:rd ~imm:(Int64.to_int target_pc land 0xFFFF)),
+            l );
+      ]
     | Sys ->
       [
         w (mr ~rd:0 ~rs:(r 0));

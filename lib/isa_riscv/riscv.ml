@@ -1,0 +1,327 @@
+(** RISC-V RV32I (user-mode integer subset) + RVC subset LIS description.
+
+    32-bit, little-endian, and — unlike the three ISAs the toolchain
+    grew up with — written against a frozen external manual, *after*
+    the toolchain existed. EXPERIMENTS.md keeps the porting log: every
+    toolchain change this spec forced is recorded there as either a
+    spec bug or a tool gap, which is the repo's reproduction of the
+    paper's "minutes, not days" claim on an unseen ISA.
+
+    The RVC subset (C.ADDI, C.LI, C.LW, C.SW, C.J, C.JR, C.MV) makes
+    this the first *real* mixed-stride ISA in the tree: [instrsize 4]
+    is the fetch window, compressed instructions carry [size 2], and
+    the decode key lives in the low 7 bits — within the 16-bit minimum
+    parcel, as the toolchain now requires.
+
+    Deviations (user-mode subset): no FENCE/EBREAK/CSR instructions;
+    no misaligned-access faults (RVC makes IALIGN=16 and the memory
+    system handles unaligned data); ECALL is the only trap, routed to
+    the emulated OS by the OS-support file. *)
+
+let isa_text =
+  {|
+// ===================================================================
+// RISC-V RV32I user-mode integer instruction set (+ RVC subset)
+// ===================================================================
+isa "riscv" {
+  endian little;
+  wordsize 32;
+  instrsize 4;
+  decodekey 0 7;
+}
+
+// x0 is hardwired zero.
+regclass X 32 width 32 zero 0;
+
+field effective_addr : u64 decode;
+field branch_target : u64 decode;
+field branch_taken : u64 decode;
+field alu_out : u64;
+
+sequence fetch, decode, read_operands, address, evaluate, memory, writeback, exception;
+
+// ---------------- operand shapes ------------------------------------
+class rtype {
+  operand rd  : X[bits(7,5)] write;
+  operand rs1 : X[bits(15,5)] read;
+  operand rs2 : X[bits(20,5)] read;
+}
+
+class itype {
+  operand rd  : X[bits(7,5)] write;
+  operand rs1 : X[bits(15,5)] read;
+}
+
+class utype {
+  operand rd : X[bits(7,5)] write;
+}
+
+// I-type loads: effective address = rs1 + sext(imm12)
+class ldaddr {
+  action address { effective_addr = (rs1 + sbits(20,12)) & 0xFFFFFFFF; }
+}
+
+// S-type stores: imm split across [31:25] and [11:7]
+class stype {
+  operand rs1 : X[bits(15,5)] read;
+  operand rs2 : X[bits(20,5)] read;
+  action address {
+    effective_addr = (rs1 + ((sbits(25,7) << 5) | bits(7,5))) & 0xFFFFFFFF;
+  }
+}
+
+// B-type branches: imm[12|10:5] at [31:25], imm[4:1|11] at [11:7]
+class btype {
+  operand rs1 : X[bits(15,5)] read;
+  operand rs2 : X[bits(20,5)] read;
+  action address {
+    branch_target = (pc + ((sbits(31,1) << 12) | (bits(7,1) << 11)
+                         | (bits(25,6) << 5) | (bits(8,4) << 1))) & 0xFFFFFFFF;
+  }
+}
+
+// ---------------- ALU, register-register (opcode 0110011) -----------
+instr ADD : rtype match 0x00000033 mask 0xFE00707F {
+  action evaluate { alu_out = (rs1 + rs2) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SUB : rtype match 0x40000033 mask 0xFE00707F {
+  action evaluate { alu_out = (rs1 - rs2) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SLL : rtype match 0x00001033 mask 0xFE00707F {
+  action evaluate { alu_out = (rs1 << (rs2 & 31)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SLT : rtype match 0x00002033 mask 0xFE00707F {
+  action evaluate { alu_out = sext(rs1,32) < sext(rs2,32); rd = alu_out; }
+}
+instr SLTU : rtype match 0x00003033 mask 0xFE00707F {
+  action evaluate { alu_out = ltu(rs1, rs2); rd = alu_out; }
+}
+instr XOR : rtype match 0x00004033 mask 0xFE00707F {
+  action evaluate { alu_out = rs1 ^ rs2; rd = alu_out; }
+}
+instr SRL : rtype match 0x00005033 mask 0xFE00707F {
+  action evaluate { alu_out = rs1 >> (rs2 & 31); rd = alu_out; }
+}
+instr SRA : rtype match 0x40005033 mask 0xFE00707F {
+  action evaluate { alu_out = asr(sext(rs1,32), rs2 & 31) & 0xFFFFFFFF; rd = alu_out; }
+}
+// MUL (M extension, funct7 0000001): the only M instruction carried;
+// VIR kernels need a hardware multiply on every target.
+instr MUL : rtype match 0x02000033 mask 0xFE00707F {
+  action evaluate { alu_out = (rs1 * rs2) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr OR : rtype match 0x00006033 mask 0xFE00707F {
+  action evaluate { alu_out = rs1 | rs2; rd = alu_out; }
+}
+instr AND : rtype match 0x00007033 mask 0xFE00707F {
+  action evaluate { alu_out = rs1 & rs2; rd = alu_out; }
+}
+
+// ---------------- ALU, immediate (opcode 0010011) --------------------
+instr ADDI : itype match 0x00000013 mask 0x0000707F {
+  action evaluate { alu_out = (rs1 + sbits(20,12)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SLTI : itype match 0x00002013 mask 0x0000707F {
+  action evaluate { alu_out = sext(rs1,32) < sbits(20,12); rd = alu_out; }
+}
+instr SLTIU : itype match 0x00003013 mask 0x0000707F {
+  action evaluate { alu_out = ltu(rs1, sbits(20,12) & 0xFFFFFFFF); rd = alu_out; }
+}
+instr XORI : itype match 0x00004013 mask 0x0000707F {
+  action evaluate { alu_out = (rs1 ^ sbits(20,12)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr ORI : itype match 0x00006013 mask 0x0000707F {
+  action evaluate { alu_out = (rs1 | sbits(20,12)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr ANDI : itype match 0x00007013 mask 0x0000707F {
+  action evaluate { alu_out = (rs1 & sbits(20,12)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SLLI : itype match 0x00001013 mask 0xFE00707F {
+  action evaluate { alu_out = (rs1 << bits(20,5)) & 0xFFFFFFFF; rd = alu_out; }
+}
+instr SRLI : itype match 0x00005013 mask 0xFE00707F {
+  action evaluate { alu_out = rs1 >> bits(20,5); rd = alu_out; }
+}
+instr SRAI : itype match 0x40005013 mask 0xFE00707F {
+  action evaluate { alu_out = asr(sext(rs1,32), bits(20,5)) & 0xFFFFFFFF; rd = alu_out; }
+}
+
+// ---------------- upper immediates -----------------------------------
+instr LUI : utype match 0x00000037 mask 0x0000007F {
+  action evaluate { alu_out = bits(12,20) << 12; rd = alu_out; }
+}
+instr AUIPC : utype match 0x00000017 mask 0x0000007F {
+  action evaluate { alu_out = (pc + (bits(12,20) << 12)) & 0xFFFFFFFF; rd = alu_out; }
+}
+
+// ---------------- loads (opcode 0000011) ------------------------------
+instr LB : itype, ldaddr match 0x00000003 mask 0x0000707F {
+  action memory { rd = zext(load.s8(effective_addr), 32); }
+}
+instr LH : itype, ldaddr match 0x00001003 mask 0x0000707F {
+  action memory { rd = zext(load.s16(effective_addr), 32); }
+}
+instr LW : itype, ldaddr match 0x00002003 mask 0x0000707F {
+  action memory { rd = load.u32(effective_addr); }
+}
+instr LBU : itype, ldaddr match 0x00004003 mask 0x0000707F {
+  action memory { rd = load.u8(effective_addr); }
+}
+instr LHU : itype, ldaddr match 0x00005003 mask 0x0000707F {
+  action memory { rd = load.u16(effective_addr); }
+}
+
+// ---------------- stores (opcode 0100011) -----------------------------
+instr SB : stype match 0x00000023 mask 0x0000707F {
+  action memory { store.u8(effective_addr, rs2); }
+}
+instr SH : stype match 0x00001023 mask 0x0000707F {
+  action memory { store.u16(effective_addr, rs2); }
+}
+instr SW : stype match 0x00002023 mask 0x0000707F {
+  action memory { store.u32(effective_addr, rs2); }
+}
+
+// ---------------- conditional branches (opcode 1100011) --------------
+instr BEQ : btype match 0x00000063 mask 0x0000707F {
+  action evaluate { branch_taken = rs1 == rs2; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BNE : btype match 0x00001063 mask 0x0000707F {
+  action evaluate { branch_taken = rs1 != rs2; if (branch_taken) { next_pc = branch_target; } }
+}
+instr BLT : btype match 0x00004063 mask 0x0000707F {
+  action evaluate { branch_taken = sext(rs1,32) < sext(rs2,32); if (branch_taken) { next_pc = branch_target; } }
+}
+instr BGE : btype match 0x00005063 mask 0x0000707F {
+  action evaluate { branch_taken = !(sext(rs1,32) < sext(rs2,32)); if (branch_taken) { next_pc = branch_target; } }
+}
+instr BLTU : btype match 0x00006063 mask 0x0000707F {
+  action evaluate { branch_taken = ltu(rs1, rs2); if (branch_taken) { next_pc = branch_target; } }
+}
+instr BGEU : btype match 0x00007063 mask 0x0000707F {
+  action evaluate { branch_taken = geu(rs1, rs2); if (branch_taken) { next_pc = branch_target; } }
+}
+
+// ---------------- jumps -----------------------------------------------
+// J-type: imm[20|10:1|11|19:12] at [31:12]
+instr JAL : utype match 0x0000006F mask 0x0000007F {
+  action address {
+    branch_target = (pc + ((sbits(31,1) << 20) | (bits(12,8) << 12)
+                         | (bits(20,1) << 11) | (bits(21,10) << 1))) & 0xFFFFFFFF;
+  }
+  action evaluate { rd = (pc + 4) & 0xFFFFFFFF; branch_taken = 1; next_pc = branch_target; }
+}
+// JALR clears the target's LSB (the manual's %lo-carry idiom support).
+instr JALR : itype match 0x00000067 mask 0x0000707F {
+  action address { branch_target = (rs1 + sbits(20,12)) & 0xFFFFFFFE; }
+  action evaluate { rd = (pc + 4) & 0xFFFFFFFF; branch_taken = 1; next_pc = branch_target; }
+}
+
+// ---------------- environment call ------------------------------------
+instr ECALL match 0x00000073 mask 0xFFFFFFFF {
+  action exception { fault illegal; }
+}
+|}
+
+(* The RVC subset, as its own source chunk: compressed parcels carry
+   [size 2], their decode key (low 7 bits) never collides with the
+   32-bit encodings because bits [1:0] != 11 on every RVC quadrant.
+   C.JR is declared before C.MV — the specialization-before-general
+   idiom the decoder lint documents (C.JR is C.MV's rs2=0 row). *)
+let rvc_text =
+  {|
+// ===================================================================
+// RVC subset: mixed 2/4-byte strides inside a real ISA
+// ===================================================================
+
+// C.ADDI: quadrant 01, funct3 000; rd = rd + sext(imm6). rd=x0 is C.NOP.
+instr C_ADDI size 2 match 0x0001 mask 0xE003 {
+  operand rd : X[bits(7,5)] read write;
+  action evaluate { alu_out = (rd + ((sbits(12,1) << 5) | bits(2,5))) & 0xFFFFFFFF; rd = alu_out; }
+}
+
+// C.LI: quadrant 01, funct3 010; rd = sext(imm6).
+instr C_LI size 2 match 0x4001 mask 0xE003 {
+  operand rd : X[bits(7,5)] write;
+  action evaluate { alu_out = ((sbits(12,1) << 5) | bits(2,5)) & 0xFFFFFFFF; rd = alu_out; }
+}
+
+// C.LW: quadrant 00, funct3 010; rd' = mem[rs1' + uimm7], x8-x15 window.
+instr C_LW size 2 match 0x4000 mask 0xE003 {
+  action address {
+    effective_addr = (reg.X[bits(7,3) + 8]
+                      + ((bits(10,3) << 3) | (bits(6,1) << 2) | (bits(5,1) << 6))) & 0xFFFFFFFF;
+  }
+  action memory { reg.X[bits(2,3) + 8] = load.u32(effective_addr); }
+}
+
+// C.SW: quadrant 00, funct3 110; mem[rs1' + uimm7] = rs2'.
+instr C_SW size 2 match 0xC000 mask 0xE003 {
+  action address {
+    effective_addr = (reg.X[bits(7,3) + 8]
+                      + ((bits(10,3) << 3) | (bits(6,1) << 2) | (bits(5,1) << 6))) & 0xFFFFFFFF;
+  }
+  action memory { store.u32(effective_addr, reg.X[bits(2,3) + 8]); }
+}
+
+// C.J: quadrant 01, funct3 101; pc-relative, offset[11|4|9:8|10|6|7|3:1|5].
+instr C_J size 2 match 0xA001 mask 0xE003 {
+  action address {
+    branch_target = (pc + ((sbits(12,1) << 11) | (bits(11,1) << 4)
+                         | (bits(9,2) << 8) | (bits(8,1) << 10)
+                         | (bits(7,1) << 6) | (bits(6,1) << 7)
+                         | (bits(3,3) << 1) | (bits(2,1) << 5))) & 0xFFFFFFFF;
+  }
+  action evaluate { branch_taken = 1; next_pc = branch_target; }
+}
+
+// C.JR: quadrant 10, funct4 1000, rs2 field zero — the specialization
+// of C.MV's encoding row, so it must be declared first.
+instr C_JR size 2 match 0x8002 mask 0xF07F {
+  operand rs1 : X[bits(7,5)] read;
+  action evaluate { branch_taken = 1; next_pc = rs1 & 0xFFFFFFFE; }
+}
+
+// C.MV: quadrant 10, funct4 1000; rd = rs2 (rs2=0 rows decode as C.JR).
+instr C_MV size 2 match 0x8002 mask 0xF003 {
+  operand rd  : X[bits(7,5)] write;
+  operand rs2 : X[bits(2,5)] read;
+  action evaluate { alu_out = rs2; rd = alu_out; }
+}
+|}
+
+let os_text =
+  {|
+// OS emulation for RISC-V: the RV32 Linux convention — syscall number
+// in a7 (x17), arguments in a0-a2 (x10-x12), result in a0 (x10).
+abi {
+  nr = X[17];
+  arg0 = X[10];
+  arg1 = X[11];
+  arg2 = X[12];
+  ret = X[10];
+}
+
+override ECALL action exception { syscall; }
+|}
+
+let full_isa_text = isa_text ^ "\n" ^ rvc_text
+
+let buildsets_text = Specsim.Detail.canonical_buildset_file ()
+
+let sources : Lis.Ast.source list =
+  [
+    {
+      src_role = Lis.Ast.Isa_description;
+      src_name = "riscv.lis";
+      src_text = full_isa_text;
+    };
+    { src_role = Lis.Ast.Os_support; src_name = "riscv_os.lis"; src_text = os_text };
+    {
+      src_role = Lis.Ast.Buildset_file;
+      src_name = "riscv_buildsets.lis";
+      src_text = buildsets_text;
+    };
+  ]
+
+let spec = lazy (Lis.Sema.load sources)

@@ -1,0 +1,256 @@
+(** RISC-V encoder and VIR lowering.
+
+    VIR registers route around the emulated-OS ABI block (a0-a2 = x10-x12,
+    a7 = x17): v0..v8 -> x1..x9, v9..v15 -> x18..x24, scratch x25. The
+    lowering emits compressed parcels (C.LI, C.MV, C.ADDI, C.JR) wherever
+    the fixup-free forms fit, so every lowered kernel is a genuine
+    mixed-stride instruction stream — the variable-stride block engine
+    gets exercised by real programs, not just fuzz inputs. *)
+
+let check_reg name v =
+  if v < 0 || v > 31 then
+    invalid_arg (Printf.sprintf "riscv asm: %s=%d out of range" name v)
+
+(* ------------------------------------------------------------------ *)
+(* RV32I encoders                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rtype ~funct7 ~f3 ~rd ~rs1 ~rs2 =
+  check_reg "rd" rd;
+  check_reg "rs1" rs1;
+  check_reg "rs2" rs2;
+  Int64.of_int
+    ((funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+    lor (rd lsl 7) lor 0x33)
+
+let itype ~opc ~f3 ~rd ~rs1 ~imm =
+  check_reg "rd" rd;
+  check_reg "rs1" rs1;
+  if imm < -2048 || imm > 2047 then invalid_arg "riscv asm: imm12 range";
+  Int64.of_int
+    (((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12) lor (rd lsl 7)
+    lor opc)
+
+let addi ~rd ~rs1 ~imm = itype ~opc:0x13 ~f3:0 ~rd ~rs1 ~imm
+let andi ~rd ~rs1 ~imm = itype ~opc:0x13 ~f3:7 ~rd ~rs1 ~imm
+
+(* slli/srli/srai put the shift amount in imm[4:0] and funct7 above it *)
+let shifti ~funct7 ~f3 ~rd ~rs1 ~sh =
+  if sh < 0 || sh > 31 then invalid_arg "riscv asm: shamt range";
+  itype ~opc:0x13 ~f3 ~rd ~rs1 ~imm:((funct7 lsl 5) lor sh)
+
+let load ~f3 ~rd ~rs1 ~imm = itype ~opc:0x03 ~f3 ~rd ~rs1 ~imm
+let jalr ~rd ~rs1 ~imm = itype ~opc:0x67 ~f3:0 ~rd ~rs1 ~imm
+
+let stype ~f3 ~rs1 ~rs2 ~imm =
+  check_reg "rs1" rs1;
+  check_reg "rs2" rs2;
+  if imm < -2048 || imm > 2047 then invalid_arg "riscv asm: imm12 range";
+  let i = imm land 0xFFF in
+  Int64.of_int
+    (((i lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+    lor ((i land 0x1F) lsl 7)
+    lor 0x23)
+
+let btype ~f3 ~rs1 ~rs2 ~off =
+  if off < -4096 || off > 4094 || off land 1 <> 0 then
+    invalid_arg "riscv asm: branch range";
+  let i = off land 0x1FFF in
+  Int64.of_int
+    ((((i lsr 12) land 1) lsl 31)
+    lor (((i lsr 5) land 0x3F) lsl 25)
+    lor (rs2 lsl 20) lor (rs1 lsl 15) lor (f3 lsl 12)
+    lor (((i lsr 1) land 0xF) lsl 8)
+    lor (((i lsr 11) land 1) lsl 7)
+    lor 0x63)
+
+let lui ~rd ~imm20 =
+  check_reg "rd" rd;
+  if imm20 < 0 || imm20 > 0xFFFFF then invalid_arg "riscv asm: imm20 range";
+  Int64.of_int ((imm20 lsl 12) lor (rd lsl 7) lor 0x37)
+
+let jal ~rd ~off =
+  if off < -(1 lsl 20) || off >= 1 lsl 20 || off land 1 <> 0 then
+    invalid_arg "riscv asm: jal range";
+  let i = off land 0x1FFFFF in
+  Int64.of_int
+    ((((i lsr 20) land 1) lsl 31)
+    lor (((i lsr 1) land 0x3FF) lsl 21)
+    lor (((i lsr 11) land 1) lsl 20)
+    lor (((i lsr 12) land 0xFF) lsl 12)
+    lor (rd lsl 7) lor 0x6F)
+
+let ecall = 0x00000073L
+
+(* ------------------------------------------------------------------ *)
+(* RVC encoders (the fixup-free forms the lowering uses)               *)
+(* ------------------------------------------------------------------ *)
+
+let c_imm6 base ~rd ~imm =
+  if imm < -32 || imm > 31 then invalid_arg "riscv asm: c imm6 range";
+  if rd = 0 then invalid_arg "riscv asm: c rd=x0";
+  let i = imm land 0x3F in
+  Int64.of_int
+    (base lor (((i lsr 5) land 1) lsl 12) lor (rd lsl 7) lor ((i land 0x1F) lsl 2))
+
+let c_li ~rd ~imm = c_imm6 0x4001 ~rd ~imm
+let c_addi ~rd ~imm = c_imm6 0x0001 ~rd ~imm
+
+let c_mv ~rd ~rs2 =
+  (* rs2=0 rows are C.JR's encoding — refuse rather than silently jump *)
+  if rd = 0 || rs2 = 0 then invalid_arg "riscv asm: c.mv x0 operand";
+  Int64.of_int (0x8002 lor (rd lsl 7) lor (rs2 lsl 2))
+
+let c_jr ~rs1 =
+  if rs1 = 0 then invalid_arg "riscv asm: c.jr rs1=x0";
+  Int64.of_int (0x8002 lor (rs1 lsl 7))
+
+(* C.LW/C.SW address the x8..x15 window: [rdp]/[rs1p]/[rs2p] are 0..7. *)
+let c_mem base ~rp ~rs1p ~uimm =
+  if rp < 0 || rp > 7 || rs1p < 0 || rs1p > 7 then
+    invalid_arg "riscv asm: c reg' range";
+  if uimm land 3 <> 0 || uimm < 0 || uimm > 124 then
+    invalid_arg "riscv asm: c.lw uimm range";
+  Int64.of_int
+    (base
+    lor (((uimm lsr 3) land 7) lsl 10)
+    lor (rs1p lsl 7)
+    lor (((uimm lsr 2) land 1) lsl 6)
+    lor (((uimm lsr 6) land 1) lsl 5)
+    lor (rp lsl 2))
+
+let c_lw ~rdp ~rs1p ~uimm = c_mem 0x4000 ~rp:rdp ~rs1p ~uimm
+let c_sw ~rs2p ~rs1p ~uimm = c_mem 0xC000 ~rp:rs2p ~rs1p ~uimm
+
+let c_j ~off =
+  if off < -2048 || off > 2046 || off land 1 <> 0 then
+    invalid_arg "riscv asm: c.j range";
+  let f b = (off lsr b) land 1 in
+  Int64.of_int
+    (0xA001
+    lor (f 11 lsl 12)
+    lor (f 4 lsl 11)
+    lor (((off lsr 8) land 3) lsl 9)
+    lor (f 10 lsl 8) lor (f 6 lsl 7) lor (f 7 lsl 6)
+    lor (((off lsr 1) land 7) lsl 3)
+    lor (f 5 lsl 2))
+
+(* ------------------------------------------------------------------ *)
+(* VIR lowering                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Target : Vir.Lower.TARGET = struct
+  let name = "riscv"
+
+  let r v = if v <= 8 then v + 1 else v + 9
+  let t0 = 25
+  let zero = 0
+
+  let w x : Vir.Lower.item = Word x
+  let h x : Vir.Lower.item = Half x
+
+  (* %lo/%hi split: lui loads hi20 << 12, addi adds the sign-extended
+     low 12 bits; the +0x800 bias makes the carry come out right. *)
+  let lo12 v =
+    let x = v land 0xFFF in
+    if x >= 0x800 then x - 0x1000 else x
+
+  let hi20 v = ((v + 0x800) lsr 12) land 0xFFFFF
+
+  let li32 ~rd (v : int32) =
+    let sv = Int32.to_int v in
+    if sv >= -32 && sv <= 31 then [ h (c_li ~rd ~imm:sv) ]
+    else if sv >= -2048 && sv <= 2047 then [ w (addi ~rd ~rs1:zero ~imm:sv) ]
+    else
+      let u = sv land 0xFFFFFFFF in
+      [ w (lui ~rd ~imm20:(hi20 u)); w (addi ~rd ~rs1:rd ~imm:(lo12 u)) ]
+
+  let addi_seq ~rd ~rs imm =
+    if rd = rs && imm <> 0 && imm >= -32 && imm <= 31 then
+      [ h (c_addi ~rd ~imm) ]
+    else if imm >= -2048 && imm <= 2047 then [ w (addi ~rd ~rs1:rs ~imm) ]
+    else
+      li32 ~rd:t0 (Int32.of_int imm)
+      @ [ w (rtype ~funct7:0 ~f3:0 ~rd ~rs1:rs ~rs2:t0) ]
+
+  (* loads/stores with offsets outside imm12 go through the scratch *)
+  let mem ~emit ~base imm =
+    if imm >= -2048 && imm <= 2047 then [ w (emit ~rs1:base ~imm) ]
+    else
+      li32 ~rd:t0 (Int32.of_int imm)
+      @ [ w (rtype ~funct7:0 ~f3:0 ~rd:t0 ~rs1:base ~rs2:t0);
+          w (emit ~rs1:t0 ~imm:0) ]
+
+  let bcond f3 ~rs1 ~rs2 label : Vir.Lower.item =
+    Fix
+      ( (fun ~self_pc ~target_pc ->
+          btype ~f3 ~rs1 ~rs2 ~off:(Int64.to_int (Int64.sub target_pc self_pc))),
+        label )
+
+  let lower_instr (i : Vir.Lang.instr) : Vir.Lower.item list =
+    match i with
+    | Label l -> [ Mark l ]
+    | Li (d, v) -> li32 ~rd:(r d) v
+    | Mv (d, s) -> [ h (c_mv ~rd:(r d) ~rs2:(r s)) ]
+    | Add (d, a, b) -> [ w (rtype ~funct7:0 ~f3:0 ~rd:(r d) ~rs1:(r a) ~rs2:(r b)) ]
+    | Sub (d, a, b) ->
+      [ w (rtype ~funct7:0x20 ~f3:0 ~rd:(r d) ~rs1:(r a) ~rs2:(r b)) ]
+    | Mul (d, a, b) -> [ w (rtype ~funct7:1 ~f3:0 ~rd:(r d) ~rs1:(r a) ~rs2:(r b)) ]
+    | And_ (d, a, b) -> [ w (rtype ~funct7:0 ~f3:7 ~rd:(r d) ~rs1:(r a) ~rs2:(r b)) ]
+    | Or_ (d, a, b) -> [ w (rtype ~funct7:0 ~f3:6 ~rd:(r d) ~rs1:(r a) ~rs2:(r b)) ]
+    | Xor_ (d, a, b) -> [ w (rtype ~funct7:0 ~f3:4 ~rd:(r d) ~rs1:(r a) ~rs2:(r b)) ]
+    | Addi (d, a, imm) -> addi_seq ~rd:(r d) ~rs:(r a) imm
+    | Andi (d, a, imm) -> [ w (andi ~rd:(r d) ~rs1:(r a) ~imm) ]
+    | Shli (d, a, sh) -> [ w (shifti ~funct7:0 ~f3:1 ~rd:(r d) ~rs1:(r a) ~sh) ]
+    | Shri (d, a, sh) -> [ w (shifti ~funct7:0 ~f3:5 ~rd:(r d) ~rs1:(r a) ~sh) ]
+    | Sari (d, a, sh) -> [ w (shifti ~funct7:0x20 ~f3:5 ~rd:(r d) ~rs1:(r a) ~sh) ]
+    | Ldw (d, a, imm) -> mem ~emit:(fun ~rs1 ~imm -> load ~f3:2 ~rd:(r d) ~rs1 ~imm) ~base:(r a) imm
+    | Stw (s, a, imm) -> mem ~emit:(fun ~rs1 ~imm -> stype ~f3:2 ~rs1 ~rs2:(r s) ~imm) ~base:(r a) imm
+    | Ldb (d, a, imm) -> mem ~emit:(fun ~rs1 ~imm -> load ~f3:4 ~rd:(r d) ~rs1 ~imm) ~base:(r a) imm
+    | Stb (s, a, imm) -> mem ~emit:(fun ~rs1 ~imm -> stype ~f3:0 ~rs1 ~rs2:(r s) ~imm) ~base:(r a) imm
+    | Bcond (c, a, b, l) ->
+      let f3 =
+        match c with
+        | Vir.Lang.Eq -> 0
+        | Ne -> 1
+        | Lt -> 4
+        | Ge -> 5
+        | Ltu -> 6
+        | Geu -> 7
+      in
+      [ bcond f3 ~rs1:(r a) ~rs2:(r b) l ]
+    | Jmp l ->
+      [
+        Fix
+          ( (fun ~self_pc ~target_pc ->
+              jal ~rd:zero ~off:(Int64.to_int (Int64.sub target_pc self_pc))),
+            l );
+      ]
+    | Jr s -> [ h (c_jr ~rs1:(r s)) ]
+    | La (d, l) ->
+      let rd = r d in
+      [
+        Fix
+          ( (fun ~self_pc:_ ~target_pc ->
+              lui ~rd ~imm20:(hi20 (Int64.to_int target_pc land 0xFFFFFFFF))),
+            l );
+        Fix
+          ( (fun ~self_pc:_ ~target_pc ->
+              addi ~rd ~rs1:rd ~imm:(lo12 (Int64.to_int target_pc))),
+            l );
+      ]
+    | Sys ->
+      [
+        h (c_mv ~rd:17 ~rs2:(r 0));
+        h (c_mv ~rd:10 ~rs2:(r 1));
+        h (c_mv ~rd:11 ~rs2:(r 2));
+        h (c_mv ~rd:12 ~rs2:(r 3));
+        w ecall;
+        h (c_mv ~rd:(r 0) ~rs2:10);
+      ]
+
+  let lower (p : Vir.Lang.program) = List.concat_map lower_instr p
+end
+
+(** [encode ~base p] lowers a VIR program to RISC-V words (RVC-mixed). *)
+let encode ~base p = Vir.Lower.encode (module Target) ~base p

@@ -95,6 +95,9 @@ type class_decl = { c_name : ident; c_body : instr_like }
 type instr_decl = {
   i_name : ident;
   i_classes : ident list;  (** inherited instruction classes, in order *)
+  i_size : int option;
+      (** encoded width in bytes when narrower than [instrsize]
+          (compressed/parcel encodings); [None] means the full width *)
   i_match : int64;
   i_mask : int64;
   i_body : instr_like;

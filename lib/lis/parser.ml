@@ -484,6 +484,9 @@ let class_decl st : Ast.decl =
 let instr_decl st : Ast.decl =
   let name = ident st in
   let classes = if accept st Colon then ident_list st else [] in
+  let size =
+    if accept_keyword st "size" then Some (int_lit_small st) else None
+  in
   keyword st "match";
   let m = int_lit st in
   keyword st "mask";
@@ -496,7 +499,14 @@ let instr_decl st : Ast.decl =
     end
   in
   D_instr
-    { i_name = name; i_classes = classes; i_match = m; i_mask = msk; i_body = body }
+    {
+      i_name = name;
+      i_classes = classes;
+      i_size = size;
+      i_match = m;
+      i_mask = msk;
+      i_body = body;
+    }
 
 let override_decl st : Ast.decl =
   let instr = ident st in

@@ -239,10 +239,13 @@ let emit_decl b (d : decl) =
     add "}\n\n"
   | D_instr i ->
     add
-      (Printf.sprintf "instr %s%s match 0x%08Lx mask 0x%08Lx" i.i_name.id
+      (Printf.sprintf "instr %s%s%s match 0x%08Lx mask 0x%08Lx" i.i_name.id
          (match i.i_classes with
          | [] -> ""
          | cs -> " : " ^ String.concat ", " (List.map (fun c -> c.id) cs))
+         (match i.i_size with
+         | Some s -> Printf.sprintf " size %d" s
+         | None -> "")
          i.i_match i.i_mask);
     if i.i_body.d_operands = [] && i.i_body.d_actions = [] then add ";\n"
     else begin

@@ -442,6 +442,27 @@ let analyze_all ?(line_stats = Count.zero) (decls : Ast.t) :
                   err i.i_name.span
                     "instruction '%s': match value 0x%Lx has bits outside mask 0x%Lx"
                     i.i_name.id i.i_match i.i_mask;
+                let size =
+                  match i.i_size with
+                  | None -> props.p_instr_bytes
+                  | Some s ->
+                    if s < 1 || s > props.p_instr_bytes then
+                      err i.i_name.span
+                        "instruction '%s': size %d is outside [1,%d] \
+                         (instrsize)"
+                        i.i_name.id s props.p_instr_bytes;
+                    let bits = 8 * s in
+                    let outside =
+                      if bits >= 64 then 0L else Int64.shift_left (-1L) bits
+                    in
+                    if not (Int64.equal (Int64.logand i.i_mask outside) 0L)
+                    then
+                      err i.i_name.span
+                        "instruction '%s': mask 0x%Lx has bits outside its \
+                         %d-byte encoding"
+                        i.i_name.id i.i_mask s;
+                    s
+                in
                 let operand_decls = instr_operand_decls i in
                 let operands =
                   Array.of_list
@@ -522,6 +543,7 @@ let analyze_all ?(line_stats = Count.zero) (decls : Ast.t) :
                 {
                   Spec.i_name = i.i_name.id;
                   i_index = index;
+                  i_size = size;
                   i_match = i.i_match;
                   i_mask = i.i_mask;
                   i_operands = operands;
@@ -538,6 +560,17 @@ let analyze_all ?(line_stats = Count.zero) (decls : Ast.t) :
     |> List.filter_map Fun.id
   in
   let instrs = Array.of_list instrs in
+  (* The decode key must fit inside the shortest encoding, so the decoder
+     can bucket without knowing the instruction's length yet. *)
+  let min_size =
+    Array.fold_left
+      (fun acc (i : Spec.instr) -> min acc i.i_size)
+      props.p_instr_bytes instrs
+  in
+  if props.p_decode_lo + props.p_decode_len > 8 * min_size then
+    err props.p_span
+      "decodekey [%d,+%d] reaches past the %d-byte minimum instruction size"
+      props.p_decode_lo props.p_decode_len min_size;
 
   (* Overrides (the paper's OS-support mechanism). When instructions were
      skipped above, the index table no longer lines up with the array, so

@@ -47,6 +47,9 @@ type operand = {
 type instr = {
   i_name : string;
   i_index : int;
+  i_size : int;
+      (** encoded width in bytes; equals [instr_bytes] except for
+          compressed/parcel encodings of a variable-length ISA *)
   i_match : int64;
   i_mask : int64;
   i_operands : operand array;

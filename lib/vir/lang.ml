@@ -38,6 +38,13 @@ type instr =
   | Stb of reg * reg * int
   | Bcond of cond * reg * reg * string  (** compare-and-branch *)
   | Jmp of string
+  | Jr of reg  (** indirect jump through a register *)
+  | La of reg * string
+      (** load a label's location. The reference executor uses the
+          label's instruction index; lowerings use its absolute code
+          address. Programs must treat the value as opaque (load it,
+          move it, [Jr] through it) — only then do the reference and
+          the lowered runs agree on everything observable. *)
   | Sys  (** emulated OS call *)
 
 type program = instr list
@@ -74,6 +81,8 @@ let pp_instr ppf (i : instr) =
   | Bcond (c, a, b, l) ->
     Format.fprintf ppf "  b%s %s, %s, %s" (cond_to_string c) (r a) (r b) l
   | Jmp l -> Format.fprintf ppf "  jmp %s" l
+  | Jr s -> Format.fprintf ppf "  jr %s" (r s)
+  | La (d, l) -> Format.fprintf ppf "  la %s, %s" (r d) l
   | Sys -> Format.fprintf ppf "  sys"
 
 let pp ppf (p : program) =
@@ -149,6 +158,10 @@ let validate (p : program) =
         reg b;
         lbl l
       | Jmp l -> lbl l
+      | Jr s -> reg s
+      | La (d, l) ->
+        reg d;
+        lbl l
       | Sys -> ())
     p;
   where := -1
@@ -238,6 +251,8 @@ let run ?(input = "") ?(fuel = 100_000_000) (p : program) : result =
       in
       if taken then next := Hashtbl.find labels l
     | Jmp l -> next := Hashtbl.find labels l
+    | Jr r -> next := Int32.to_int regs.(r)
+    | La (d, l) -> regs.(d) <- Int32.of_int (Hashtbl.find labels l)
     | Sys -> (
       let nr = Int32.to_int regs.(0) in
       match nr with

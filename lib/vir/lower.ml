@@ -2,14 +2,22 @@
 
     A lowering expands each VIR instruction into target instructions; since
     branch displacements depend on final addresses, branch words are emitted
-    as fixups resolved in a second pass. All supported targets use fixed
-    4-byte instructions, so addresses are known as soon as the item list is. *)
+    as fixups resolved in a second pass. Fixed-width targets emit 4-byte
+    [Word]/[Fix] items only, and addresses are known as soon as the item
+    list is. A mixed-width target (RISC-V with RVC) additionally emits
+    2-byte [Half] parcels; such streams are assembled through a
+    little-endian byte buffer, zero-padded to a multiple of 4 and repacked
+    into 4-byte words — the unit {!Workload.load_image} writes. *)
 
 type item =
   | Word of int64  (** a fully-encoded instruction *)
+  | Half of int64
+      (** a 2-byte compressed parcel (little-endian targets only) *)
   | Fix of (self_pc:int64 -> target_pc:int64 -> int64) * string
       (** an instruction whose encoding needs the label's address *)
   | Mark of string  (** defines a label at the current position *)
+
+let item_size = function Mark _ -> 0 | Half _ -> 2 | Word _ | Fix _ -> 4
 
 (** [assemble ~base items] resolves labels and returns encoded words. *)
 let assemble ~base (items : item list) : int64 list =
@@ -24,29 +32,76 @@ let assemble ~base (items : item list) : int64 list =
             ~context:[ ("label", l); ("pc", Printf.sprintf "0x%Lx" !pc) ]
             "duplicate label";
         Hashtbl.add labels l !pc
-      | Word _ | Fix _ -> pc := Int64.add !pc 4L)
+      | it -> pc := Int64.add !pc (Int64.of_int (item_size it)))
     items;
-  let pc = ref base in
-  List.filter_map
-    (fun it ->
-      match it with
-      | Mark _ -> None
-      | Word w ->
-        pc := Int64.add !pc 4L;
-        Some w
-      | Fix (f, l) ->
-        let target =
-          match Hashtbl.find_opt labels l with
-          | Some t -> t
-          | None ->
-            Machine.Sim_error.raisef ~component:"asm"
-              ~context:[ ("label", l); ("pc", Printf.sprintf "0x%Lx" !pc) ]
-              "unknown label"
-        in
-        let w = f ~self_pc:!pc ~target_pc:target in
-        pc := Int64.add !pc 4L;
-        Some w)
-    items
+  let find pc l =
+    match Hashtbl.find_opt labels l with
+    | Some t -> t
+    | None ->
+      Machine.Sim_error.raisef ~component:"asm"
+        ~context:[ ("label", l); ("pc", Printf.sprintf "0x%Lx" pc) ]
+        "unknown label"
+  in
+  if not (List.exists (function Half _ -> true | _ -> false) items) then begin
+    (* uniform 4-byte path: words pass through untouched, so big-endian
+       targets (PPC) keep their word-at-a-time framing *)
+    let pc = ref base in
+    List.filter_map
+      (fun it ->
+        match it with
+        | Mark _ -> None
+        | Half _ -> assert false
+        | Word w ->
+          pc := Int64.add !pc 4L;
+          Some w
+        | Fix (f, l) ->
+          let w = f ~self_pc:!pc ~target_pc:(find !pc l) in
+          pc := Int64.add !pc 4L;
+          Some w)
+      items
+  end
+  else begin
+    let buf = Buffer.create 256 in
+    let put v n =
+      for i = 0 to n - 1 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+      done
+    in
+    let pc = ref base in
+    List.iter
+      (fun it ->
+        match it with
+        | Mark _ -> ()
+        | Half w ->
+          put w 2;
+          pc := Int64.add !pc 2L
+        | Word w ->
+          put w 4;
+          pc := Int64.add !pc 4L
+        | Fix (f, l) ->
+          put (f ~self_pc:!pc ~target_pc:(find !pc l)) 4;
+          pc := Int64.add !pc 4L)
+      items;
+    (* zero padding never executes; 0x0000 is an illegal parcel anyway *)
+    while Buffer.length buf mod 4 <> 0 do
+      Buffer.add_char buf '\000'
+    done;
+    let words = ref [] in
+    let s = Buffer.contents buf in
+    for k = (String.length s / 4) - 1 downto 0 do
+      let b i = Int64.of_int (Char.code s.[(4 * k) + i]) in
+      words :=
+        Int64.logor (b 0)
+          (Int64.logor
+             (Int64.shift_left (b 1) 8)
+             (Int64.logor
+                (Int64.shift_left (b 2) 16)
+                (Int64.shift_left (b 3) 24)))
+        :: !words
+    done;
+    !words
+  end
 
 (** Interface each ISA implements to run VIR workloads. *)
 module type TARGET = sig

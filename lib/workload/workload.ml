@@ -6,6 +6,10 @@
     observable behaviour (exit status, emulated-OS output) must agree with
     the VIR reference executor. *)
 
+(* [workload.ml] is the library's interface module; re-export the
+   hostile-kernel corpus so clients see it as [Workload.Hostile]. *)
+module Hostile = Hostile
+
 let code_base = 0x1000L
 
 type target = {
@@ -27,7 +31,14 @@ let arm =
 let ppc =
   { tname = "ppc"; spec = Isa_ppc.Ppc.spec; encode = Isa_ppc.Ppc_asm.encode }
 
-let targets = [ alpha; arm; ppc ]
+let riscv =
+  {
+    tname = "riscv";
+    spec = Isa_riscv.Riscv.spec;
+    encode = Isa_riscv.Riscv_asm.encode;
+  }
+
+let targets = [ alpha; arm; ppc; riscv ]
 
 let find_target name =
   match List.find_opt (fun t -> String.equal t.tname name) targets with

@@ -10,7 +10,9 @@ let () =
       ("alpha", Test_alpha.suite);
       ("arm", Test_arm.suite);
       ("ppc", Test_ppc.suite);
+      ("riscv", Test_riscv.suite);
       ("workload", Test_workload.suite);
+      ("hostile", Test_hostile.suite);
       ("timing", Test_timing.suite);
       ("manual", Test_manual.suite);
       ("specul", Test_specul.suite);

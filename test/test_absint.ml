@@ -322,6 +322,8 @@ let suite =
       (soundness_property "alpha" Isa_alpha.Alpha.sources);
     QCheck_alcotest.to_alcotest (soundness_property "arm" Isa_arm.Arm.sources);
     QCheck_alcotest.to_alcotest (soundness_property "ppc" Isa_ppc.Ppc.sources);
+    QCheck_alcotest.to_alcotest
+      (soundness_property "riscv" Isa_riscv.Riscv.sources);
     Alcotest.test_case "alpha store classes" `Quick
       test_alpha_stores_not_store_free;
     Alcotest.test_case "tiny16 defect carriers not safe" `Quick

@@ -881,6 +881,8 @@ let suite =
       (overlap_property "alpha" Isa_alpha.Alpha.sources);
     QCheck_alcotest.to_alcotest (overlap_property "arm" Isa_arm.Arm.sources);
     QCheck_alcotest.to_alcotest (overlap_property "ppc" Isa_ppc.Ppc.sources);
+    QCheck_alcotest.to_alcotest
+      (overlap_property "riscv" Isa_riscv.Riscv.sources);
     Alcotest.test_case "lint roundtrip: dirty spec" `Quick
       (check_lint_roundtrip "dirty" dirty_sources);
     Alcotest.test_case "lint roundtrip: demo" `Quick
@@ -896,6 +898,8 @@ let suite =
       (shipped_clean "arm" Isa_arm.Arm.sources);
     Alcotest.test_case "ppc lints clean" `Quick
       (shipped_clean "ppc" Isa_ppc.Ppc.sources);
+    Alcotest.test_case "riscv lints clean" `Quick
+      (shipped_clean "riscv" Isa_riscv.Riscv.sources);
     Alcotest.test_case "demo lints clean" `Quick
       (shipped_clean "demo" Demo_isa.sources);
   ]

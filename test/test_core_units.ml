@@ -217,6 +217,7 @@ let suite =
     QCheck_alcotest.to_alcotest (prop_decoder "alpha" Isa_alpha.Alpha.spec);
     QCheck_alcotest.to_alcotest (prop_decoder "arm" Isa_arm.Arm.spec);
     QCheck_alcotest.to_alcotest (prop_decoder "ppc" Isa_ppc.Ppc.spec);
+    QCheck_alcotest.to_alcotest (prop_decoder "riscv" Isa_riscv.Riscv.spec);
     Alcotest.test_case "decoder bucket quality" `Quick test_decoder_bucket_quality;
     Alcotest.test_case "detail names" `Quick test_detail_names;
     Alcotest.test_case "generated buildsets parse" `Quick test_detail_lis_parses;

@@ -86,7 +86,7 @@ let block_only =
     (fun b -> String.length b >= 5 && String.equal (String.sub b 0 5) "block")
     Fuzz.Oracle.default_config.buildsets
 
-let kill ~isa mutate ~budget =
+let kill ?(seed = 42L) ~isa mutate ~budget =
   let name = Specsim.Synth.mutation_to_string mutate in
   let cfg =
     { Fuzz.Oracle.default_config with
@@ -94,7 +94,7 @@ let kill ~isa mutate ~budget =
       buildsets = block_only;
     }
   in
-  let o = Fuzz.Driver.hunt ~cfg ~isa ~seed:42L ~budget () in
+  let o = Fuzz.Driver.hunt ~cfg ~isa ~seed ~budget () in
   match o.Fuzz.Driver.o_shrunk with
   | None ->
     Alcotest.failf "%s/%s survived %d oracle executions" isa name budget
@@ -111,13 +111,19 @@ let kill ~isa mutate ~budget =
 
 let test_kill_skip_invalidate () =
   kill ~isa:"tiny" Specsim.Synth.Skip_invalidate ~budget:200;
-  kill ~isa:"alpha" Specsim.Synth.Skip_invalidate ~budget:400
+  kill ~isa:"alpha" Specsim.Synth.Skip_invalidate ~budget:400;
+  kill ~isa:"riscv" ~seed:1L Specsim.Synth.Skip_invalidate ~budget:400
 
-let test_kill_stale_chain () = kill ~isa:"tiny" Specsim.Synth.Stale_chain ~budget:200
+let test_kill_stale_chain () =
+  kill ~isa:"tiny" Specsim.Synth.Stale_chain ~budget:200;
+  kill ~isa:"riscv" ~seed:1L Specsim.Synth.Stale_chain ~budget:400
 
 let test_kill_stride4 () =
-  (* observable only where instrsize <> 4: that is what tiny16 is for *)
-  kill ~isa:"tiny" Specsim.Synth.Stride4 ~budget:64
+  (* observable only where instrsize <> 4: tiny16 by construction, and
+     riscv because RVC parcels make the real stride non-uniform — the
+     uniform pc+4i walk the mutation reintroduces is caught immediately *)
+  kill ~isa:"tiny" Specsim.Synth.Stride4 ~budget:64;
+  kill ~isa:"riscv" Specsim.Synth.Stride4 ~budget:64
 
 (* ----------------------------------------------------------------- *)
 (* Reproducer files                                                    *)

@@ -1,0 +1,103 @@
+(** Hostile-workload regression tests: the {!Workload.Hostile} kernels on
+    every ISA, under both the cheapest block interface and the most
+    detailed step interface.
+
+    Reference-safe kernels are checked against the VIR reference executor
+    like the benchmark kernels. The self-modifying trampoline cannot be
+    reference-run (see the module doc in hostile.ml); it is pinned to its
+    analytic exit status, all interfaces must agree on the full outcome,
+    and the block engine must actually have invalidated translations —
+    a trampoline that never tripped SMC detection would be a miscompile
+    waiting to happen. *)
+
+let budget = 20_000_000
+
+let buildsets = [ "block_min"; "step_all" ]
+
+let run_loaded (l : Workload.loaded) =
+  (Workload.run_to_completion ~budget l, l.iface.stats)
+
+let check_reference (t : Workload.target) bs (k : Workload.Hostile.kernel) () =
+  let expected = Workload.reference k.program in
+  let got, _ = run_loaded (Workload.load t ~buildset:bs k.program) in
+  Alcotest.(check int) (k.hname ^ " exit") expected.exit_status got.exit_status;
+  Alcotest.(check string) (k.hname ^ " output") expected.output got.output
+
+let check_trampoline (t : Workload.target) bs (k : Workload.Hostile.kernel) ()
+    =
+  let expected_exit =
+    match k.expected_exit with
+    | Some e -> e
+    | None -> Alcotest.fail "trampoline kernel carries no analytic exit"
+  in
+  let got, stats = run_loaded (Workload.load t ~buildset:bs k.program) in
+  Alcotest.(check int) (k.hname ^ " analytic exit") expected_exit
+    got.exit_status;
+  (* cross-interface agreement stands in for the missing reference *)
+  let other, _ = run_loaded (Workload.load t ~buildset:"one_all" k.program) in
+  Alcotest.(check int) (k.hname ^ " exit agrees") other.exit_status
+    got.exit_status;
+  Alcotest.(check string) (k.hname ^ " output agrees") other.output got.output;
+  (* the whole point of the kernel: copied-over code must kill blocks *)
+  if String.length bs >= 5 && String.equal (String.sub bs 0 5) "block" then
+    Alcotest.(check bool)
+      (k.hname ^ " invalidated translations")
+      true
+      (stats.Specsim.Iface.block_invalidations > 0)
+
+let check (t : Workload.target) bs (k : Workload.Hostile.kernel) =
+  let f = if k.reference_safe then check_reference else check_trampoline in
+  Alcotest.test_case
+    (Printf.sprintf "%s %s %s" k.hname t.tname bs)
+    `Quick (f t bs k)
+
+(* The interpreter's one dispatch site rotates through four handlers —
+   a megamorphic indirect jump. The bi-morphic successor cache cannot
+   hold it, so the chain hit rate must visibly collapse. *)
+let check_interp_chain_miss (t : Workload.target) () =
+  let k =
+    List.find
+      (fun (k : Workload.Hostile.kernel) -> String.equal k.hname "interp")
+      Workload.Hostile.test_suite
+  in
+  let _, stats = run_loaded (Workload.load t ~buildset:"block_min" k.program) in
+  let taken = stats.Specsim.Iface.chain_taken
+  and miss = stats.Specsim.Iface.chain_miss in
+  Alcotest.(check bool) "dispatch misses the successor cache" true (miss > 50);
+  let rate = float_of_int taken /. float_of_int (max 1 (taken + miss)) in
+  if rate >= 0.9 then
+    Alcotest.failf "chain hit rate %.1f%% — megamorphic dispatch was absorbed"
+      (100. *. rate)
+
+(* Cheap sanity pin: the analytic trampoline model matches a direct
+   simulation of its own definition for several round counts. *)
+let test_trampoline_exit_model () =
+  List.iter
+    (fun rounds ->
+      let v4 = ref 0l in
+      for r = 0 to rounds - 1 do
+        if r land 1 = 0 then v4 := Int32.add !v4 7l
+        else v4 := Int32.logxor (Int32.add !v4 11l) (Int32.of_int r)
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "rounds=%d" rounds)
+        (Int32.to_int !v4 land 0xff)
+        (Workload.Hostile.trampoline_exit ~rounds))
+    [ 1; 2; 7; 8; 400 ]
+
+let suite =
+  List.concat_map
+    (fun (t : Workload.target) ->
+      List.concat_map
+        (fun bs -> List.map (check t bs) Workload.Hostile.test_suite)
+        buildsets)
+    Workload.targets
+  @ List.map
+      (fun (t : Workload.target) ->
+        Alcotest.test_case ("interp defeats chaining " ^ t.tname) `Quick
+          (check_interp_chain_miss t))
+      Workload.targets
+  @ [
+      Alcotest.test_case "trampoline analytic model" `Quick
+        test_trampoline_exit_model;
+    ]

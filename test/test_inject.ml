@@ -83,7 +83,7 @@ let test_campaign_coverage () =
       Alcotest.(check bool)
         (isa ^ ": recovered run matches reference")
         true r.r_outcome_ok)
-    [ "alpha"; "arm"; "ppc" ]
+    [ "alpha"; "arm"; "ppc"; "riscv" ]
 
 let test_memory_corruption_repaired () =
   (* regression: memory-only corruption must be detected AND repaired —
@@ -118,7 +118,7 @@ let test_rollback_under_injection () =
       Alcotest.(check int)
         (isa ^ ": every rollback byte-exact")
         r.r_rollback_trials r.r_rollback_exact)
-    [ "alpha"; "arm"; "ppc" ]
+    [ "alpha"; "arm"; "ppc"; "riscv" ]
 
 (* ---------------- injector validation ---------------------------- *)
 

@@ -92,5 +92,7 @@ let suite =
       (check_roundtrip "arm" Isa_arm.Arm.sources);
     Alcotest.test_case "roundtrip ppc" `Quick
       (check_roundtrip "ppc" Isa_ppc.Ppc.sources);
+    Alcotest.test_case "roundtrip riscv" `Quick
+      (check_roundtrip "riscv" Isa_riscv.Riscv.sources);
     Alcotest.test_case "behavioural roundtrip" `Quick test_behavioural_roundtrip;
   ]

@@ -2,7 +2,7 @@
     model, region aggregation against a brute-force per-pc tally,
     metrics JSONL round-trip, Prometheus text-format lint, speedscope
     structure, and a qcheck property that a profile-only context is
-    architecturally transparent across all three ISAs. *)
+    architecturally transparent across every registered ISA. *)
 
 module P = Obs.Prof
 
@@ -429,10 +429,14 @@ let regs_digest (regs : Machine.Regfile.t) =
    output on every ISA and on block, one-call and stepped interfaces. *)
 let test_profiler_transparent =
   let n_kernels = List.length Vir.Kernels.test_suite in
+  let n_targets = List.length Workload.targets in
   QCheck.Test.make ~count:30
     ~name:"profile-only context is architecturally transparent"
     QCheck.(
-      quad (int_range 0 2) (int_range 0 2) (int_range 0 (n_kernels - 1))
+      quad
+        (int_range 0 (n_targets - 1))
+        (int_range 0 2)
+        (int_range 0 (n_kernels - 1))
         (int_range 1 5_000))
     (fun (ti, bi, ki, budget) ->
       let t = List.nth Workload.targets ti in

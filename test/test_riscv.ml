@@ -1,0 +1,403 @@
+(** RISC-V ISA tests: per-instruction semantics via hand-assembled
+    snippets — including the RVC parcels and their decode-priority edge
+    cases — and differential validation of every kernel against the VIR
+    reference executor.
+
+    The snippet harness differs from the other ISAs' in one way: parcels
+    carry their own width (2 or 4 bytes), so programs are laid out at
+    running offsets rather than a uniform 4-byte stride. *)
+
+let spec () = Lazy.force Isa_riscv.Riscv.spec
+
+(* ----------------------------------------------------------------- *)
+(* Snippet harness: mixed-width parcels at running offsets            *)
+(* ----------------------------------------------------------------- *)
+
+(* A parcel is (width, encoding); [i2] tags an RVC half, [i4] a word. *)
+let i2 w = (2, w)
+let i4 w = (4, w)
+
+let load_parcels st parcels =
+  let off = ref 0x1000L in
+  List.iter
+    (fun (size, w) ->
+      Machine.Memory.write st.Machine.State.mem ~addr:!off ~width:size w;
+      off := Int64.add !off (Int64.of_int size))
+    parcels
+
+(* [steps] defaults to one per parcel; taken jumps land mid-list, so
+   control-flow tests pass it explicitly. *)
+let run_snippet ?(setup = fun _ -> ()) ?steps ~buildset parcels =
+  let spec = spec () in
+  let iface = Specsim.Synth.make spec buildset in
+  let st = iface.st in
+  setup st;
+  load_parcels st parcels;
+  Machine.State.reset st ~pc:0x1000L;
+  let di = Specsim.Di.create ~info_slots:iface.slots.di_size in
+  let n = match steps with Some n -> n | None -> List.length parcels in
+  for _ = 1 to n do
+    if not st.halted then iface.run_one di
+  done;
+  st
+
+let reg st i = Machine.Regfile.read st.Machine.State.regs ~cls:0 ~idx:i
+let set_reg st i v = Machine.Regfile.write st.Machine.State.regs ~cls:0 ~idx:i v
+
+(* convention: result in x1; x2=7, x3=-3 (32-bit), x4=0x12345678 *)
+let check_alu name parcels expected () =
+  let st =
+    run_snippet ~buildset:"one_all"
+      ~setup:(fun st ->
+        set_reg st 2 7L;
+        set_reg st 3 0xFFFFFFFDL;
+        set_reg st 4 0x12345678L)
+      parcels
+  in
+  Alcotest.(check int64) name expected (reg st 1)
+
+open Isa_riscv.Riscv_asm
+
+let alu_cases =
+  [
+    ("add", [ i4 (rtype ~funct7:0 ~f3:0 ~rd:1 ~rs1:2 ~rs2:3) ], 4L);
+    ("sub", [ i4 (rtype ~funct7:0x20 ~f3:0 ~rd:1 ~rs1:2 ~rs2:3) ], 10L);
+    ("sll by reg", [ i4 (rtype ~funct7:0 ~f3:1 ~rd:1 ~rs1:2 ~rs2:2) ], 0x380L);
+    (* SLT sees -3 < 7; SLTU sees 0xFFFFFFFD > 7 *)
+    ("slt signed", [ i4 (rtype ~funct7:0 ~f3:2 ~rd:1 ~rs1:3 ~rs2:2) ], 1L);
+    ("sltu unsigned", [ i4 (rtype ~funct7:0 ~f3:3 ~rd:1 ~rs1:3 ~rs2:2) ], 0L);
+    ("xor", [ i4 (rtype ~funct7:0 ~f3:4 ~rd:1 ~rs1:2 ~rs2:3) ], 0xFFFFFFFAL);
+    ("srl on negative", [ i4 (rtype ~funct7:0 ~f3:5 ~rd:1 ~rs1:3 ~rs2:2) ],
+      0x1FFFFFFL);
+    ("sra on negative", [ i4 (rtype ~funct7:0x20 ~f3:5 ~rd:1 ~rs1:3 ~rs2:2) ],
+      0xFFFFFFFFL);
+    ("mul", [ i4 (rtype ~funct7:1 ~f3:0 ~rd:1 ~rs1:2 ~rs2:3) ], 0xFFFFFFEBL);
+    ("or", [ i4 (rtype ~funct7:0 ~f3:6 ~rd:1 ~rs1:2 ~rs2:4) ], 0x1234567FL);
+    ("and", [ i4 (rtype ~funct7:0 ~f3:7 ~rd:1 ~rs1:2 ~rs2:3) ], 5L);
+    ("addi negative", [ i4 (addi ~rd:1 ~rs1:2 ~imm:(-10)) ], 0xFFFFFFFDL);
+    ("slti negative imm", [ i4 (itype ~opc:0x13 ~f3:2 ~rd:1 ~rs1:3 ~imm:(-2)) ],
+      1L);
+    (* SLTIU's imm is sign-extended then compared unsigned: -1 = 0xFFFFFFFF *)
+    ("sltiu imm -1", [ i4 (itype ~opc:0x13 ~f3:3 ~rd:1 ~rs1:3 ~imm:(-1)) ], 1L);
+    ("xori", [ i4 (itype ~opc:0x13 ~f3:4 ~rd:1 ~rs1:4 ~imm:0xFF) ], 0x12345687L);
+    ("andi", [ i4 (andi ~rd:1 ~rs1:4 ~imm:0xFF) ], 0x78L);
+    ("slli", [ i4 (shifti ~funct7:0 ~f3:1 ~rd:1 ~rs1:2 ~sh:4) ], 0x70L);
+    ("srli on negative", [ i4 (shifti ~funct7:0 ~f3:5 ~rd:1 ~rs1:3 ~sh:28) ],
+      0xFL);
+    ("srai on negative", [ i4 (shifti ~funct7:0x20 ~f3:5 ~rd:1 ~rs1:3 ~sh:4) ],
+      0xFFFFFFFFL);
+    ("lui", [ i4 (lui ~rd:1 ~imm20:0xABCDE) ], 0xABCDE000L);
+  ]
+
+(* SLT/SLTU at the sign boundary: 0x7FFFFFFF vs 0x80000000 *)
+let test_slt_edges () =
+  let st =
+    run_snippet ~buildset:"one_all"
+      ~setup:(fun st ->
+        set_reg st 2 0x7FFFFFFFL;
+        set_reg st 3 0x80000000L)
+      [
+        i4 (rtype ~funct7:0 ~f3:2 ~rd:1 ~rs1:2 ~rs2:3) (* slt max, min *);
+        i4 (rtype ~funct7:0 ~f3:3 ~rd:5 ~rs1:2 ~rs2:3) (* sltu max, min *);
+        i4 (rtype ~funct7:0 ~f3:2 ~rd:6 ~rs1:3 ~rs2:2) (* slt min, max *);
+      ]
+  in
+  Alcotest.(check int64) "0x7FFFFFFF < 0x80000000 signed" 0L (reg st 1);
+  Alcotest.(check int64) "0x7FFFFFFF < 0x80000000 unsigned" 1L (reg st 5);
+  Alcotest.(check int64) "0x80000000 < 0x7FFFFFFF signed" 1L (reg st 6)
+
+let test_hardwired_x0 () =
+  let st = run_snippet ~buildset:"one_all" [ i4 (addi ~rd:0 ~rs1:0 ~imm:5) ] in
+  Alcotest.(check int64) "x0 still zero" 0L (reg st 0)
+
+let test_auipc () =
+  (* second AUIPC checks the pc used is the instruction's own *)
+  let st =
+    run_snippet ~buildset:"one_all"
+      [
+        i4 (Int64.of_int ((1 lsl 12) lor (1 lsl 7) lor 0x17));
+        i4 (Int64.of_int ((2 lsl 12) lor (5 lsl 7) lor 0x17));
+      ]
+  in
+  Alcotest.(check int64) "auipc at 0x1000" 0x2000L (reg st 1);
+  Alcotest.(check int64) "auipc at 0x1004" 0x3004L (reg st 5)
+
+(* ----------------------------------------------------------------- *)
+(* Loads and stores: widths, sign-extension                           *)
+(* ----------------------------------------------------------------- *)
+
+let test_load_sign_extension () =
+  let st =
+    run_snippet ~buildset:"one_all"
+      ~setup:(fun st ->
+        set_reg st 2 0x2000L;
+        set_reg st 3 0x8BADF00DL)
+      [
+        i4 (stype ~f3:2 ~rs1:2 ~rs2:3 ~imm:16) (* sw *);
+        i4 (load ~f3:0 ~rd:1 ~rs1:2 ~imm:16) (* lb: 0x0D *);
+        i4 (load ~f3:0 ~rd:5 ~rs1:2 ~imm:19) (* lb: 0x8B sign-extends *);
+        i4 (load ~f3:4 ~rd:6 ~rs1:2 ~imm:19) (* lbu: 0x8B zero-extends *);
+        i4 (load ~f3:1 ~rd:7 ~rs1:2 ~imm:16) (* lh: 0xF00D sign-extends *);
+        i4 (load ~f3:5 ~rd:8 ~rs1:2 ~imm:16) (* lhu *);
+        i4 (load ~f3:2 ~rd:9 ~rs1:2 ~imm:16) (* lw *);
+      ]
+  in
+  Alcotest.(check int64) "lb positive" 0x0DL (reg st 1);
+  Alcotest.(check int64) "lb sign-extends" 0xFFFFFF8BL (reg st 5);
+  Alcotest.(check int64) "lbu zero-extends" 0x8BL (reg st 6);
+  Alcotest.(check int64) "lh sign-extends" 0xFFFFF00DL (reg st 7);
+  Alcotest.(check int64) "lhu zero-extends" 0xF00DL (reg st 8);
+  Alcotest.(check int64) "lw" 0x8BADF00DL (reg st 9)
+
+let test_store_widths () =
+  let st =
+    run_snippet ~buildset:"one_all"
+      ~setup:(fun st ->
+        set_reg st 2 0x2000L;
+        set_reg st 3 0xDDCCBBAAL;
+        set_reg st 4 0x11223344L)
+      [
+        i4 (stype ~f3:2 ~rs1:2 ~rs2:3 ~imm:0) (* sw whole word *);
+        i4 (stype ~f3:0 ~rs1:2 ~rs2:4 ~imm:1) (* sb clobbers byte 1 *);
+        i4 (stype ~f3:1 ~rs1:2 ~rs2:4 ~imm:2) (* sh clobbers bytes 2-3 *);
+        i4 (load ~f3:2 ~rd:1 ~rs1:2 ~imm:0);
+      ]
+  in
+  Alcotest.(check int64) "sb/sh merge little-endian" 0x334444AAL (reg st 1)
+
+(* ----------------------------------------------------------------- *)
+(* Control flow: branch offsets, JAL link, JALR LSB clearing          *)
+(* ----------------------------------------------------------------- *)
+
+let test_branch_forward () =
+  (* beq x0,x0,+8 at 0x1000 skips the poison instruction at 0x1004 *)
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:2
+      [
+        i4 (btype ~f3:0 ~rs1:0 ~rs2:0 ~off:8);
+        i4 (addi ~rd:1 ~rs1:0 ~imm:99) (* skipped *);
+        i4 (addi ~rd:5 ~rs1:0 ~imm:7) (* landed *);
+      ]
+  in
+  Alcotest.(check int64) "skipped" 0L (reg st 1);
+  Alcotest.(check int64) "landed" 7L (reg st 5)
+
+let test_branch_backward () =
+  (* bne at 0x1004 takes -4 back to the addi until x1 reaches 3 *)
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:6
+      ~setup:(fun st -> set_reg st 2 3L)
+      [
+        i4 (addi ~rd:1 ~rs1:1 ~imm:1);
+        i4 (btype ~f3:1 ~rs1:1 ~rs2:2 ~off:(-4));
+      ]
+  in
+  Alcotest.(check int64) "looped to 3" 3L (reg st 1);
+  Alcotest.(check int64) "fell through" 0x1008L st.Machine.State.pc
+
+let test_branch_not_taken () =
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:1
+      [ i4 (btype ~f3:0 ~rs1:0 ~rs2:0 ~off:8) ]
+  in
+  ignore st;
+  (* beq x0,x0 is always taken; bne x0,x0 never is *)
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:1
+      [ i4 (btype ~f3:1 ~rs1:0 ~rs2:0 ~off:8) ]
+  in
+  Alcotest.(check int64) "bne x0,x0 falls through" 0x1004L st.Machine.State.pc
+
+let test_jal () =
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:1 [ i4 (jal ~rd:1 ~off:12) ]
+  in
+  Alcotest.(check int64) "link = pc+4" 0x1004L (reg st 1);
+  Alcotest.(check int64) "target" 0x100CL st.Machine.State.pc
+
+let test_jalr_clears_lsb () =
+  (* rs1 + imm = 0x1009; the LSB must be cleared, landing on 0x1008 *)
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:2
+      ~setup:(fun st -> set_reg st 2 0x1005L)
+      [
+        i4 (jalr ~rd:1 ~rs1:2 ~imm:4);
+        i4 (addi ~rd:5 ~rs1:0 ~imm:99) (* 0x1004: skipped *);
+        i4 (addi ~rd:6 ~rs1:0 ~imm:1) (* 0x1008: landed *);
+      ]
+  in
+  Alcotest.(check int64) "link" 0x1004L (reg st 1);
+  Alcotest.(check int64) "skipped" 0L (reg st 5);
+  Alcotest.(check int64) "LSB cleared, landed" 1L (reg st 6)
+
+(* ----------------------------------------------------------------- *)
+(* RVC parcels                                                        *)
+(* ----------------------------------------------------------------- *)
+
+let test_c_li_negative () =
+  let st = run_snippet ~buildset:"one_all" [ i2 (c_li ~rd:1 ~imm:(-5)) ] in
+  Alcotest.(check int64) "c.li sign-extends" 0xFFFFFFFBL (reg st 1);
+  Alcotest.(check int64) "2-byte advance" 0x1002L st.Machine.State.pc
+
+let test_c_addi () =
+  let st =
+    run_snippet ~buildset:"one_all"
+      ~setup:(fun st -> set_reg st 1 10L)
+      [ i2 (c_addi ~rd:1 ~imm:(-3)); i2 (c_addi ~rd:1 ~imm:31) ]
+  in
+  Alcotest.(check int64) "two c.addi" 38L (reg st 1);
+  Alcotest.(check int64) "pc after two halves" 0x1004L st.Machine.State.pc
+
+let test_c_mv () =
+  let st =
+    run_snippet ~buildset:"one_all"
+      ~setup:(fun st -> set_reg st 2 7L)
+      [ i2 (c_mv ~rd:1 ~rs2:2) ]
+  in
+  Alcotest.(check int64) "c.mv" 7L (reg st 1)
+
+let test_c_jr_clears_lsb () =
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:2
+      ~setup:(fun st -> set_reg st 2 0x1007L)
+      [
+        i2 (c_jr ~rs1:2);
+        i2 (c_li ~rd:5 ~imm:9) (* 0x1002: skipped *);
+        i2 (c_li ~rd:6 ~imm:1) (* 0x1004: skipped *);
+        i2 (c_li ~rd:7 ~imm:4) (* 0x1006: landed (LSB cleared) *);
+      ]
+  in
+  Alcotest.(check int64) "skipped" 0L (reg st 5);
+  Alcotest.(check int64) "landed" 4L (reg st 7)
+
+let test_c_jr_decode_priority () =
+  (* The C.JR encoding is C.MV's rs2=0 row: 0x8002 | rd<<7 must *jump*
+     (C.JR through rd-as-rs1), not move x0 into rd. A C.MV reading would
+     zero x1 and fall through to 0x1002. *)
+  let raw = Int64.of_int (0x8002 lor (1 lsl 7)) in
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:1
+      ~setup:(fun st -> set_reg st 1 0x1008L)
+      [ i2 raw ]
+  in
+  Alcotest.(check int64) "jumped, not moved" 0x1008L st.Machine.State.pc;
+  Alcotest.(check int64) "rd untouched" 0x1008L (reg st 1)
+
+let test_c_j () =
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:2
+      [
+        i2 (c_j ~off:6) (* 0x1000 -> 0x1006 *);
+        i2 (c_li ~rd:5 ~imm:9) (* skipped *);
+        i2 (c_li ~rd:6 ~imm:9) (* skipped *);
+        i2 (c_li ~rd:7 ~imm:3) (* 0x1006: landed *);
+      ]
+  in
+  Alcotest.(check int64) "skipped" 0L (reg st 5);
+  Alcotest.(check int64) "landed" 3L (reg st 7);
+  (* backward: c.j -2 from 0x1002 lands on the parcel before it *)
+  let st =
+    run_snippet ~buildset:"one_all" ~steps:3
+      [ i2 (c_addi ~rd:1 ~imm:1); i2 (c_j ~off:(-2)) ]
+  in
+  Alcotest.(check int64) "looped back" 2L (reg st 1)
+
+let test_c_lw_sw () =
+  (* the x8-x15 window; uimm 68 exercises the scattered bit 6 *)
+  let st =
+    run_snippet ~buildset:"one_all"
+      ~setup:(fun st ->
+        set_reg st 8 0x2000L;
+        set_reg st 9 0xCAFEBABEL)
+      [
+        i2 (c_sw ~rs2p:1 ~rs1p:0 ~uimm:68) (* mem[x8+68] = x9 *);
+        i2 (c_lw ~rdp:2 ~rs1p:0 ~uimm:68) (* x10 = mem[x8+68] *);
+        i4 (load ~f3:2 ~rd:1 ~rs1:8 ~imm:68) (* cross-check via lw *);
+      ]
+  in
+  Alcotest.(check int64) "c.lw roundtrip" 0xCAFEBABEL (reg st 10);
+  Alcotest.(check int64) "agrees with lw" 0xCAFEBABEL (reg st 1)
+
+(* ----------------------------------------------------------------- *)
+(* Mixed strides through the block engine                             *)
+(* ----------------------------------------------------------------- *)
+
+(* The same mixed 2/4-byte straight-line block must produce identical
+   architectural state under the one-call and block interfaces: the
+   block builder has to honour per-site strides, not assume 4. *)
+let test_mixed_stride_block () =
+  let parcels =
+    [
+      i2 (c_li ~rd:1 ~imm:5);
+      i4 (addi ~rd:2 ~rs1:1 ~imm:0x111);
+      i2 (c_addi ~rd:1 ~imm:3);
+      i4 (rtype ~funct7:0 ~f3:0 ~rd:3 ~rs1:1 ~rs2:2);
+      i2 (c_mv ~rd:5 ~rs2:3);
+      i2 (c_j ~off:0) (* self-loop: terminates the block at 0x100E *);
+    ]
+  in
+  let run buildset =
+    let spec = spec () in
+    let iface = Specsim.Synth.make spec buildset in
+    let st = iface.st in
+    load_parcels st parcels;
+    Machine.State.reset st ~pc:0x1000L;
+    ignore (Specsim.Iface.run_n iface (List.length parcels));
+    st
+  in
+  let a = run "one_all" and b = run "block_min" in
+  List.iter
+    (fun i ->
+      Alcotest.(check int64)
+        (Printf.sprintf "x%d one_all = block_min" i)
+        (reg a i) (reg b i))
+    [ 1; 2; 3; 5 ];
+  Alcotest.(check int64) "pc advanced by 14 bytes" 0x100EL
+    b.Machine.State.pc
+
+(* ----------------------------------------------------------------- *)
+(* Differential: kernels vs the VIR reference                         *)
+(* ----------------------------------------------------------------- *)
+
+let check_kernel bs (k : Vir.Kernels.sized) () =
+  let expected = Workload.reference k.program in
+  let got = Workload.run ~budget:50_000_000 Workload.riscv ~buildset:bs k.program in
+  Alcotest.(check int) (k.kname ^ " exit") expected.exit_status got.exit_status;
+  Alcotest.(check string) (k.kname ^ " output") expected.output got.output
+
+let suite =
+  List.map
+    (fun (name, parcels, expected) ->
+      Alcotest.test_case name `Quick (check_alu name parcels expected))
+    alu_cases
+  @ [
+      Alcotest.test_case "slt/sltu sign boundary" `Quick test_slt_edges;
+      Alcotest.test_case "hardwired x0" `Quick test_hardwired_x0;
+      Alcotest.test_case "auipc" `Quick test_auipc;
+      Alcotest.test_case "load sign-extension" `Quick test_load_sign_extension;
+      Alcotest.test_case "store widths" `Quick test_store_widths;
+      Alcotest.test_case "branch forward" `Quick test_branch_forward;
+      Alcotest.test_case "branch backward" `Quick test_branch_backward;
+      Alcotest.test_case "branch not taken" `Quick test_branch_not_taken;
+      Alcotest.test_case "jal links" `Quick test_jal;
+      Alcotest.test_case "jalr clears LSB" `Quick test_jalr_clears_lsb;
+      Alcotest.test_case "c.li negative" `Quick test_c_li_negative;
+      Alcotest.test_case "c.addi" `Quick test_c_addi;
+      Alcotest.test_case "c.mv" `Quick test_c_mv;
+      Alcotest.test_case "c.jr clears LSB" `Quick test_c_jr_clears_lsb;
+      Alcotest.test_case "c.jr beats c.mv on rs2=0" `Quick
+        test_c_jr_decode_priority;
+      Alcotest.test_case "c.j offsets" `Quick test_c_j;
+      Alcotest.test_case "c.lw/c.sw window" `Quick test_c_lw_sw;
+      Alcotest.test_case "mixed-stride block" `Quick test_mixed_stride_block;
+    ]
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel "one_all" k))
+      Vir.Kernels.test_suite
+  @ List.map
+      (fun k ->
+        Alcotest.test_case ("kernel (block) " ^ k.Vir.Kernels.kname) `Quick
+          (check_kernel "block_min" k))
+      Vir.Kernels.test_suite

@@ -257,7 +257,9 @@ let prop_forced_demotion_preserves_digest =
   QCheck.Test.make ~count:24
     ~name:"forced demotion at a random boundary preserves the digest"
     QCheck.(
-      triple (oneofl ~print:Fun.id [ "alpha"; "arm"; "ppc" ]) small_nat (1 -- 300))
+      triple
+        (oneofl ~print:Fun.id [ "alpha"; "arm"; "ppc"; "riscv" ])
+        small_nat (1 -- 300))
     (fun (isa, tc_index, cut) ->
       let spec, tc, session =
         degrade_session ~isa ~tc_seed:13L ~tc_index ~buildset:"block_min" ()

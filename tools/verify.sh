@@ -190,7 +190,7 @@ fi
 
 echo "== fuzz: bounded healthy campaign must stay quiet (seed 42) =="
 # per-ISA budgets sized to ~1-2s each at measured oracle throughput
-for pair in alpha:600 arm:200 ppc:600 tiny:300; do
+for pair in alpha:600 arm:200 ppc:600 riscv:600 tiny:300; do
   isa=${pair%:*}
   budget=${pair#*:}
   dune exec bin/lisim.exe -- fuzz --isa "$isa" --seed 42 --budget "$budget"
